@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks of the hot paths: codec encode/decode,
+//! motion-vector reconstruction, NN-S inference, agent-unit coalescing and
+//! optical flow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use vr_dann::{reconstruct_b_frame, ReconConfig};
+use vrd_codec::{CodecConfig, Decoder, Encoder};
+use vrd_flow::{estimate, FlowConfig};
+use vrd_nn::{LargeNet, LargeNetProfile, NnS, Tensor};
+use vrd_sim::{agent, AgentConfig, Dram, DramConfig};
+use vrd_video::davis::{davis_sequence, SuiteConfig};
+
+fn bench_codec(c: &mut Criterion) {
+    let seq = davis_sequence("cows", &SuiteConfig::tiny()).expect("sequence generates");
+    let encoder = Encoder::new(CodecConfig::default());
+    c.bench_function("codec/encode_tiny_sequence", |b| {
+        b.iter(|| encoder.encode(black_box(&seq.frames)).expect("encodes"))
+    });
+    let encoded = encoder.encode(&seq.frames).expect("encodes");
+    let decoder = Decoder::new();
+    c.bench_function("codec/decode_full", |b| {
+        b.iter(|| decoder.decode(black_box(&encoded.bitstream)).expect("decodes"))
+    });
+    c.bench_function("codec/decode_for_recognition", |b| {
+        b.iter(|| {
+            decoder
+                .decode_for_recognition(black_box(&encoded.bitstream))
+                .expect("decodes")
+        })
+    });
+}
+
+fn recognition_fixture() -> (
+    vrd_codec::RecognitionStream,
+    BTreeMap<u32, vrd_video::SegMask>,
+) {
+    let seq = davis_sequence("dog", &SuiteConfig::tiny()).expect("sequence generates");
+    let encoded = Encoder::new(CodecConfig::default())
+        .encode(&seq.frames)
+        .expect("encodes");
+    let rec = Decoder::new()
+        .decode_for_recognition(&encoded.bitstream)
+        .expect("decodes");
+    let refs: BTreeMap<u32, vrd_video::SegMask> = rec
+        .anchors
+        .iter()
+        .map(|(d, _)| (*d, seq.gt_masks[*d as usize].clone()))
+        .collect();
+    (rec, refs)
+}
+
+fn bench_reconstruction(c: &mut Criterion) {
+    let (rec, refs) = recognition_fixture();
+    let info = rec.b_frames.first().expect("stream has B-frames").clone();
+    c.bench_function("vrdann/reconstruct_b_frame", |b| {
+        b.iter(|| {
+            reconstruct_b_frame(
+                black_box(&info),
+                &refs,
+                rec.width,
+                rec.height,
+                rec.mb_size,
+                &ReconConfig::default(),
+            )
+            .expect("reconstructs")
+        })
+    });
+}
+
+fn bench_nns(c: &mut Criterion) {
+    let mut nns = NnS::new(8, 42);
+    let input = Tensor::zeros(3, 48, 64);
+    c.bench_function("nns/infer_64x48", |b| {
+        b.iter(|| nns.infer(black_box(&input)))
+    });
+    let target = Tensor::zeros(1, 48, 64);
+    c.bench_function("nns/train_step_64x48", |b| {
+        b.iter(|| {
+            nns.zero_grad();
+            let loss = nns.train_step(black_box(&input), &target);
+            nns.apply_grads(0.1, 0.9, 1);
+            loss
+        })
+    });
+}
+
+fn bench_agent(c: &mut Criterion) {
+    let (rec, _) = recognition_fixture();
+    let info = rec.b_frames.first().expect("stream has B-frames");
+    for (label, coalesce) in [("coalesced", true), ("scattered", false)] {
+        c.bench_function(&format!("agent/reconstruct_{label}"), |b| {
+            b.iter(|| {
+                let mut dram = Dram::new(DramConfig::default());
+                agent::reconstruct(
+                    black_box(&info.mvs),
+                    rec.width,
+                    rec.height,
+                    rec.mb_size,
+                    coalesce,
+                    &AgentConfig::default(),
+                    &mut dram,
+                    0.0,
+                )
+            })
+        });
+    }
+}
+
+fn bench_flow_and_oracle(c: &mut Criterion) {
+    let seq = davis_sequence("libby", &SuiteConfig::tiny()).expect("sequence generates");
+    c.bench_function("flow/estimate_64x48", |b| {
+        b.iter(|| {
+            estimate(
+                black_box(&seq.frames[1]),
+                &seq.frames[0],
+                &FlowConfig::default(),
+            )
+        })
+    });
+    let nnl = LargeNet::new(LargeNetProfile::favos());
+    c.bench_function("largenet/segment_64x48", |b| {
+        b.iter(|| nnl.segment(black_box(&seq.gt_masks[0]), 7))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_codec, bench_reconstruction, bench_nns, bench_agent, bench_flow_and_oracle
+}
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Prints the design-choice ablations. Pass --quick for the reduced scale.
+use vrd_bench::{ablation, Context, Scale};
+
+fn main() {
+    let ctx = Context::new(Scale::from_args());
+    println!("{}", ablation::run(&ctx).render());
+}

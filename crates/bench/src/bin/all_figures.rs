@@ -1,0 +1,28 @@
+//! Regenerates every figure and table in one run. Pass --quick for the
+//! reduced scale.
+use vrd_bench::*;
+use vrd_sim::SimConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = Context::new(scale);
+    println!("{}", table02::render(&SimConfig::default()));
+    println!("{}", fig03::run(&ctx).render());
+    println!("{}", fig07::run(&ctx, 0).render(120));
+    println!("{}", fig09::run(&ctx).render());
+    println!("{}", fig10::run(&ctx).render());
+    println!("{}", fig11::run(&ctx).render());
+    println!("{}", fig12::run(&ctx).render());
+    println!("{}", fig13::run(&ctx).render());
+    println!("{}", fig14::run(&ctx).render());
+    println!("{}", fig15::run(&ctx).render());
+    println!("{}", fig16::run(&ctx).render());
+    println!("{}", fig17::run(&ctx).render());
+    println!("{}", ablation::run(&ctx).render());
+    let widths: &[usize] = match scale {
+        Scale::Full => &[2, 4, 8, 16],
+        Scale::Quick => &[2, 8],
+    };
+    println!("{}", nns_width::run(&ctx, widths).render());
+    println!("{}", sensitivity::run(&ctx).render());
+}

@@ -1,0 +1,7 @@
+//! Prints the paper's fig03 experiment. Pass --quick for the reduced scale.
+use vrd_bench::{fig03, Context, Scale};
+
+fn main() {
+    let ctx = Context::new(Scale::from_args());
+    println!("{}", fig03::run(&ctx).render());
+}

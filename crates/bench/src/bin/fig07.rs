@@ -1,0 +1,12 @@
+//! Prints the paper's Fig. 7 execution timelines. Pass --quick for the
+//! reduced scale; an optional integer argument picks the suite sequence.
+use vrd_bench::{fig07, Context, Scale};
+
+fn main() {
+    let ctx = Context::new(Scale::from_args());
+    let idx = std::env::args()
+        .filter_map(|a| a.parse::<usize>().ok())
+        .next()
+        .unwrap_or(0);
+    println!("{}", fig07::run(&ctx, idx).render(120));
+}

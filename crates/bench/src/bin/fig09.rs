@@ -1,0 +1,7 @@
+//! Prints the paper's fig09 experiment. Pass --quick for the reduced scale.
+use vrd_bench::{fig09, Context, Scale};
+
+fn main() {
+    let ctx = Context::new(Scale::from_args());
+    println!("{}", fig09::run(&ctx).render());
+}

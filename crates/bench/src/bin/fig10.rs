@@ -1,0 +1,7 @@
+//! Prints the paper's fig10 experiment. Pass --quick for the reduced scale.
+use vrd_bench::{fig10, Context, Scale};
+
+fn main() {
+    let ctx = Context::new(Scale::from_args());
+    println!("{}", fig10::run(&ctx).render());
+}

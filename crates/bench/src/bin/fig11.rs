@@ -1,0 +1,7 @@
+//! Prints the paper's fig11 experiment. Pass --quick for the reduced scale.
+use vrd_bench::{fig11, Context, Scale};
+
+fn main() {
+    let ctx = Context::new(Scale::from_args());
+    println!("{}", fig11::run(&ctx).render());
+}

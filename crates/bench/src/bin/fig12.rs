@@ -1,0 +1,7 @@
+//! Prints the paper's fig12 experiment. Pass --quick for the reduced scale.
+use vrd_bench::{fig12, Context, Scale};
+
+fn main() {
+    let ctx = Context::new(Scale::from_args());
+    println!("{}", fig12::run(&ctx).render());
+}

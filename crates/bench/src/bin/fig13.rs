@@ -1,0 +1,16 @@
+//! Prints the paper's Fig. 13 experiment (performance/energy vs FAVOS) and
+//! the §VI-B high-definition fps result. Pass --quick for the reduced
+//! scale (skips the HD run), --hd to include the 864x480 fps measurement.
+use vrd_bench::{fig13, Context, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = Context::new(scale);
+    println!("{}", fig13::run(&ctx).render());
+    if std::env::args().any(|a| a == "--hd") && scale == Scale::Full {
+        let (favos_fps, vrdann_fps, decoder_fps) = fig13::fps_hd(24);
+        println!(
+            "HD 864x480 recognition rate: FAVOS {favos_fps:.1} fps -> VR-DANN-parallel {vrdann_fps:.1} fps (decoder ceiling {decoder_fps:.1} fps)"
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Prints the paper's fig14 experiment. Pass --quick for the reduced scale.
+use vrd_bench::{fig14, Context, Scale};
+
+fn main() {
+    let ctx = Context::new(Scale::from_args());
+    println!("{}", fig14::run(&ctx).render());
+}

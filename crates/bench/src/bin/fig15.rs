@@ -1,0 +1,7 @@
+//! Prints the paper's fig15 experiment. Pass --quick for the reduced scale.
+use vrd_bench::{fig15, Context, Scale};
+
+fn main() {
+    let ctx = Context::new(Scale::from_args());
+    println!("{}", fig15::run(&ctx).render());
+}

@@ -1,0 +1,7 @@
+//! Prints the paper's fig16 experiment. Pass --quick for the reduced scale.
+use vrd_bench::{fig16, Context, Scale};
+
+fn main() {
+    let ctx = Context::new(Scale::from_args());
+    println!("{}", fig16::run(&ctx).render());
+}

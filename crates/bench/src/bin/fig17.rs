@@ -1,0 +1,7 @@
+//! Prints the paper's fig17 experiment. Pass --quick for the reduced scale.
+use vrd_bench::{fig17, Context, Scale};
+
+fn main() {
+    let ctx = Context::new(Scale::from_args());
+    println!("{}", fig17::run(&ctx).render());
+}

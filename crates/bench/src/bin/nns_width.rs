@@ -1,0 +1,13 @@
+//! Prints the NN-S width design-space sweep. Pass --quick for the reduced
+//! scale.
+use vrd_bench::{nns_width, Context, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let ctx = Context::new(scale);
+    let widths: &[usize] = match scale {
+        Scale::Full => &[2, 4, 8, 16],
+        Scale::Quick => &[2, 8],
+    };
+    println!("{}", nns_width::run(&ctx, widths).render());
+}

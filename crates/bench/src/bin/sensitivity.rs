@@ -1,0 +1,8 @@
+//! Prints the platform sensitivity study. Pass --quick for the reduced
+//! scale.
+use vrd_bench::{sensitivity, Context, Scale};
+
+fn main() {
+    let ctx = Context::new(Scale::from_args());
+    println!("{}", sensitivity::run(&ctx).render());
+}

@@ -1,0 +1,6 @@
+//! Prints the paper's Table II configuration summary.
+use vrd_sim::SimConfig;
+
+fn main() {
+    println!("{}", vrd_bench::table02::render(&SimConfig::default()));
+}

@@ -1,0 +1,219 @@
+//! Shared experiment context: suites, trained models and common runners.
+//!
+//! Every figure binary builds a [`Context`] once (training NN-S is the
+//! expensive part) and then runs its sweep. [`Scale::Quick`] shrinks the
+//! canvas, the sequence count and the training set so criterion benches and
+//! CI runs stay fast; [`Scale::Full`] is the paper-scale configuration every
+//! number in `EXPERIMENTS.md` was produced with.
+
+use std::thread;
+use vr_dann::{SegmentationRun, TrainTask, VrDann, VrDannConfig};
+use vrd_codec::{CodecConfig, EncodedVideo};
+use vrd_metrics::{score_sequence, SegScores};
+use vrd_sim::{simulate, ExecMode, ParallelOptions, SimConfig, SimReport};
+use vrd_video::davis::{davis_train_suite, davis_val_suite, SuiteConfig};
+use vrd_video::vid::vid_val_suite;
+use vrd_video::Sequence;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale: 160×96 × 48 frames, all 20 DAVIS-like videos.
+    Full,
+    /// Reduced: 64×48 × 16 frames, 6 videos — for benches and smoke runs.
+    Quick,
+}
+
+impl Scale {
+    /// Parses `--quick` from a binary's arguments.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// The video-suite configuration of this scale.
+    pub fn suite_config(self) -> SuiteConfig {
+        match self {
+            Scale::Full => SuiteConfig::default(),
+            Scale::Quick => SuiteConfig::tiny(),
+        }
+    }
+
+    /// Training sequences for NN-S.
+    pub fn train_sequences(self) -> usize {
+        match self {
+            Scale::Full => 6,
+            Scale::Quick => 2,
+        }
+    }
+
+    /// Validation sequences used by the experiment.
+    pub fn val_sequences(self) -> usize {
+        match self {
+            Scale::Full => 20,
+            Scale::Quick => 6,
+        }
+    }
+
+    /// Detection sequences per speed group.
+    pub fn vid_per_group(self) -> usize {
+        match self {
+            Scale::Full => 5,
+            Scale::Quick => 1,
+        }
+    }
+}
+
+/// Shared state across one experiment run.
+pub struct Context {
+    /// The experiment scale.
+    pub scale: Scale,
+    /// Suite generation settings.
+    pub suite_cfg: SuiteConfig,
+    /// Simulator settings.
+    pub sim: SimConfig,
+    /// The DAVIS-like validation suite.
+    pub davis: Vec<Sequence>,
+    /// A segmentation-trained pipeline at the default codec settings.
+    pub model: VrDann,
+}
+
+impl Context {
+    /// Builds the context: generates suites and trains NN-S (the slow step).
+    pub fn new(scale: Scale) -> Self {
+        let suite_cfg = scale.suite_config();
+        let train = davis_train_suite(&suite_cfg, scale.train_sequences());
+        let model = VrDann::train(&train, TrainTask::Segmentation, VrDannConfig::default())
+            .expect("training the default pipeline succeeds");
+        let mut davis = davis_val_suite(&suite_cfg);
+        davis.truncate(scale.val_sequences());
+        Self {
+            scale,
+            suite_cfg,
+            sim: SimConfig::default(),
+            davis,
+            model,
+        }
+    }
+
+    /// Trains a pipeline with non-default settings (codec sweeps retrain
+    /// NN-S because the motion vectors change with the encoder).
+    pub fn train_variant(&self, cfg: VrDannConfig, task: TrainTask) -> VrDann {
+        let train = davis_train_suite(&self.suite_cfg, self.scale.train_sequences());
+        VrDann::train(&train, task, cfg).expect("training a sweep variant succeeds")
+    }
+
+    /// The VID-like detection suite of this scale.
+    pub fn vid_suite(&self) -> Vec<Sequence> {
+        vid_val_suite(&self.suite_cfg, self.scale.vid_per_group())
+    }
+
+    /// A detection-trained pipeline.
+    pub fn detection_model(&self) -> VrDann {
+        // Train on detection-style rectangle masks from a disjoint VID-like
+        // set (different master seed).
+        let train_cfg = SuiteConfig {
+            seed: self.suite_cfg.seed ^ 0xdead,
+            ..self.suite_cfg
+        };
+        let train = vid_val_suite(&train_cfg, self.scale.vid_per_group());
+        VrDann::train(&train, TrainTask::Detection, VrDannConfig::default())
+            .expect("training the detection pipeline succeeds")
+    }
+
+    /// Runs VR-DANN segmentation on one sequence (encoding included).
+    pub fn run_vrdann(&self, seq: &Sequence) -> (EncodedVideo, SegmentationRun) {
+        let mut model = self.model.clone();
+        let encoded = model.encode(seq).expect("suite sequences encode");
+        let run = model
+            .run_segmentation(seq, &encoded)
+            .expect("suite sequences segment");
+        (encoded, run)
+    }
+
+    /// Simulates a trace on the default parallel architecture.
+    pub fn sim_parallel(&self, trace: &vr_dann::SchemeTrace) -> SimReport {
+        simulate(
+            trace,
+            ExecMode::VrDannParallel(ParallelOptions::default()),
+            &self.sim,
+        )
+    }
+
+    /// Simulates a trace in order (baselines).
+    pub fn sim_in_order(&self, trace: &vr_dann::SchemeTrace) -> SimReport {
+        simulate(trace, ExecMode::InOrder, &self.sim)
+    }
+
+    /// Scores a mask sequence against ground truth.
+    pub fn score(&self, seq: &Sequence, masks: &[vrd_video::SegMask]) -> SegScores {
+        score_sequence(masks, &seq.gt_masks)
+    }
+}
+
+/// Runs `f` over the items on all available cores, preserving order.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let chunk = items.len().div_ceil(threads.max(1));
+    let f = &f;
+    thread::scope(|s| {
+        for (slot_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            s.spawn(move || {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot is filled by its worker"))
+        .collect()
+}
+
+/// The default codec configuration (shared by experiments for readability).
+pub fn default_codec() -> CodecConfig {
+    CodecConfig::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_context_builds_and_runs() {
+        let ctx = Context::new(Scale::Quick);
+        assert_eq!(ctx.davis.len(), 6);
+        let (encoded, run) = ctx.run_vrdann(&ctx.davis[0]);
+        assert_eq!(run.masks.len(), ctx.davis[0].len());
+        assert!(encoded.stats.b_frames > 0);
+        let report = ctx.sim_parallel(&run.trace);
+        assert!(report.fps > 0.0);
+        let scores = ctx.score(&ctx.davis[0], &run.masks);
+        assert!(scores.iou > 0.3);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u32> = (0..37).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..37).map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+    }
+}

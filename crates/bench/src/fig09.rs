@@ -1,0 +1,97 @@
+//! Fig. 9: per-video segmentation accuracy, FAVOS vs VR-DANN.
+
+use crate::context::{parallel_map, Context};
+use crate::table::{fmt_score, Table};
+use vr_dann::baselines::run_favos;
+use vrd_metrics::SegScores;
+
+/// One video's scores.
+#[derive(Debug, Clone)]
+pub struct Fig09Row {
+    /// Sequence name.
+    pub name: String,
+    /// FAVOS accuracy.
+    pub favos: SegScores,
+    /// VR-DANN accuracy.
+    pub vrdann: SegScores,
+}
+
+/// The complete figure data.
+#[derive(Debug, Clone)]
+pub struct Fig09 {
+    /// Per-video rows, suite order.
+    pub rows: Vec<Fig09Row>,
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) -> Fig09 {
+    let rows = parallel_map(&ctx.davis, |seq| {
+        let (encoded, vr) = ctx.run_vrdann(seq);
+        let favos = run_favos(seq, &encoded, 1);
+        Fig09Row {
+            name: seq.name.clone(),
+            favos: ctx.score(seq, &favos.masks),
+            vrdann: ctx.score(seq, &vr.masks),
+        }
+    });
+    Fig09 { rows }
+}
+
+impl Fig09 {
+    /// Videos where VR-DANN trails FAVOS by more than `gap` IoU (the
+    /// paper's problem cases: dramatic deformation / very fast motion).
+    pub fn problem_videos(&self, gap: f64) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|r| r.favos.iou - r.vrdann.iou > gap)
+            .map(|r| r.name.as_str())
+            .collect()
+    }
+
+    /// Renders the paper-style rows.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "video",
+            "FAVOS F",
+            "FAVOS IoU",
+            "VR-DANN F",
+            "VR-DANN IoU",
+            "dIoU",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.name.clone(),
+                fmt_score(r.favos.f_score),
+                fmt_score(r.favos.iou),
+                fmt_score(r.vrdann.f_score),
+                fmt_score(r.vrdann.iou),
+                format!("{:+.3}", r.vrdann.iou - r.favos.iou),
+            ]);
+        }
+        format!(
+            "Fig. 9: per-video segmentation accuracy (FAVOS vs VR-DANN)\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn fig09_quick_matches_on_most_videos() {
+        let ctx = Context::new(Scale::Quick);
+        let fig = run(&ctx);
+        assert_eq!(fig.rows.len(), ctx.davis.len());
+        // VR-DANN matches FAVOS on the bulk of the suite (the paper's
+        // claim), with at most a few problem videos.
+        let problems = fig.problem_videos(0.05);
+        assert!(
+            problems.len() <= fig.rows.len() / 2,
+            "too many problem videos: {problems:?}"
+        );
+        assert!(fig.render().contains("Fig. 9"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Fig. 13: suite-averaged performance and energy of every scheme,
+//! normalised to FAVOS, plus the §VI-B real-time rate (13 fps → ~40 fps).
+
+use crate::context::{parallel_map, Context};
+use crate::table::{fmt_x, Table};
+use vr_dann::baselines::{run_dff, run_favos, run_osvos, DFF_KEY_INTERVAL};
+use vr_dann::{TrainTask, VrDann, VrDannConfig};
+use vrd_sim::{simulate, ExecMode, ParallelOptions, SimConfig};
+use vrd_video::davis::{davis_train_suite, SuiteConfig};
+
+/// Relative performance/energy of one scheme (FAVOS = 1.0).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Relative {
+    /// FAVOS time / scheme time (higher = faster).
+    pub performance: f64,
+    /// FAVOS energy / scheme energy (higher = more efficient).
+    pub energy: f64,
+}
+
+/// The complete figure data.
+#[derive(Debug, Clone, Default)]
+pub struct Fig13 {
+    /// OSVOS relative to FAVOS.
+    pub osvos: Relative,
+    /// DFF relative to FAVOS.
+    pub dff: Relative,
+    /// VR-DANN-serial relative to FAVOS.
+    pub serial: Relative,
+    /// VR-DANN-parallel relative to FAVOS.
+    pub parallel: Relative,
+}
+
+/// Runs the suite experiment.
+pub fn run(ctx: &Context) -> Fig13 {
+    let per_video = parallel_map(&ctx.davis, |seq| {
+        let (encoded, vr) = ctx.run_vrdann(seq);
+        let favos = ctx.sim_in_order(&run_favos(seq, &encoded, 1).trace);
+        let osvos = ctx.sim_in_order(&run_osvos(seq, &encoded, 1).trace);
+        let dff = ctx.sim_in_order(&run_dff(seq, &encoded, DFF_KEY_INTERVAL, 1).trace);
+        let serial = simulate(&vr.trace, ExecMode::VrDannSerial, &ctx.sim);
+        let par = simulate(
+            &vr.trace,
+            ExecMode::VrDannParallel(ParallelOptions::default()),
+            &ctx.sim,
+        );
+        let rel = |r: &vrd_sim::SimReport| Relative {
+            performance: favos.total_ns / r.total_ns,
+            energy: favos.energy.total_mj() / r.energy.total_mj(),
+        };
+        (rel(&osvos), rel(&dff), rel(&serial), rel(&par))
+    });
+    let n = per_video.len().max(1) as f64;
+    let mean = |f: fn(&(Relative, Relative, Relative, Relative)) -> Relative| {
+        let (p, e) = per_video
+            .iter()
+            .map(f)
+            .fold((0.0, 0.0), |acc, r| (acc.0 + r.performance, acc.1 + r.energy));
+        Relative {
+            performance: p / n,
+            energy: e / n,
+        }
+    };
+    Fig13 {
+        osvos: mean(|t| t.0),
+        dff: mean(|t| t.1),
+        serial: mean(|t| t.2),
+        parallel: mean(|t| t.3),
+    }
+}
+
+/// Recognition rate at high definition: FAVOS vs VR-DANN-parallel on an
+/// 864×480 sequence (the paper's "13 fps → 40 fps" result). The pipeline is
+/// fully convolutional, so the 160×96-trained NN-S runs at HD directly.
+pub fn fps_hd(frames: usize) -> (f64, f64, f64) {
+    let cfg = SuiteConfig {
+        width: 864,
+        height: 480,
+        frames,
+        seed: 0x40f0,
+    };
+    let train = davis_train_suite(&SuiteConfig::default(), 4);
+    let mut model = VrDann::train(&train, TrainTask::Segmentation, VrDannConfig::default())
+        .expect("training succeeds");
+    let seq = vrd_video::davis::davis_sequence("cows", &cfg).expect("HD sequence generates");
+    let encoded = model.encode(&seq).expect("HD sequence encodes");
+    let vr = model
+        .run_segmentation(&seq, &encoded)
+        .expect("HD sequence segments");
+    let favos = run_favos(&seq, &encoded, 1);
+    let sim = SimConfig::default();
+    let r_favos = simulate(&favos.trace, ExecMode::InOrder, &sim);
+    let r_par = simulate(
+        &vr.trace,
+        ExecMode::VrDannParallel(ParallelOptions::default()),
+        &sim,
+    );
+    // Decoder-limited ceiling at this resolution.
+    let decoder_fps = sim.decoder.freq_hz
+        / (cfg.width as f64 * cfg.height as f64 * sim.decoder.cycles_per_pixel_full);
+    (r_favos.fps, r_par.fps, decoder_fps)
+}
+
+impl Fig13 {
+    /// Renders the paper-style rows.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["scheme", "performance", "energy reduction"]);
+        t.row(vec!["FAVOS (baseline)", "1.00x", "1.00x"]);
+        for (name, r) in [
+            ("OSVOS", self.osvos),
+            ("DFF", self.dff),
+            ("VR-DANN-serial", self.serial),
+            ("VR-DANN-parallel", self.parallel),
+        ] {
+            t.row(vec![
+                name.to_string(),
+                fmt_x(r.performance),
+                fmt_x(r.energy),
+            ]);
+        }
+        format!(
+            "Fig. 13: averaged performance and energy (normalised to FAVOS).\n         VR-DANN-parallel vs OSVOS {}, vs FAVOS {}, vs DFF {}\n{}",
+            fmt_x(self.parallel.performance / self.osvos.performance),
+            fmt_x(self.parallel.performance),
+            fmt_x(self.parallel.performance / self.dff.performance),
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn fig13_quick_preserves_paper_ordering() {
+        let ctx = Context::new(Scale::Quick);
+        let fig = run(&ctx);
+        // Paper: parallel > serial > DFF > FAVOS > OSVOS in performance.
+        assert!(fig.parallel.performance > fig.serial.performance);
+        assert!(fig.serial.performance > 1.0);
+        assert!(fig.osvos.performance < 1.0, "OSVOS is slower than FAVOS");
+        assert!(fig.parallel.performance > fig.dff.performance);
+        // Energy: parallel most efficient.
+        assert!(fig.parallel.energy > fig.dff.energy);
+        assert!(fig.parallel.energy > 1.0);
+        assert!(fig.render().contains("VR-DANN-parallel"));
+    }
+}

@@ -1,0 +1,47 @@
+//! # vrd-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the VR-DANN paper's evaluation
+//! (MICRO 2020, §VI) from this repository's substrates. One module per
+//! figure; each exposes `run(&Context)` returning structured rows plus a
+//! `render()` that prints the same rows/series the paper reports.
+//!
+//! | module | paper artefact |
+//! |---|---|
+//! | [`fig03`] | Fig. 3: B-frame ratio, refs per B-frame |
+//! | [`fig07`] | Fig. 7: execution timelines (Gantt) |
+//! | [`fig09`] | Fig. 9: per-video accuracy, FAVOS vs VR-DANN |
+//! | [`fig10`] | Fig. 10: averaged segmentation accuracy |
+//! | [`fig11`] | Fig. 11: detection mAP by speed group |
+//! | [`fig12`] | Fig. 12: per-video cycles + TOPS |
+//! | [`fig13`] | Fig. 13: averaged performance & energy (+ HD fps) |
+//! | [`fig14`] | Fig. 14: DRAM traffic breakdown |
+//! | [`fig15`] | Fig. 15: B-ratio sweep |
+//! | [`fig16`] | Fig. 16: search-interval sweep |
+//! | [`fig17`] | Fig. 17: H.264 vs H.265 |
+//! | [`table02`] | Table II: architecture configuration |
+//! | [`ablation`] | extra: design-choice ablations |
+//! | [`sensitivity`] | extra: platform sensitivity (NPU/DRAM/decoder) |
+//! | [`nns_width`] | extra: NN-S width design-space sweep |
+//!
+//! Binaries (`cargo run --release --bin fig10`, …) print the tables;
+//! `--quick` switches to the reduced scale.
+
+pub mod ablation;
+pub mod context;
+pub mod fig03;
+pub mod fig07;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod nns_width;
+pub mod sensitivity;
+pub mod table02;
+pub mod table;
+
+pub use context::{parallel_map, Context, Scale};

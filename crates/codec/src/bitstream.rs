@@ -1,0 +1,274 @@
+//! Bitstream serialisation primitives.
+//!
+//! A byte-aligned container format with LEB128 varints and a zero-run-length
+//! code for quantised residuals. It is deliberately simpler than CABAC but
+//! it is a *real* bitstream: the decoder parses exactly these bytes, the
+//! compression-ratio statistics come from its length, and the recognition
+//! path's "decode I/P only" saving is measured on it.
+
+use crate::error::{CodecError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic bytes identifying a VR-DANN codec bitstream.
+pub const MAGIC: [u8; 4] = *b"VRDC";
+/// Format version written into every stream.
+pub const VERSION: u8 = 1;
+
+/// Append-only bitstream writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Writes an unsigned LEB128 varint.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.put_u8(byte);
+                break;
+            }
+            self.buf.put_u8(byte | 0x80);
+        }
+    }
+
+    /// Writes a signed varint (zigzag encoding).
+    pub fn put_svarint(&mut self, v: i64) {
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Writes a zero-run-length coded residual block.
+    ///
+    /// Encoding: varint pair count, then for each non-zero coefficient a
+    /// (varint zero-run, signed varint value) pair.
+    pub fn put_residual(&mut self, vals: &[i16]) {
+        let pairs: Vec<(u64, i16)> = {
+            let mut out = Vec::new();
+            let mut run = 0u64;
+            for &v in vals {
+                if v == 0 {
+                    run += 1;
+                } else {
+                    out.push((run, v));
+                    run = 0;
+                }
+            }
+            out
+        };
+        self.put_varint(pairs.len() as u64);
+        for (run, v) in pairs {
+            self.put_varint(run);
+            self.put_svarint(v as i64);
+        }
+    }
+
+    /// Finalises the stream.
+    pub fn into_bytes(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Sequential bitstream reader.
+#[derive(Debug)]
+pub struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    /// Wraps a byte buffer for reading.
+    pub fn new(buf: Bytes) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// Returns [`CodecError::Bitstream`] at end of stream.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        if !self.buf.has_remaining() {
+            return Err(CodecError::Bitstream("unexpected end of stream".into()));
+        }
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    ///
+    /// # Errors
+    /// Returns [`CodecError::Bitstream`] on truncation or a varint longer
+    /// than 10 bytes.
+    pub fn get_varint(&mut self) -> Result<u64> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.get_u8()?;
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(CodecError::Bitstream("varint too long".into()))
+    }
+
+    /// Reads a signed (zigzag) varint.
+    ///
+    /// # Errors
+    /// Propagates [`CodecError::Bitstream`] from the underlying varint.
+    pub fn get_svarint(&mut self) -> Result<i64> {
+        let v = self.get_varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    /// Reads a residual block of exactly `len` coefficients.
+    ///
+    /// # Errors
+    /// Returns [`CodecError::Bitstream`] if the coded runs overflow `len`.
+    pub fn get_residual(&mut self, len: usize) -> Result<Vec<i16>> {
+        let mut out = vec![0i16; len];
+        let pairs = self.get_varint()? as usize;
+        let mut idx = 0usize;
+        for _ in 0..pairs {
+            let run = self.get_varint()? as usize;
+            let val = self.get_svarint()?;
+            idx = idx
+                .checked_add(run)
+                .filter(|&i| i < len)
+                .ok_or_else(|| CodecError::Bitstream("residual run overflow".into()))?;
+            out[idx] = val as i16;
+            idx += 1;
+        }
+        Ok(out)
+    }
+
+    /// Skips a residual block without materialising it (recognition mode
+    /// skips B-frame residuals).
+    ///
+    /// # Errors
+    /// Returns [`CodecError::Bitstream`] on truncation.
+    pub fn skip_residual(&mut self) -> Result<()> {
+        let pairs = self.get_varint()? as usize;
+        for _ in 0..pairs {
+            self.get_varint()?;
+            self.get_svarint()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut w = Writer::new();
+        let values = [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX];
+        for &v in &values {
+            w.put_varint(v);
+        }
+        let mut r = Reader::new(w.into_bytes());
+        for &v in &values {
+            assert_eq!(r.get_varint().unwrap(), v);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn svarint_roundtrip() {
+        let mut w = Writer::new();
+        let values = [0i64, -1, 1, -64, 64, i64::MIN, i64::MAX];
+        for &v in &values {
+            w.put_svarint(v);
+        }
+        let mut r = Reader::new(w.into_bytes());
+        for &v in &values {
+            assert_eq!(r.get_svarint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn residual_roundtrip_sparse_and_dense() {
+        let sparse: Vec<i16> = {
+            let mut v = vec![0i16; 64];
+            v[3] = -5;
+            v[40] = 17;
+            v[63] = 1;
+            v
+        };
+        let dense: Vec<i16> = (0..64).map(|i| (i as i16) - 32).collect();
+        for vals in [sparse, dense, vec![0i16; 64]] {
+            let mut w = Writer::new();
+            w.put_residual(&vals);
+            let mut r = Reader::new(w.into_bytes());
+            assert_eq!(r.get_residual(64).unwrap(), vals);
+        }
+    }
+
+    #[test]
+    fn sparse_residual_is_compact() {
+        let mut w = Writer::new();
+        w.put_residual(&vec![0i16; 256]);
+        assert_eq!(w.len(), 1, "all-zero residual should be a single byte");
+    }
+
+    #[test]
+    fn skip_residual_advances_past_block() {
+        let mut w = Writer::new();
+        let vals = {
+            let mut v = vec![0i16; 64];
+            v[10] = 3;
+            v
+        };
+        w.put_residual(&vals);
+        w.put_u8(0xAB);
+        let mut r = Reader::new(w.into_bytes());
+        r.skip_residual().unwrap();
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let mut w = Writer::new();
+        w.put_varint(1000);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(bytes.slice(0..1));
+        assert!(r.get_varint().is_err());
+        let mut empty = Reader::new(Bytes::new());
+        assert!(empty.get_u8().is_err());
+    }
+
+    #[test]
+    fn residual_run_overflow_is_an_error() {
+        let mut w = Writer::new();
+        w.put_varint(1); // one pair
+        w.put_varint(100); // run of 100 into a 64-length block
+        w.put_svarint(5);
+        let mut r = Reader::new(w.into_bytes());
+        assert!(r.get_residual(64).is_err());
+    }
+}

@@ -1,0 +1,628 @@
+//! The decoder, with the two operating modes VR-DANN distinguishes.
+//!
+//! * [`Decoder::decode`] — conventional full decode: every frame (I, P and
+//!   B) is reconstructed to pixels. This is what OSVOS/FAVOS/DFF consume.
+//! * [`Decoder::decode_for_recognition`] — the VR-DANN mode (§I, Fig. 1):
+//!   I/P frames are reconstructed to pixels, but for B-frames only the
+//!   motion-vector records and block metadata are extracted; their residuals
+//!   are *skipped*, never dequantised, and no B pixels are produced. The
+//!   per-mode byte counts are reported so the simulator can account for the
+//!   decoder-side savings.
+
+use crate::bitstream::{Reader, MAGIC, VERSION};
+use crate::block::{average_blocks, extract_block, write_block};
+use crate::config::Standard;
+use crate::error::{CodecError, Result};
+use crate::intra;
+use crate::types::{FrameMeta, FrameType, MvRecord, RefMv};
+use bytes::Bytes;
+use std::collections::BTreeSet;
+use vrd_video::Frame;
+
+/// A fully decoded sequence.
+#[derive(Debug, Clone)]
+pub struct DecodedVideo {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Macro-block size the stream was coded with.
+    pub mb_size: usize,
+    /// Reconstructed frames in display order.
+    pub frames: Vec<Frame>,
+    /// Per-frame metadata in decode order.
+    pub metas: Vec<FrameMeta>,
+}
+
+/// Motion-vector payload of one B-frame (what the agent unit loads into
+/// `mv_T`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BFrameInfo {
+    /// Display index of the B-frame.
+    pub display_idx: u32,
+    /// Motion-vector records for inter/bi blocks.
+    pub mvs: Vec<MvRecord>,
+    /// Top-left coordinates of intra-coded blocks (no motion information;
+    /// the reconstruction layer decides how to fill them).
+    pub intra_blocks: Vec<(u32, u32)>,
+}
+
+/// Output of the recognition-mode decode.
+#[derive(Debug, Clone)]
+pub struct RecognitionStream {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Macro-block size the stream was coded with.
+    pub mb_size: usize,
+    /// Per-frame metadata in decode order.
+    pub metas: Vec<FrameMeta>,
+    /// Reconstructed anchor frames `(display_idx, pixels)` in decode order.
+    pub anchors: Vec<(u32, Frame)>,
+    /// Motion-vector payloads of B-frames in decode order.
+    pub b_frames: Vec<BFrameInfo>,
+    /// Bitstream bytes parsed for anchor frames.
+    pub anchor_bytes: usize,
+    /// Bitstream bytes parsed (and mostly skipped) for B-frames.
+    pub b_bytes: usize,
+}
+
+/// Per-frame summary produced by [`Decoder::inspect`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameSummary {
+    /// Frame type.
+    pub ftype: FrameType,
+    /// Display index.
+    pub display_idx: u32,
+    /// Decode index.
+    pub decode_idx: u32,
+    /// Bitstream bytes of this frame.
+    pub bytes: usize,
+    /// Intra-coded macro-blocks.
+    pub intra_blocks: usize,
+    /// Single-reference macro-blocks.
+    pub inter_blocks: usize,
+    /// Bi-predicted macro-blocks.
+    pub bi_blocks: usize,
+    /// Sum of motion-vector magnitudes (see [`FrameSummary::mean_mv`]).
+    pub mv_magnitude_sum: f64,
+    /// Distinct reference frames used.
+    pub refs: BTreeSet<u32>,
+}
+
+impl FrameSummary {
+    /// Mean motion-vector magnitude in pixels (0 for all-intra frames).
+    pub fn mean_mv(&self) -> f64 {
+        let n = self.inter_blocks + 2 * self.bi_blocks;
+        if n == 0 {
+            0.0
+        } else {
+            self.mv_magnitude_sum / n as f64
+        }
+    }
+}
+
+/// Stream header shared by both decode modes.
+#[derive(Debug, Clone, Copy)]
+struct Header {
+    width: usize,
+    height: usize,
+    n_frames: usize,
+    standard: Standard,
+    quant: i32,
+}
+
+/// Video decoder. Stateless; create once and reuse.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Decoder;
+
+impl Decoder {
+    /// Creates a decoder.
+    pub fn new() -> Self {
+        Self
+    }
+
+    fn read_header(r: &mut Reader) -> Result<Header> {
+        for expected in MAGIC {
+            if r.get_u8()? != expected {
+                return Err(CodecError::Bitstream("bad magic".into()));
+            }
+        }
+        let version = r.get_u8()?;
+        if version != VERSION {
+            return Err(CodecError::Bitstream(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let width = r.get_varint()? as usize;
+        let height = r.get_varint()? as usize;
+        let n_frames = r.get_varint()? as usize;
+        let standard = match r.get_u8()? {
+            0 => Standard::H264,
+            1 => Standard::H265,
+            s => {
+                return Err(CodecError::Bitstream(format!("unknown standard {s}")));
+            }
+        };
+        let quant = r.get_u8()? as i32;
+        if width == 0
+            || height == 0
+            || !width.is_multiple_of(standard.mb_size())
+            || !height.is_multiple_of(standard.mb_size())
+        {
+            return Err(CodecError::Bitstream("inconsistent dimensions".into()));
+        }
+        if quant == 0 {
+            return Err(CodecError::Bitstream("zero quantiser".into()));
+        }
+        Ok(Header {
+            width,
+            height,
+            n_frames,
+            standard,
+            quant,
+        })
+    }
+
+    fn read_frame_header(r: &mut Reader, n_frames: usize) -> Result<(FrameType, u32)> {
+        let ftype = match r.get_u8()? {
+            0 => FrameType::I,
+            1 => FrameType::P,
+            2 => FrameType::B,
+            t => return Err(CodecError::Bitstream(format!("unknown frame type {t}"))),
+        };
+        let display = r.get_varint()? as usize;
+        if display >= n_frames {
+            return Err(CodecError::Bitstream(format!(
+                "display index {display} out of range"
+            )));
+        }
+        Ok((ftype, display as u32))
+    }
+
+    /// Fully decodes the bitstream (every frame to pixels).
+    ///
+    /// # Errors
+    /// Returns [`CodecError::Bitstream`] for malformed input.
+    pub fn decode(&self, bitstream: &Bytes) -> Result<DecodedVideo> {
+        let mut r = Reader::new(bitstream.clone());
+        let hdr = Self::read_header(&mut r)?;
+        let mb = hdr.standard.mb_size();
+        let mut frames: Vec<Option<Frame>> = vec![None; hdr.n_frames];
+        let mut metas = Vec::with_capacity(hdr.n_frames);
+
+        for decode_idx in 0..hdr.n_frames {
+            let (ftype, display) = Self::read_frame_header(&mut r, hdr.n_frames)?;
+            let mut rec = Frame::new(hdr.width, hdr.height);
+            let mut refs_used = BTreeSet::new();
+            for by in (0..hdr.height).step_by(mb) {
+                for bx in (0..hdr.width).step_by(mb) {
+                    let pred = Self::read_prediction(
+                        &mut r, &frames, &rec, bx, by, mb, hdr.n_frames, &mut refs_used,
+                    )?;
+                    let resid = r.get_residual(mb * mb)?;
+                    let mut block = Vec::with_capacity(mb * mb);
+                    for (p, q) in pred.iter().zip(&resid) {
+                        block.push((*p as i32 + *q as i32 * hdr.quant).clamp(0, 255) as u8);
+                    }
+                    write_block(&mut rec, bx, by, mb, &block);
+                }
+            }
+            metas.push(FrameMeta {
+                ftype,
+                display_idx: display,
+                decode_idx: decode_idx as u32,
+                refs: refs_used.into_iter().collect(),
+            });
+            frames[display as usize] = Some(rec);
+        }
+
+        let frames: Vec<Frame> = frames
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| {
+                f.ok_or_else(|| CodecError::Bitstream(format!("frame {i} missing from stream")))
+            })
+            .collect::<Result<_>>()?;
+        Ok(DecodedVideo {
+            width: hdr.width,
+            height: hdr.height,
+            mb_size: mb,
+            frames,
+            metas,
+        })
+    }
+
+    /// Reads one block's prediction (intra / inter / bi) during full decode.
+    #[allow(clippy::too_many_arguments)]
+    fn read_prediction(
+        r: &mut Reader,
+        frames: &[Option<Frame>],
+        rec: &Frame,
+        bx: usize,
+        by: usize,
+        mb: usize,
+        n_frames: usize,
+        refs_used: &mut BTreeSet<u32>,
+    ) -> Result<Vec<u8>> {
+        let fetch = |r: &mut Reader, refs_used: &mut BTreeSet<u32>| -> Result<(u32, i32, i32)> {
+            let rf = r.get_varint()? as usize;
+            let dx = r.get_svarint()? as i32;
+            let dy = r.get_svarint()? as i32;
+            if rf >= n_frames {
+                return Err(CodecError::Bitstream(format!("reference {rf} out of range")));
+            }
+            refs_used.insert(rf as u32);
+            Ok((rf as u32, dx, dy))
+        };
+        let grab = |frames: &[Option<Frame>], rf: u32, sx: i32, sy: i32| -> Result<Vec<u8>> {
+            let f = frames[rf as usize]
+                .as_ref()
+                .ok_or_else(|| CodecError::Bitstream(format!("reference {rf} not yet decoded")))?;
+            if sx < 0
+                || sy < 0
+                || sx as usize + mb > f.width()
+                || sy as usize + mb > f.height()
+            {
+                return Err(CodecError::Bitstream("motion vector out of frame".into()));
+            }
+            Ok(extract_block(f, sx as usize, sy as usize, mb))
+        };
+        match r.get_u8()? {
+            0 => {
+                let mode = r.get_u8()?;
+                Ok(intra::predict(rec, bx, by, mb, mode))
+            }
+            1 => {
+                let (rf, dx, dy) = fetch(r, refs_used)?;
+                grab(frames, rf, bx as i32 + dx, by as i32 + dy)
+            }
+            2 => {
+                let (rf0, dx0, dy0) = fetch(r, refs_used)?;
+                let (rf1, dx1, dy1) = fetch(r, refs_used)?;
+                let a = grab(frames, rf0, bx as i32 + dx0, by as i32 + dy0)?;
+                let b = grab(frames, rf1, bx as i32 + dx1, by as i32 + dy1)?;
+                Ok(average_blocks(&a, &b))
+            }
+            m => Err(CodecError::Bitstream(format!("unknown block mode {m}"))),
+        }
+    }
+
+    /// Parses the stream without reconstructing any pixels, summarising
+    /// each frame (the `vrdstat` inspector's engine).
+    ///
+    /// # Errors
+    /// Returns [`CodecError::Bitstream`] for malformed input.
+    pub fn inspect(&self, bitstream: &Bytes) -> Result<Vec<FrameSummary>> {
+        let mut r = Reader::new(bitstream.clone());
+        let total = bitstream.len();
+        let hdr = Self::read_header(&mut r)?;
+        let mb = hdr.standard.mb_size();
+        let mut out = Vec::with_capacity(hdr.n_frames);
+        for decode_idx in 0..hdr.n_frames {
+            let before = r.remaining();
+            let (ftype, display) = Self::read_frame_header(&mut r, hdr.n_frames)?;
+            let mut summary = FrameSummary {
+                ftype,
+                display_idx: display,
+                decode_idx: decode_idx as u32,
+                bytes: 0,
+                intra_blocks: 0,
+                inter_blocks: 0,
+                bi_blocks: 0,
+                mv_magnitude_sum: 0.0,
+                refs: BTreeSet::new(),
+            };
+            for by in (0..hdr.height).step_by(mb) {
+                for bx in (0..hdr.width).step_by(mb) {
+                    let read_mv = |r: &mut Reader,
+                                       summary: &mut FrameSummary|
+                     -> Result<()> {
+                        let rf = r.get_varint()? as u32;
+                        let dx = r.get_svarint()? as f64;
+                        let dy = r.get_svarint()? as f64;
+                        summary.refs.insert(rf);
+                        summary.mv_magnitude_sum += (dx * dx + dy * dy).sqrt();
+                        Ok(())
+                    };
+                    let _ = (bx, by);
+                    match r.get_u8()? {
+                        0 => {
+                            r.get_u8()?;
+                            summary.intra_blocks += 1;
+                        }
+                        1 => {
+                            read_mv(&mut r, &mut summary)?;
+                            summary.inter_blocks += 1;
+                        }
+                        2 => {
+                            read_mv(&mut r, &mut summary)?;
+                            read_mv(&mut r, &mut summary)?;
+                            summary.bi_blocks += 1;
+                        }
+                        m => {
+                            return Err(CodecError::Bitstream(format!(
+                                "unknown block mode {m}"
+                            )));
+                        }
+                    }
+                    r.skip_residual()?;
+                }
+            }
+            summary.bytes = before - r.remaining();
+            out.push(summary);
+        }
+        let _ = total;
+        Ok(out)
+    }
+
+    /// Decodes in recognition mode: anchors to pixels, B-frames to motion
+    /// vectors only (their residuals are skipped, not decoded).
+    ///
+    /// # Errors
+    /// Returns [`CodecError::Bitstream`] for malformed input.
+    pub fn decode_for_recognition(&self, bitstream: &Bytes) -> Result<RecognitionStream> {
+        let mut r = Reader::new(bitstream.clone());
+        let total = bitstream.len();
+        let hdr = Self::read_header(&mut r)?;
+        let mb = hdr.standard.mb_size();
+        let mut anchor_recon: Vec<Option<Frame>> = vec![None; hdr.n_frames];
+        let mut out = RecognitionStream {
+            width: hdr.width,
+            height: hdr.height,
+            mb_size: mb,
+            metas: Vec::with_capacity(hdr.n_frames),
+            anchors: Vec::new(),
+            b_frames: Vec::new(),
+            anchor_bytes: total - r.remaining(),
+            b_bytes: 0,
+        };
+
+        for decode_idx in 0..hdr.n_frames {
+            let before = r.remaining();
+            let (ftype, display) = Self::read_frame_header(&mut r, hdr.n_frames)?;
+            let mut refs_used = BTreeSet::new();
+            if ftype.is_anchor() {
+                let mut rec = Frame::new(hdr.width, hdr.height);
+                for by in (0..hdr.height).step_by(mb) {
+                    for bx in (0..hdr.width).step_by(mb) {
+                        let pred = Self::read_prediction(
+                            &mut r,
+                            &anchor_recon,
+                            &rec,
+                            bx,
+                            by,
+                            mb,
+                            hdr.n_frames,
+                            &mut refs_used,
+                        )?;
+                        let resid = r.get_residual(mb * mb)?;
+                        let mut block = Vec::with_capacity(mb * mb);
+                        for (p, q) in pred.iter().zip(&resid) {
+                            block.push((*p as i32 + *q as i32 * hdr.quant).clamp(0, 255) as u8);
+                        }
+                        write_block(&mut rec, bx, by, mb, &block);
+                    }
+                }
+                anchor_recon[display as usize] = Some(rec.clone());
+                out.anchors.push((display, rec));
+                out.anchor_bytes += before - r.remaining();
+            } else {
+                // B-frame: parse block records, keep MVs, skip residuals.
+                let mut info = BFrameInfo {
+                    display_idx: display,
+                    mvs: Vec::new(),
+                    intra_blocks: Vec::new(),
+                };
+                for by in (0..hdr.height).step_by(mb) {
+                    for bx in (0..hdr.width).step_by(mb) {
+                        match r.get_u8()? {
+                            0 => {
+                                r.get_u8()?; // intra mode id, unused here
+                                info.intra_blocks.push((bx as u32, by as u32));
+                            }
+                            1 => {
+                                let rf = r.get_varint()? as u32;
+                                let dx = r.get_svarint()? as i32;
+                                let dy = r.get_svarint()? as i32;
+                                refs_used.insert(rf);
+                                info.mvs.push(MvRecord {
+                                    dst_x: bx as u32,
+                                    dst_y: by as u32,
+                                    ref0: RefMv {
+                                        frame: rf,
+                                        src_x: bx as i32 + dx,
+                                        src_y: by as i32 + dy,
+                                    },
+                                    ref1: None,
+                                });
+                            }
+                            2 => {
+                                let rf0 = r.get_varint()? as u32;
+                                let dx0 = r.get_svarint()? as i32;
+                                let dy0 = r.get_svarint()? as i32;
+                                let rf1 = r.get_varint()? as u32;
+                                let dx1 = r.get_svarint()? as i32;
+                                let dy1 = r.get_svarint()? as i32;
+                                refs_used.insert(rf0);
+                                refs_used.insert(rf1);
+                                info.mvs.push(MvRecord {
+                                    dst_x: bx as u32,
+                                    dst_y: by as u32,
+                                    ref0: RefMv {
+                                        frame: rf0,
+                                        src_x: bx as i32 + dx0,
+                                        src_y: by as i32 + dy0,
+                                    },
+                                    ref1: Some(RefMv {
+                                        frame: rf1,
+                                        src_x: bx as i32 + dx1,
+                                        src_y: by as i32 + dy1,
+                                    }),
+                                });
+                            }
+                            m => {
+                                return Err(CodecError::Bitstream(format!(
+                                    "unknown block mode {m}"
+                                )));
+                            }
+                        }
+                        r.skip_residual()?;
+                    }
+                }
+                out.b_frames.push(info);
+                out.b_bytes += before - r.remaining();
+            }
+            out.metas.push(FrameMeta {
+                ftype,
+                display_idx: display,
+                decode_idx: decode_idx as u32,
+                refs: refs_used.into_iter().collect(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BFrameMode, CodecConfig};
+    use crate::encoder::Encoder;
+    use vrd_video::davis::{davis_sequence, SuiteConfig};
+
+    fn encode_tiny(cfg: CodecConfig) -> (Vec<Frame>, crate::encoder::EncodedVideo) {
+        let frames = davis_sequence("cows", &SuiteConfig::tiny()).unwrap().frames;
+        let ev = Encoder::new(cfg).encode(&frames).unwrap();
+        (frames, ev)
+    }
+
+    fn psnr(a: &Frame, b: &Frame) -> f64 {
+        let mse: f64 = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| {
+                let d = x as f64 - y as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / a.as_slice().len() as f64;
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        }
+    }
+
+    #[test]
+    fn full_decode_reconstructs_with_good_fidelity() {
+        let (frames, ev) = encode_tiny(CodecConfig::default());
+        let dec = Decoder::new().decode(&ev.bitstream).unwrap();
+        assert_eq!(dec.frames.len(), frames.len());
+        for (orig, rec) in frames.iter().zip(&dec.frames) {
+            let p = psnr(orig, rec);
+            assert!(p > 30.0, "PSNR too low: {p:.1} dB");
+        }
+    }
+
+    #[test]
+    fn decode_metadata_matches_plan() {
+        let (_, ev) = encode_tiny(CodecConfig::default());
+        let dec = Decoder::new().decode(&ev.bitstream).unwrap();
+        for (meta, &display) in dec.metas.iter().zip(&ev.plan.decode_order) {
+            assert_eq!(meta.display_idx, display);
+            assert_eq!(meta.ftype, ev.plan.types[display as usize]);
+        }
+    }
+
+    #[test]
+    fn recognition_mode_yields_anchors_and_mvs() {
+        let cfg = CodecConfig {
+            b_frames: BFrameMode::Fixed(3),
+            ..CodecConfig::default()
+        };
+        let (_, ev) = encode_tiny(cfg);
+        let rec = Decoder::new().decode_for_recognition(&ev.bitstream).unwrap();
+        let n_b = ev.stats.b_frames;
+        assert_eq!(rec.b_frames.len(), n_b);
+        assert_eq!(rec.anchors.len(), ev.stats.n_frames - n_b);
+        // Every B-frame block is accounted for: mvs + intra blocks.
+        let blocks = (rec.width / rec.mb_size) * (rec.height / rec.mb_size);
+        for info in &rec.b_frames {
+            assert_eq!(info.mvs.len() + info.intra_blocks.len(), blocks);
+        }
+        // MV references must point at decoded anchors.
+        let anchor_set: std::collections::BTreeSet<u32> =
+            rec.anchors.iter().map(|(d, _)| *d).collect();
+        for info in &rec.b_frames {
+            for mv in &info.mvs {
+                assert!(anchor_set.contains(&mv.ref0.frame));
+                if let Some(r1) = mv.ref1 {
+                    assert!(anchor_set.contains(&r1.frame));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recognition_anchors_match_full_decode() {
+        let (_, ev) = encode_tiny(CodecConfig::default());
+        let full = Decoder::new().decode(&ev.bitstream).unwrap();
+        let rec = Decoder::new().decode_for_recognition(&ev.bitstream).unwrap();
+        for (display, frame) in &rec.anchors {
+            assert_eq!(
+                frame, &full.frames[*display as usize],
+                "anchor {display} differs between modes"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_accounting_sums_to_stream_length() {
+        let (_, ev) = encode_tiny(CodecConfig::default());
+        let rec = Decoder::new().decode_for_recognition(&ev.bitstream).unwrap();
+        assert_eq!(rec.anchor_bytes + rec.b_bytes, ev.bitstream.len());
+        assert!(rec.b_bytes > 0);
+    }
+
+    #[test]
+    fn inspect_agrees_with_encoder_statistics() {
+        let (_, ev) = encode_tiny(CodecConfig::default());
+        let summaries = Decoder::new().inspect(&ev.bitstream).unwrap();
+        assert_eq!(summaries.len(), ev.stats.n_frames);
+        let intra: usize = summaries.iter().map(|s| s.intra_blocks).sum();
+        let inter: usize = summaries.iter().map(|s| s.inter_blocks).sum();
+        let bi: usize = summaries.iter().map(|s| s.bi_blocks).sum();
+        assert_eq!(intra, ev.stats.intra_blocks);
+        assert_eq!(inter, ev.stats.inter_blocks);
+        assert_eq!(bi, ev.stats.bi_blocks);
+        // Frame types and decode order match the plan.
+        for (s, &display) in summaries.iter().zip(&ev.plan.decode_order) {
+            assert_eq!(s.display_idx, display);
+            assert_eq!(s.ftype, ev.plan.types[display as usize]);
+        }
+        // Per-frame bytes sum to the stream minus the header.
+        let frame_bytes: usize = summaries.iter().map(|s| s.bytes).sum();
+        assert!(frame_bytes < ev.bitstream.len());
+        assert!(frame_bytes > ev.bitstream.len() - 32);
+        // Refs per B-frame match the recorded stats.
+        let refs_b: Vec<usize> = summaries
+            .iter()
+            .filter(|s| s.ftype == FrameType::B)
+            .map(|s| s.refs.len())
+            .collect();
+        assert_eq!(refs_b, ev.stats.refs_per_b);
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        let dec = Decoder::new();
+        assert!(dec.decode(&Bytes::from_static(b"nonsense")).is_err());
+        let (_, ev) = encode_tiny(CodecConfig::default());
+        let truncated = ev.bitstream.slice(0..ev.bitstream.len() / 2);
+        assert!(dec.decode(&truncated).is_err());
+        assert!(dec.decode_for_recognition(&truncated).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Objective video quality metrics: PSNR and SSIM.
+//!
+//! Used by the rate-distortion tests and the `vrdstat` tooling to quantify
+//! what the quantiser costs. SSIM follows Wang et al. (2004) with the
+//! standard 8×8 window and K1/K2 constants.
+
+use vrd_video::Frame;
+
+/// Peak signal-to-noise ratio in dB; `f64::INFINITY` for identical frames.
+///
+/// # Panics
+/// Panics if the frames differ in size.
+///
+/// # Example
+/// ```
+/// use vrd_codec::{psnr, CodecConfig, Decoder, Encoder};
+/// use vrd_video::davis::{davis_sequence, SuiteConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let seq = davis_sequence("cows", &SuiteConfig::tiny())?;
+/// let encoded = Encoder::new(CodecConfig::default()).encode(&seq.frames)?;
+/// let decoded = Decoder::new().decode(&encoded.bitstream)?;
+/// assert!(psnr(&seq.frames[0], &decoded.frames[0]) > 30.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn psnr(a: &Frame, b: &Frame) -> f64 {
+    assert_eq!(a.width(), b.width(), "frame width mismatch");
+    assert_eq!(a.height(), b.height(), "frame height mismatch");
+    let mse: f64 = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.as_slice().len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0 * 255.0 / mse).log10()
+    }
+}
+
+/// Mean PSNR over a frame sequence (pairs compared index-wise).
+///
+/// # Panics
+/// Panics if the sequences differ in length or are empty.
+pub fn psnr_sequence(a: &[Frame], b: &[Frame]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sequence length mismatch");
+    assert!(!a.is_empty(), "cannot score an empty sequence");
+    let finite: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| psnr(x, y).min(99.0))
+        .collect();
+    finite.iter().sum::<f64>() / finite.len() as f64
+}
+
+/// Structural similarity index in `[-1, 1]` (1 = identical), computed over
+/// non-overlapping 8×8 windows.
+///
+/// # Panics
+/// Panics if the frames differ in size or are smaller than 8×8.
+pub fn ssim(a: &Frame, b: &Frame) -> f64 {
+    assert_eq!(a.width(), b.width(), "frame width mismatch");
+    assert_eq!(a.height(), b.height(), "frame height mismatch");
+    const WIN: usize = 8;
+    let (w, h) = (a.width(), a.height());
+    assert!(w >= WIN && h >= WIN, "frame smaller than the SSIM window");
+    const C1: f64 = (0.01 * 255.0) * (0.01 * 255.0);
+    const C2: f64 = (0.03 * 255.0) * (0.03 * 255.0);
+
+    let mut total = 0.0;
+    let mut windows = 0usize;
+    for wy in (0..=h - WIN).step_by(WIN) {
+        for wx in (0..=w - WIN).step_by(WIN) {
+            let n = (WIN * WIN) as f64;
+            let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for dy in 0..WIN {
+                for dx in 0..WIN {
+                    let x = a.get(wx + dx, wy + dy) as f64;
+                    let y = b.get(wx + dx, wy + dy) as f64;
+                    sa += x;
+                    sb += y;
+                    saa += x * x;
+                    sbb += y * y;
+                    sab += x * y;
+                }
+            }
+            let (ma, mb) = (sa / n, sb / n);
+            let va = saa / n - ma * ma;
+            let vb = sbb / n - mb * mb;
+            let cov = sab / n - ma * mb;
+            total += ((2.0 * ma * mb + C1) * (2.0 * cov + C2))
+                / ((ma * ma + mb * mb + C1) * (va + vb + C2));
+            windows += 1;
+        }
+    }
+    total / windows as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrd_video::davis::{davis_sequence, SuiteConfig};
+
+    fn test_frame() -> Frame {
+        davis_sequence("cows", &SuiteConfig::tiny()).unwrap().frames[0].clone()
+    }
+
+    #[test]
+    fn identical_frames_are_perfect() {
+        let f = test_frame();
+        assert!(psnr(&f, &f).is_infinite());
+        assert!((ssim(&f, &f) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_degrades_both_metrics_monotonically() {
+        let f = test_frame();
+        let perturb = |amp: i32| {
+            let mut g = f.clone();
+            for (i, v) in g.as_mut_slice().iter_mut().enumerate() {
+                let n = (vrd_video::texture::hash2(i as i64, 0, 7) % (2 * amp as u64 + 1)) as i32
+                    - amp;
+                *v = (*v as i32 + n).clamp(0, 255) as u8;
+            }
+            g
+        };
+        let small = perturb(4);
+        let large = perturb(32);
+        assert!(psnr(&f, &small) > psnr(&f, &large));
+        assert!(ssim(&f, &small) > ssim(&f, &large));
+        assert!(psnr(&f, &small) > 30.0);
+        assert!(ssim(&f, &large) < 0.9);
+    }
+
+    #[test]
+    fn ssim_penalises_structural_change_more_than_brightness() {
+        let f = test_frame();
+        // Uniform brightness shift: structure preserved.
+        let mut bright = f.clone();
+        for v in bright.as_mut_slice() {
+            *v = v.saturating_add(12);
+        }
+        // Same-energy random noise: structure destroyed.
+        let mut noisy = f.clone();
+        for (i, v) in noisy.as_mut_slice().iter_mut().enumerate() {
+            let n = (vrd_video::texture::hash2(i as i64, 1, 9) % 25) as i32 - 12;
+            *v = (*v as i32 + n).clamp(0, 255) as u8;
+        }
+        assert!(
+            ssim(&f, &bright) > ssim(&f, &noisy),
+            "SSIM should prefer the brightness shift"
+        );
+    }
+
+    #[test]
+    fn sequence_psnr_averages() {
+        let f = test_frame();
+        let mean = psnr_sequence(&[f.clone(), f.clone()], &[f.clone(), f]);
+        assert!((mean - 99.0).abs() < 1e-9, "identical pairs clamp to 99");
+    }
+}

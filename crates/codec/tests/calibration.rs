@@ -1,0 +1,28 @@
+//! Suite-level calibration checks for the auto GOP mode (Fig. 3 shapes).
+use vrd_codec::{CodecConfig, Encoder};
+use vrd_video::davis::{davis_val_suite, SuiteConfig};
+
+#[test]
+fn auto_b_ratio_matches_paper_shape() {
+    let suite = davis_val_suite(&SuiteConfig::default());
+    let enc = Encoder::new(CodecConfig::default());
+    let mut ratios = Vec::new();
+    let mut max_refs = 0usize;
+    for seq in &suite {
+        let ev = enc.encode(&seq.frames).unwrap();
+        println!(
+            "{:20} b_ratio={:.2} mean_refs={:.2} max_refs={} comp={:.1}",
+            seq.name,
+            ev.stats.b_ratio(),
+            ev.stats.mean_refs_per_b(),
+            ev.stats.max_refs_per_b(),
+            ev.stats.compression_ratio()
+        );
+        ratios.push(ev.stats.b_ratio());
+        max_refs = max_refs.max(ev.stats.max_refs_per_b());
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("mean b_ratio = {mean:.3}, max refs = {max_refs}");
+    assert!(mean > 0.55 && mean < 0.75, "mean B ratio {mean:.2} off paper's ~0.65");
+    assert!(ratios.iter().cloned().fold(1.0, f64::min) < 0.55, "no slow/fast spread");
+}

@@ -1,0 +1,84 @@
+//! Property-based invariants of the GOP planner.
+
+use proptest::prelude::*;
+use vrd_codec::{BFrameMode, CodecConfig, FrameType, GopPlan};
+
+proptest! {
+    #[test]
+    fn plan_invariants_hold_for_any_shape(
+        n_frames in 1usize..200,
+        b_run in 0u8..8,
+        gop_len in 2usize..30,
+    ) {
+        let cfg = CodecConfig {
+            gop_len,
+            b_frames: BFrameMode::Fixed(b_run.min(gop_len as u8 - 1)),
+            ..CodecConfig::default()
+        };
+        let plan = GopPlan::plan(&cfg, n_frames, &[]).unwrap();
+
+        // Shape.
+        prop_assert_eq!(plan.types.len(), n_frames);
+        prop_assert_eq!(plan.decode_order.len(), n_frames);
+        prop_assert_eq!(plan.types[0], FrameType::I);
+
+        // Decode order is a permutation.
+        let mut seen = vec![false; n_frames];
+        for &d in &plan.decode_order {
+            prop_assert!(!seen[d as usize], "frame {d} decoded twice");
+            seen[d as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+
+        // Anchors are sorted, unique, and the last frame is an anchor when
+        // more than one frame exists.
+        prop_assert!(plan.anchors.windows(2).all(|w| w[0] < w[1]));
+        if n_frames > 1 {
+            prop_assert_eq!(
+                *plan.anchors.last().unwrap() as usize,
+                n_frames - 1,
+                "sequence must end on an anchor"
+            );
+        }
+
+        // Every B-frame decodes after both bracketing anchors, and its B-run
+        // never exceeds the requested length.
+        let pos: Vec<usize> = {
+            let mut p = vec![0; n_frames];
+            for (i, &d) in plan.decode_order.iter().enumerate() {
+                p[d as usize] = i;
+            }
+            p
+        };
+        for (d, t) in plan.types.iter().enumerate() {
+            if *t == FrameType::B {
+                let (a, b) = plan.bracketing_anchors(d as u32);
+                prop_assert!(pos[d] > pos[a as usize]);
+                prop_assert!(pos[d] > pos[b as usize]);
+                prop_assert!((b - a - 1) as usize <= b_run.min(gop_len as u8 - 1) as usize);
+            }
+        }
+
+        // GOP boundaries are I-frames.
+        for &a in &plan.anchors {
+            if a as usize % gop_len == 0 {
+                prop_assert_eq!(plan.types[a as usize], FrameType::I);
+            }
+        }
+
+        // candidate_refs: distinct anchors, bracketing pair first, bounded.
+        for (d, t) in plan.types.iter().enumerate() {
+            if *t == FrameType::B {
+                let refs = plan.candidate_refs(d as u32, 5);
+                prop_assert!(refs.len() <= 5.max(2));
+                let mut sorted = refs.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), refs.len(), "duplicate candidates");
+                for r in &refs {
+                    prop_assert!(plan.anchors.contains(r));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Rate-distortion behaviour: the quantiser trades size for fidelity
+//! monotonically, and both standards stay usable.
+
+use vrd_codec::{CodecConfig, Decoder, Encoder, Standard};
+use vrd_video::davis::{davis_sequence, SuiteConfig};
+use vrd_video::Frame;
+
+fn psnr(a: &Frame, b: &Frame) -> f64 {
+    let mse: f64 = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.as_slice().len() as f64;
+    if mse == 0.0 {
+        99.0
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+#[test]
+fn larger_quantiser_shrinks_stream_and_lowers_psnr() {
+    let seq = davis_sequence("dog", &SuiteConfig::tiny()).unwrap();
+    let mut sizes = Vec::new();
+    let mut quality = Vec::new();
+    for quant in [2u8, 8, 24] {
+        let cfg = CodecConfig {
+            quant,
+            ..CodecConfig::default()
+        };
+        let encoded = Encoder::new(cfg).encode(&seq.frames).unwrap();
+        let decoded = Decoder::new().decode(&encoded.bitstream).unwrap();
+        let mean_psnr: f64 = seq
+            .frames
+            .iter()
+            .zip(&decoded.frames)
+            .map(|(a, b)| psnr(a, b))
+            .sum::<f64>()
+            / seq.len() as f64;
+        sizes.push(encoded.bitstream.len());
+        quality.push(mean_psnr);
+    }
+    assert!(sizes[0] > sizes[1] && sizes[1] > sizes[2], "sizes {sizes:?}");
+    assert!(
+        quality[0] > quality[1] && quality[1] > quality[2],
+        "psnr {quality:?}"
+    );
+    assert!(quality[0] > 40.0, "q=2 should be near-lossless: {quality:?}");
+    assert!(quality[2] > 22.0, "q=24 should stay watchable: {quality:?}");
+}
+
+#[test]
+fn both_standards_compress_and_roundtrip() {
+    let seq = davis_sequence("camel", &SuiteConfig::tiny()).unwrap();
+    for standard in [Standard::H264, Standard::H265] {
+        let cfg = CodecConfig {
+            standard,
+            ..CodecConfig::default()
+        };
+        let encoded = Encoder::new(cfg).encode(&seq.frames).unwrap();
+        assert!(
+            encoded.stats.compression_ratio() > 1.5,
+            "{standard}: ratio {:.2}",
+            encoded.stats.compression_ratio()
+        );
+        let decoded = Decoder::new().decode(&encoded.bitstream).unwrap();
+        let p = psnr(&seq.frames[3], &decoded.frames[3]);
+        assert!(p > 30.0, "{standard}: psnr {p:.1}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type of the core VR-DANN crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+use vrd_codec::CodecError;
+
+/// Errors produced by the recognition pipelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VrDannError {
+    /// The underlying codec failed.
+    Codec(CodecError),
+    /// Pipeline configuration is unusable (message explains why).
+    InvalidConfig(String),
+    /// The input sequence is unusable (too short, inconsistent, …).
+    BadInput(String),
+}
+
+impl fmt::Display for VrDannError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VrDannError::Codec(e) => write!(f, "codec failure: {e}"),
+            VrDannError::InvalidConfig(msg) => write!(f, "invalid pipeline configuration: {msg}"),
+            VrDannError::BadInput(msg) => write!(f, "bad input sequence: {msg}"),
+        }
+    }
+}
+
+impl StdError for VrDannError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            VrDannError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for VrDannError {
+    fn from(e: CodecError) -> Self {
+        VrDannError::Codec(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, VrDannError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_codec_errors_with_source() {
+        let e: VrDannError = CodecError::Bitstream("oops".into()).into();
+        assert!(e.to_string().contains("oops"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<VrDannError>();
+    }
+}

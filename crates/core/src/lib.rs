@@ -1,0 +1,51 @@
+//! # vr-dann — decoder-assisted neural network acceleration for video
+//! recognition
+//!
+//! The core crate of the reproduction of *"VR-DANN: Real-Time Video
+//! Recognition via Decoder-Assisted Neural Network Acceleration"* (Song et
+//! al., MICRO 2020). It implements the paper's algorithm (§III) and the
+//! schemes it is evaluated against:
+//!
+//! * [`recon`] — B-frame segmentation **reconstruction** from motion
+//!   vectors, with the 2-bit bi-reference mean filter;
+//! * [`sandwich`] — the 3-channel NN-S input builder;
+//! * [`VrDann`] — the trained pipeline: NN-L on I/P anchors, reconstruction
+//!   plus NN-S refinement on B-frames, for both **segmentation** and
+//!   **detection**;
+//! * [`baselines`] — OSVOS, FAVOS, DFF, SELSA and Euphrates;
+//! * [`trace`] — the workload traces the `vrd-sim` architecture simulator
+//!   replays to produce the paper's performance/energy figures.
+//!
+//! ## Example
+//!
+//! ```
+//! use vr_dann::{TrainTask, VrDann, VrDannConfig};
+//! use vrd_video::davis::{davis_sequence, davis_train_suite, SuiteConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = SuiteConfig::tiny();
+//! let train = davis_train_suite(&cfg, 2);
+//! let mut model = VrDann::train(&train, TrainTask::Segmentation, VrDannConfig::default())?;
+//!
+//! let seq = davis_sequence("cows", &cfg)?;
+//! let encoded = model.encode(&seq)?;
+//! let run = model.run_segmentation(&seq, &encoded)?;
+//! assert_eq!(run.masks.len(), seq.len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod baselines;
+pub mod components;
+pub mod error;
+pub mod recon;
+pub mod sandwich;
+pub mod trace;
+pub mod vrdann;
+
+pub use components::{boxes_to_mask, extract_components};
+pub use error::{Result, VrDannError};
+pub use recon::{plane_to_mask, reconstruct_b_frame, ReconConfig};
+pub use sandwich::{build_reconstruction_only, build_sandwich};
+pub use trace::{ComputeKind, SchemeKind, SchemeTrace, TraceFrame};
+pub use vrdann::{DetectionRun, SegmentationRun, TrainTask, VrDann, VrDannConfig};

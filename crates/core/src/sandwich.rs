@@ -1,0 +1,109 @@
+//! The sandwich input to NN-S (§III-A2).
+//!
+//! "We build sandwich-like three-channel images as the input to the NN-S,
+//! where the middle channel is the reconstruction results of current
+//! B-frame, and the first and third channels are the immediately preceding
+//! and following segmentation results of the reference I-frame and P-frame."
+
+use crate::error::{Result, VrDannError};
+use std::collections::BTreeMap;
+use vrd_nn::Tensor;
+use vrd_video::{Seg2Plane, SegMask};
+
+/// Builds the 3-channel sandwich tensor for a B-frame.
+///
+/// `ref_segs` maps anchor display indices to segmentations; the channels are
+/// the temporally nearest anchor before and after `display_idx`. When the
+/// B-frame has anchors on only one side (stream boundaries), that side's
+/// nearest anchor fills both outer channels.
+///
+/// # Errors
+/// Returns [`VrDannError::BadInput`] if `ref_segs` is empty.
+pub fn build_sandwich(
+    display_idx: u32,
+    plane: &Seg2Plane,
+    ref_segs: &BTreeMap<u32, SegMask>,
+) -> Result<Tensor> {
+    let prev = ref_segs
+        .range(..display_idx)
+        .next_back()
+        .map(|(_, m)| m);
+    let next = ref_segs.range(display_idx + 1..).next().map(|(_, m)| m);
+    let (prev, next) = match (prev, next) {
+        (Some(p), Some(n)) => (p, n),
+        (Some(p), None) => (p, p),
+        (None, Some(n)) => (n, n),
+        (None, None) => {
+            return Err(VrDannError::BadInput(format!(
+                "B-frame {display_idx} has no reference segmentations for the sandwich"
+            )));
+        }
+    };
+    Ok(Tensor::stack(&[
+        Tensor::from_mask(prev),
+        Tensor::from_seg2(plane),
+        Tensor::from_mask(next),
+    ]))
+}
+
+/// Builds a degenerate single-information input for the no-sandwich
+/// ablation: the reconstruction fills all three channels, so NN-S sees no
+/// temporal context.
+pub fn build_reconstruction_only(plane: &Seg2Plane) -> Tensor {
+    let mid = Tensor::from_seg2(plane);
+    Tensor::stack(&[mid.clone(), mid.clone(), mid])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrd_video::{Rect, Seg2};
+
+    fn mask(r: Rect) -> SegMask {
+        let mut m = SegMask::new(8, 8);
+        m.fill_rect(r);
+        m
+    }
+
+    #[test]
+    fn picks_immediately_adjacent_anchors() {
+        let mut refs = BTreeMap::new();
+        refs.insert(0u32, mask(Rect::new(0, 0, 1, 1)));
+        refs.insert(4u32, mask(Rect::new(1, 0, 2, 1)));
+        refs.insert(8u32, mask(Rect::new(2, 0, 3, 1)));
+        let mut plane = Seg2Plane::new(8, 8);
+        plane.set(3, 0, Seg2::Gray);
+        // display 5 sits between anchors 4 and 8.
+        let t = build_sandwich(5, &plane, &refs).unwrap();
+        assert_eq!(t.channels(), 3);
+        assert_eq!(t.get(0, 0, 1), 1.0, "prev channel should be anchor 4");
+        assert_eq!(t.get(1, 0, 3), 0.5, "middle channel is the recon plane");
+        assert_eq!(t.get(2, 0, 2), 1.0, "next channel should be anchor 8");
+        assert_eq!(t.get(0, 0, 0), 0.0, "anchor 0 must not leak in");
+    }
+
+    #[test]
+    fn one_sided_anchors_duplicate() {
+        let mut refs = BTreeMap::new();
+        refs.insert(0u32, mask(Rect::new(0, 0, 2, 2)));
+        let plane = Seg2Plane::new(8, 8);
+        let t = build_sandwich(3, &plane, &refs).unwrap();
+        assert_eq!(t.channel(0), t.channel(2));
+    }
+
+    #[test]
+    fn empty_refs_error() {
+        let plane = Seg2Plane::new(8, 8);
+        assert!(build_sandwich(3, &plane, &BTreeMap::new()).is_err());
+    }
+
+    #[test]
+    fn reconstruction_only_ablation_replicates_middle() {
+        let mut plane = Seg2Plane::new(8, 8);
+        plane.set(2, 2, Seg2::White);
+        let t = build_reconstruction_only(&plane);
+        assert_eq!(t.channel(0), t.channel(1));
+        assert_eq!(t.channel(1), t.channel(2));
+        assert_eq!(t.get(1, 2, 2), 1.0);
+    }
+}

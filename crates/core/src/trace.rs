@@ -1,0 +1,214 @@
+//! Workload traces: the interface between the recognition pipelines and the
+//! architecture simulator.
+//!
+//! Every pipeline (VR-DANN and each baseline) emits a [`SchemeTrace`]
+//! describing, **in decode order**, what each frame cost: which network ran,
+//! how many operations it needed, whether the frame's pixels were decoded at
+//! all, and — for VR-DANN B-frames — the motion-vector records the agent
+//! unit must stream through `mv_T`. The simulator (`vrd-sim`) replays these
+//! traces against its NPU/decoder/DRAM/agent-unit models to produce the
+//! cycle and energy numbers of Figs. 12–16.
+
+use serde::{Deserialize, Serialize};
+use vrd_codec::{FrameType, MvRecord};
+
+/// Which recognition scheme produced a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// OSVOS: two large networks on every frame.
+    Osvos,
+    /// FAVOS: tracker + one large network on every frame (the baseline all
+    /// performance numbers are normalised to).
+    Favos,
+    /// DFF: large network on key frames, FlowNet + warp on the rest.
+    Dff,
+    /// Euphrates: large network on key frames, MV box-shift on the rest.
+    Euphrates,
+    /// SELSA: sequence-level aggregation, large network on every frame.
+    Selsa,
+    /// VR-DANN (this paper).
+    VrDann,
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SchemeKind::Osvos => "OSVOS",
+            SchemeKind::Favos => "FAVOS",
+            SchemeKind::Dff => "DFF",
+            SchemeKind::Euphrates => "Euphrates",
+            SchemeKind::Selsa => "SELSA",
+            SchemeKind::VrDann => "VR-DANN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The compute a frame requires.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ComputeKind {
+    /// A large-network inference (NN-L family).
+    NnL {
+        /// Total operations of the inference.
+        ops: u64,
+    },
+    /// VR-DANN B-frame handling: motion-vector reconstruction followed by
+    /// NN-S refinement.
+    NnSRefine {
+        /// Operations of the NN-S inference (2 ops per MAC).
+        ops: u64,
+        /// Motion-vector records the agent unit streams for reconstruction.
+        mvs: Vec<MvRecord>,
+    },
+    /// DFF non-key frame: optical-flow network plus warping.
+    FlowWarp {
+        /// Operations of the flow inference.
+        ops: u64,
+    },
+    /// Euphrates non-key frame: average-MV rectangle shift (work is
+    /// negligible next to any NN inference).
+    BoxShift,
+}
+
+impl ComputeKind {
+    /// Operations this frame puts on the NPU.
+    pub fn ops(&self) -> u64 {
+        match self {
+            ComputeKind::NnL { ops } => *ops,
+            ComputeKind::NnSRefine { ops, .. } => *ops,
+            ComputeKind::FlowWarp { ops } => *ops,
+            ComputeKind::BoxShift => 0,
+        }
+    }
+
+    /// Whether the NPU must have the large network's weights loaded.
+    pub fn uses_large_model(&self) -> bool {
+        matches!(self, ComputeKind::NnL { .. } | ComputeKind::FlowWarp { .. })
+    }
+}
+
+/// One frame's work item, in decode order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceFrame {
+    /// Display index of the frame.
+    pub display: u32,
+    /// Codec frame type.
+    pub ftype: FrameType,
+    /// Compute required.
+    pub kind: ComputeKind,
+    /// Whether the decoder reconstructs this frame's pixels.
+    pub full_decode: bool,
+    /// Bitstream bytes parsed for this frame.
+    pub bitstream_bytes: usize,
+}
+
+/// A complete per-sequence workload description for one scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemeTrace {
+    /// The scheme that produced this trace.
+    pub scheme: SchemeKind,
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Macro-block size of the underlying bitstream.
+    pub mb_size: usize,
+    /// Per-frame work in decode order.
+    pub frames: Vec<TraceFrame>,
+}
+
+impl SchemeTrace {
+    /// Total NPU operations over the sequence.
+    pub fn total_ops(&self) -> u64 {
+        self.frames.iter().map(|f| f.kind.ops()).sum()
+    }
+
+    /// Mean NPU tera-operations per frame (the paper's Fig. 12 overlay).
+    pub fn tops_per_frame(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.total_ops() as f64 / self.frames.len() as f64 / 1e12
+    }
+
+    /// Number of frames whose pixels are decoded.
+    pub fn decoded_frames(&self) -> usize {
+        self.frames.iter().filter(|f| f.full_decode).count()
+    }
+
+    /// Number of large-model ↔ small-model switches a strict in-order
+    /// execution would incur (the quantity VR-DANN-parallel's lagged queue
+    /// switching minimises; Fig. 7).
+    pub fn model_switches_in_order(&self) -> usize {
+        self.frames
+            .windows(2)
+            .filter(|w| w[0].kind.uses_large_model() != w[1].kind.uses_large_model())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(kind: ComputeKind) -> TraceFrame {
+        TraceFrame {
+            display: 0,
+            ftype: FrameType::I,
+            kind,
+            full_decode: true,
+            bitstream_bytes: 100,
+        }
+    }
+
+    #[test]
+    fn ops_accounting() {
+        let t = SchemeTrace {
+            scheme: SchemeKind::VrDann,
+            width: 64,
+            height: 48,
+            mb_size: 8,
+            frames: vec![
+                frame(ComputeKind::NnL { ops: 1000 }),
+                frame(ComputeKind::NnSRefine {
+                    ops: 10,
+                    mvs: vec![],
+                }),
+                frame(ComputeKind::BoxShift),
+            ],
+        };
+        assert_eq!(t.total_ops(), 1010);
+        assert_eq!(t.decoded_frames(), 3);
+        assert!((t.tops_per_frame() - 1010.0 / 3.0 / 1e12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn switch_counting() {
+        let l = || frame(ComputeKind::NnL { ops: 1 });
+        let s = || {
+            frame(ComputeKind::NnSRefine {
+                ops: 1,
+                mvs: vec![],
+            })
+        };
+        let t = SchemeTrace {
+            scheme: SchemeKind::VrDann,
+            width: 8,
+            height: 8,
+            mb_size: 8,
+            frames: vec![l(), s(), l(), s()],
+        };
+        assert_eq!(t.model_switches_in_order(), 3);
+        let grouped = SchemeTrace {
+            frames: vec![l(), l(), s(), s()],
+            ..t
+        };
+        assert_eq!(grouped.model_switches_in_order(), 1);
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(SchemeKind::VrDann.to_string(), "VR-DANN");
+        assert_eq!(SchemeKind::Favos.to_string(), "FAVOS");
+    }
+}

@@ -1,0 +1,567 @@
+//! The VR-DANN pipeline (Fig. 5): decode anchors, segment them with NN-L,
+//! reconstruct B-frames from motion vectors, refine with NN-S.
+
+use crate::components::{boxes_to_mask, extract_components};
+use crate::error::{Result, VrDannError};
+use crate::recon::{plane_to_mask, reconstruct_b_frame, ReconConfig};
+use crate::sandwich::{build_reconstruction_only, build_sandwich};
+use crate::trace::{ComputeKind, SchemeKind, SchemeTrace, TraceFrame};
+use std::collections::BTreeMap;
+use vrd_codec::{CodecConfig, Decoder, EncodedVideo, Encoder, FrameType};
+use vrd_nn::{trainer, LargeNet, LargeNetProfile, NnS, Sample, Tensor, TrainConfig};
+use vrd_video::texture::hash2;
+use vrd_video::{Detection, SegMask, Sequence};
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VrDannConfig {
+    /// Encoder settings (B ratio, search interval `n`, standard — the
+    /// paper's Figs. 15–17 knobs).
+    pub codec: CodecConfig,
+    /// NN-S hidden channel width.
+    pub nns_hidden: usize,
+    /// NN-S training recipe (paper: 2 epochs).
+    pub train: TrainConfig,
+    /// Run NN-S refinement on B-frames (off = raw reconstruction ablation).
+    pub refine: bool,
+    /// Use the sandwich input (off = reconstruction-only ablation).
+    pub sandwich: bool,
+    /// Reconstruction options (mean filter et al.).
+    pub recon: ReconConfig,
+    /// The NN-L used on anchor frames for segmentation (paper: FAVOS's
+    /// ROI-SegNet).
+    pub segment_profile: LargeNetProfile,
+    /// The NN-L used on anchor frames for detection.
+    pub detect_profile: LargeNetProfile,
+    /// Seed for NN-S initialisation and the NN-L oracles.
+    pub seed: u64,
+    /// Optional adaptive fallback (§VI-A: "we can always refine the VR-DANN
+    /// algorithm with fewer B-frame reconstruction while treating some
+    /// B-frames as I/P-frames to pass through NN-L"). A B-frame whose mean
+    /// 90th-percentile motion-vector magnitude exceeds this many pixels is
+    /// fully decoded
+    /// and segmented by NN-L instead of reconstructed — trading performance
+    /// for accuracy on fast motion.
+    pub fallback_mv_threshold: Option<f32>,
+}
+
+impl Default for VrDannConfig {
+    fn default() -> Self {
+        Self {
+            codec: CodecConfig::default(),
+            nns_hidden: 8,
+            train: TrainConfig::default(),
+            refine: true,
+            sandwich: true,
+            recon: ReconConfig::default(),
+            segment_profile: LargeNetProfile::favos(),
+            detect_profile: LargeNetProfile::selsa(),
+            seed: 0xda77,
+            fallback_mv_threshold: None,
+        }
+    }
+}
+
+/// The result of running the pipeline on one sequence.
+#[derive(Debug, Clone)]
+pub struct SegmentationRun {
+    /// Segmentation mask per frame, display order.
+    pub masks: Vec<SegMask>,
+    /// Workload trace for the architecture simulator.
+    pub trace: SchemeTrace,
+}
+
+/// The result of running the detection pipeline on one sequence.
+#[derive(Debug, Clone)]
+pub struct DetectionRun {
+    /// Scored detections per frame, display order.
+    pub detections: Vec<Vec<Detection>>,
+    /// Workload trace for the architecture simulator.
+    pub trace: SchemeTrace,
+}
+
+/// 90th-percentile motion-vector magnitude of a B-frame's records (0 when
+/// empty). The percentile, not the mean, captures "how fast is the moving
+/// object" — most blocks of a frame are static background with zero motion.
+fn p90_mv_magnitude(mvs: &[vrd_codec::MvRecord]) -> f64 {
+    if mvs.is_empty() {
+        return 0.0;
+    }
+    let mut mags: Vec<f64> = mvs.iter().map(|m| m.magnitude()).collect();
+    mags.sort_unstable_by(|a, b| a.partial_cmp(b).expect("magnitudes are finite"));
+    mags[(mags.len() * 9 / 10).min(mags.len() - 1)]
+}
+
+/// A trained VR-DANN pipeline instance.
+#[derive(Debug, Clone)]
+pub struct VrDann {
+    cfg: VrDannConfig,
+    nns: NnS,
+}
+
+/// What the pipeline was trained to refine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainTask {
+    /// Pixel-accurate object masks (DAVIS-style).
+    Segmentation,
+    /// Rasterised detection rectangles (VID-style).
+    Detection,
+}
+
+impl VrDann {
+    /// Trains NN-S exactly as §III-B prescribes: encode the training
+    /// sequences, reconstruct their B-frames from the **ground-truth** I/P
+    /// masks plus motion vectors, feed the sandwich as input and the B-frame
+    /// ground truth as label, two epochs.
+    ///
+    /// # Errors
+    /// Fails if encoding fails or the training set contains no B-frames.
+    pub fn train(train_seqs: &[Sequence], task: TrainTask, cfg: VrDannConfig) -> Result<Self> {
+        let encoder = Encoder::new(cfg.codec);
+        let decoder = Decoder::new();
+        let mut samples = Vec::new();
+        for seq in train_seqs {
+            let ev = encoder.encode(&seq.frames)?;
+            let rec = decoder.decode_for_recognition(&ev.bitstream)?;
+            let gt_mask = |d: usize| -> SegMask {
+                match task {
+                    TrainTask::Segmentation => seq.gt_masks[d].clone(),
+                    TrainTask::Detection => {
+                        boxes_to_mask(&seq.gt_boxes[d], seq.width(), seq.height())
+                    }
+                }
+            };
+            let ref_segs: BTreeMap<u32, SegMask> = rec
+                .anchors
+                .iter()
+                .map(|(d, _)| (*d, gt_mask(*d as usize)))
+                .collect();
+            for info in &rec.b_frames {
+                let plane = reconstruct_b_frame(
+                    info,
+                    &ref_segs,
+                    rec.width,
+                    rec.height,
+                    rec.mb_size,
+                    &cfg.recon,
+                )?;
+                let input = if cfg.sandwich {
+                    build_sandwich(info.display_idx, &plane, &ref_segs)?
+                } else {
+                    build_reconstruction_only(&plane)
+                };
+                let target = Tensor::from_mask(&gt_mask(info.display_idx as usize));
+                samples.push(Sample { input, target });
+            }
+        }
+        if samples.is_empty() {
+            return Err(VrDannError::BadInput(
+                "training sequences produced no B-frames".into(),
+            ));
+        }
+        let mut nns = NnS::new(cfg.nns_hidden, cfg.seed);
+        trainer::train(&mut nns, &samples, &cfg.train);
+        Ok(Self { cfg, nns })
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &VrDannConfig {
+        &self.cfg
+    }
+
+    /// The trained refinement network.
+    pub fn nns(&self) -> &NnS {
+        &self.nns
+    }
+
+    /// Serialises the trained NN-S weights (see [`vrd_nn::save_nns`]); pair
+    /// with [`VrDann::from_parts`] to redeploy without retraining.
+    pub fn export_nns(&self) -> Vec<u8> {
+        vrd_nn::save_nns(&self.nns)
+    }
+
+    /// Rebuilds a pipeline from a configuration and serialised NN-S bytes.
+    ///
+    /// # Errors
+    /// Returns [`VrDannError::InvalidConfig`] if the bytes do not hold a
+    /// valid model or its width differs from `cfg.nns_hidden`.
+    pub fn from_parts(cfg: VrDannConfig, nns_bytes: &[u8]) -> Result<Self> {
+        let nns = vrd_nn::load_nns(nns_bytes)
+            .map_err(|e| VrDannError::InvalidConfig(format!("bad NN-S model: {e}")))?;
+        if nns.hidden() != cfg.nns_hidden {
+            return Err(VrDannError::InvalidConfig(format!(
+                "model width {} does not match configured {}",
+                nns.hidden(),
+                cfg.nns_hidden
+            )));
+        }
+        Ok(Self { cfg, nns })
+    }
+
+    /// Encodes a sequence with the pipeline's codec settings (convenience
+    /// for callers that do not manage bitstreams themselves).
+    ///
+    /// # Errors
+    /// Propagates encoder failures.
+    pub fn encode(&self, seq: &Sequence) -> Result<EncodedVideo> {
+        Ok(Encoder::new(self.cfg.codec).encode(&seq.frames)?)
+    }
+
+    /// Runs video segmentation on an encoded sequence (Fig. 5's flow).
+    ///
+    /// # Errors
+    /// Fails on malformed bitstreams or missing references.
+    pub fn run_segmentation(
+        &mut self,
+        seq: &Sequence,
+        encoded: &EncodedVideo,
+    ) -> Result<SegmentationRun> {
+        let rec = Decoder::new().decode_for_recognition(&encoded.bitstream)?;
+        let nnl = LargeNet::new(self.cfg.segment_profile);
+        let (w, h) = (rec.width, rec.height);
+
+        // NN-L on every anchor. The oracle consumes the ground-truth mask —
+        // it stands in for running the trained large network on the decoded
+        // anchor pixels (DESIGN.md §2).
+        let mut ref_segs: BTreeMap<u32, SegMask> = BTreeMap::new();
+        for (display, _pixels) in &rec.anchors {
+            let seed = hash2(*display as i64, 0, self.cfg.seed);
+            ref_segs.insert(
+                *display,
+                nnl.segment(&seq.gt_masks[*display as usize], seed),
+            );
+        }
+
+        let mut masks: Vec<Option<SegMask>> = vec![None; seq.len()];
+        for (d, m) in &ref_segs {
+            masks[*d as usize] = Some(m.clone());
+        }
+
+        let per_anchor_bytes = rec.anchor_bytes / rec.anchors.len().max(1);
+        let per_b_bytes = rec.b_bytes / rec.b_frames.len().max(1);
+        let nns_ops = 2 * self.nns.macs(h, w);
+        let mut frames = Vec::with_capacity(seq.len());
+        let mut b_iter = rec.b_frames.iter();
+        for meta in &rec.metas {
+            if meta.ftype.is_anchor() {
+                frames.push(TraceFrame {
+                    display: meta.display_idx,
+                    ftype: meta.ftype,
+                    kind: ComputeKind::NnL { ops: nnl.ops(w, h) },
+                    full_decode: true,
+                    bitstream_bytes: per_anchor_bytes,
+                });
+            } else {
+                let info = b_iter
+                    .next()
+                    .expect("decode order lists every B-frame exactly once");
+                // Adaptive fallback: fast-moving B-frames go through NN-L.
+                if let Some(threshold) = self.cfg.fallback_mv_threshold {
+                    if p90_mv_magnitude(&info.mvs) > threshold as f64 {
+                        let seed = hash2(info.display_idx as i64, 2, self.cfg.seed);
+                        let mask =
+                            nnl.segment(&seq.gt_masks[info.display_idx as usize], seed);
+                        ref_segs.insert(info.display_idx, mask.clone());
+                        masks[info.display_idx as usize] = Some(mask);
+                        frames.push(TraceFrame {
+                            display: meta.display_idx,
+                            ftype: FrameType::B,
+                            kind: ComputeKind::NnL { ops: nnl.ops(w, h) },
+                            full_decode: true,
+                            bitstream_bytes: per_b_bytes,
+                        });
+                        continue;
+                    }
+                }
+                let plane =
+                    reconstruct_b_frame(info, &ref_segs, w, h, rec.mb_size, &self.cfg.recon)?;
+                let mask = if self.cfg.refine {
+                    let input = if self.cfg.sandwich {
+                        build_sandwich(info.display_idx, &plane, &ref_segs)?
+                    } else {
+                        build_reconstruction_only(&plane)
+                    };
+                    self.nns.infer(&input).to_mask(0.5)
+                } else {
+                    plane_to_mask(&plane, &self.cfg.recon)
+                };
+                masks[info.display_idx as usize] = Some(mask);
+                frames.push(TraceFrame {
+                    display: meta.display_idx,
+                    ftype: FrameType::B,
+                    kind: ComputeKind::NnSRefine {
+                        ops: if self.cfg.refine { nns_ops } else { 0 },
+                        mvs: info.mvs.clone(),
+                    },
+                    full_decode: false,
+                    bitstream_bytes: per_b_bytes,
+                });
+            }
+        }
+
+        let masks = masks
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| {
+                m.ok_or_else(|| VrDannError::BadInput(format!("frame {i} never segmented")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(SegmentationRun {
+            masks,
+            trace: SchemeTrace {
+                scheme: SchemeKind::VrDann,
+                width: w,
+                height: h,
+                mb_size: rec.mb_size,
+                frames,
+            },
+        })
+    }
+
+    /// Runs video detection (§III-B): anchor boxes from NN-L are rasterised
+    /// into masks, B-frames are reconstructed and refined exactly like
+    /// segmentation, and the refined masks are read back as boxes.
+    ///
+    /// # Errors
+    /// Fails on malformed bitstreams or missing references.
+    pub fn run_detection(
+        &mut self,
+        seq: &Sequence,
+        encoded: &EncodedVideo,
+    ) -> Result<DetectionRun> {
+        let rec = Decoder::new().decode_for_recognition(&encoded.bitstream)?;
+        let nnl = LargeNet::new(self.cfg.detect_profile);
+        let (w, h) = (rec.width, rec.height);
+        let min_component = (rec.mb_size * rec.mb_size) / 2;
+
+        let mut anchor_dets: BTreeMap<u32, Vec<Detection>> = BTreeMap::new();
+        let mut ref_segs: BTreeMap<u32, SegMask> = BTreeMap::new();
+        for (display, _pixels) in &rec.anchors {
+            let seed = hash2(*display as i64, 1, self.cfg.seed);
+            let dets = nnl.detect(&seq.gt_boxes[*display as usize], w, h, seed);
+            let boxes: Vec<_> = dets.iter().map(|d| d.rect).collect();
+            ref_segs.insert(*display, boxes_to_mask(&boxes, w, h));
+            anchor_dets.insert(*display, dets);
+        }
+
+        let mut detections: Vec<Option<Vec<Detection>>> = vec![None; seq.len()];
+        for (d, dets) in &anchor_dets {
+            detections[*d as usize] = Some(dets.clone());
+        }
+
+        let per_anchor_bytes = rec.anchor_bytes / rec.anchors.len().max(1);
+        let per_b_bytes = rec.b_bytes / rec.b_frames.len().max(1);
+        let nns_ops = 2 * self.nns.macs(h, w);
+        let mut frames = Vec::with_capacity(seq.len());
+        let mut b_iter = rec.b_frames.iter();
+        for meta in &rec.metas {
+            if meta.ftype.is_anchor() {
+                frames.push(TraceFrame {
+                    display: meta.display_idx,
+                    ftype: meta.ftype,
+                    kind: ComputeKind::NnL { ops: nnl.ops(w, h) },
+                    full_decode: true,
+                    bitstream_bytes: per_anchor_bytes,
+                });
+            } else {
+                let info = b_iter
+                    .next()
+                    .expect("decode order lists every B-frame exactly once");
+                let plane =
+                    reconstruct_b_frame(info, &ref_segs, w, h, rec.mb_size, &self.cfg.recon)?;
+                let mask = if self.cfg.refine {
+                    let input = if self.cfg.sandwich {
+                        build_sandwich(info.display_idx, &plane, &ref_segs)?
+                    } else {
+                        build_reconstruction_only(&plane)
+                    };
+                    self.nns.infer(&input).to_mask(0.5)
+                } else {
+                    plane_to_mask(&plane, &self.cfg.recon)
+                };
+                detections[info.display_idx as usize] =
+                    Some(extract_components(&mask, min_component));
+                frames.push(TraceFrame {
+                    display: meta.display_idx,
+                    ftype: FrameType::B,
+                    kind: ComputeKind::NnSRefine {
+                        ops: if self.cfg.refine { nns_ops } else { 0 },
+                        mvs: info.mvs.clone(),
+                    },
+                    full_decode: false,
+                    bitstream_bytes: per_b_bytes,
+                });
+            }
+        }
+
+        let detections = detections
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| {
+                d.ok_or_else(|| VrDannError::BadInput(format!("frame {i} never detected")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(DetectionRun {
+            detections,
+            trace: SchemeTrace {
+                scheme: SchemeKind::VrDann,
+                width: w,
+                height: h,
+                mb_size: rec.mb_size,
+                frames,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrd_metrics::score_sequence;
+    use vrd_video::davis::{davis_sequence, davis_train_suite, SuiteConfig};
+
+    fn tiny_model(task: TrainTask) -> (VrDann, SuiteConfig) {
+        let cfg = SuiteConfig::tiny();
+        let train = davis_train_suite(&cfg, 2);
+        let vr_cfg = VrDannConfig {
+            nns_hidden: 4,
+            ..VrDannConfig::default()
+        };
+        (VrDann::train(&train, task, vr_cfg).unwrap(), cfg)
+    }
+
+    #[test]
+    fn segmentation_pipeline_end_to_end() {
+        let (mut model, cfg) = tiny_model(TrainTask::Segmentation);
+        let seq = davis_sequence("cows", &cfg).unwrap();
+        let encoded = model.encode(&seq).unwrap();
+        let run = model.run_segmentation(&seq, &encoded).unwrap();
+        assert_eq!(run.masks.len(), seq.len());
+        assert_eq!(run.trace.frames.len(), seq.len());
+        // Accuracy sanity: must beat a trivial all-background predictor.
+        let scores = score_sequence(&run.masks, &seq.gt_masks);
+        assert!(scores.iou > 0.5, "IoU too low: {:.3}", scores.iou);
+        // The trace must contain both work kinds.
+        let n_b = run
+            .trace
+            .frames
+            .iter()
+            .filter(|f| matches!(f.kind, ComputeKind::NnSRefine { .. }))
+            .count();
+        assert_eq!(n_b, encoded.stats.b_frames);
+        // B-frames are never fully decoded in this pipeline.
+        assert!(run
+            .trace
+            .frames
+            .iter()
+            .all(|f| f.full_decode == f.ftype.is_anchor()));
+    }
+
+    #[test]
+    fn refinement_improves_over_raw_reconstruction() {
+        let (mut refined, cfg) = tiny_model(TrainTask::Segmentation);
+        let seq = davis_sequence("dog", &cfg).unwrap();
+        let encoded = refined.encode(&seq).unwrap();
+        let run_ref = refined.run_segmentation(&seq, &encoded).unwrap();
+
+        let mut raw = refined.clone();
+        raw.cfg.refine = false;
+        let run_raw = raw.run_segmentation(&seq, &encoded).unwrap();
+
+        let s_ref = score_sequence(&run_ref.masks, &seq.gt_masks);
+        let s_raw = score_sequence(&run_raw.masks, &seq.gt_masks);
+        assert!(
+            s_ref.iou >= s_raw.iou - 0.01,
+            "refined {:.3} much worse than raw {:.3}",
+            s_ref.iou,
+            s_raw.iou
+        );
+    }
+
+    #[test]
+    fn detection_pipeline_end_to_end() {
+        let (mut model, cfg) = tiny_model(TrainTask::Detection);
+        let seq = davis_sequence("camel", &cfg).unwrap();
+        let encoded = model.encode(&seq).unwrap();
+        let run = model.run_detection(&seq, &encoded).unwrap();
+        assert_eq!(run.detections.len(), seq.len());
+        // Most frames should have at least one detection.
+        let with_dets = run.detections.iter().filter(|d| !d.is_empty()).count();
+        assert!(with_dets > seq.len() * 2 / 3, "{with_dets}/{}", seq.len());
+    }
+
+    #[test]
+    fn export_import_preserves_pipeline_outputs() {
+        let (mut model, cfg) = tiny_model(TrainTask::Segmentation);
+        let seq = davis_sequence("goat", &cfg).unwrap();
+        let encoded = model.encode(&seq).unwrap();
+        let original = model.run_segmentation(&seq, &encoded).unwrap();
+
+        let bytes = model.export_nns();
+        let mut restored = VrDann::from_parts(*model.config(), &bytes).unwrap();
+        let replayed = restored.run_segmentation(&seq, &encoded).unwrap();
+        assert_eq!(original.masks, replayed.masks);
+
+        // Width mismatch is rejected.
+        let mut wrong = *model.config();
+        wrong.nns_hidden += 1;
+        assert!(VrDann::from_parts(wrong, &bytes).is_err());
+        assert!(VrDann::from_parts(*model.config(), b"junk").is_err());
+    }
+
+    #[test]
+    fn adaptive_fallback_reroutes_fast_b_frames_to_nnl() {
+        let (model, cfg) = tiny_model(TrainTask::Segmentation);
+        let seq = davis_sequence("parkour", &cfg).unwrap();
+        let encoded = model.encode(&seq).unwrap();
+
+        let mut plain = model.clone();
+        let run_plain = plain.run_segmentation(&seq, &encoded).unwrap();
+        let mut fb = model.clone();
+        fb.cfg.fallback_mv_threshold = Some(1.5);
+        let run_fb = fb.run_segmentation(&seq, &encoded).unwrap();
+
+        // Some B-frames must have been rerouted to NN-L.
+        let nnl_frames = |run: &SegmentationRun| {
+            run.trace
+                .frames
+                .iter()
+                .filter(|f| matches!(f.kind, ComputeKind::NnL { .. }))
+                .count()
+        };
+        assert!(
+            nnl_frames(&run_fb) > nnl_frames(&run_plain),
+            "fallback rerouted nothing"
+        );
+        // Accuracy must not degrade on a fast sequence.
+        let s_plain = score_sequence(&run_plain.masks, &seq.gt_masks);
+        let s_fb = score_sequence(&run_fb.masks, &seq.gt_masks);
+        assert!(
+            s_fb.iou >= s_plain.iou - 0.005,
+            "fallback hurt accuracy: {:.3} vs {:.3}",
+            s_fb.iou,
+            s_plain.iou
+        );
+        // An absurd threshold reroutes nothing.
+        let mut noop = model.clone();
+        noop.cfg.fallback_mv_threshold = Some(1e6);
+        let run_noop = noop.run_segmentation(&seq, &encoded).unwrap();
+        assert_eq!(nnl_frames(&run_noop), nnl_frames(&run_plain));
+    }
+
+    #[test]
+    fn training_requires_b_frames() {
+        let cfg = SuiteConfig::tiny();
+        let mut seq = davis_sequence("cows", &cfg).unwrap();
+        // One frame -> a single I frame -> no B-frames anywhere.
+        seq.frames.truncate(1);
+        seq.gt_masks.truncate(1);
+        seq.gt_boxes.truncate(1);
+        let err = VrDann::train(
+            &[seq],
+            TrainTask::Segmentation,
+            VrDannConfig::default(),
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,373 @@
+//! 2D convolution with backpropagation.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A stride-1, same-padded `k × k` convolution layer with bias, plus the
+/// plumbing needed to train it (gradient buffers, SGD-momentum state).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    cin: usize,
+    cout: usize,
+    k: usize,
+    /// Weights laid out `[cout][cin][k][k]`.
+    w: Vec<f32>,
+    b: Vec<f32>,
+    gw: Vec<f32>,
+    gb: Vec<f32>,
+    vw: Vec<f32>,
+    vb: Vec<f32>,
+    /// Second-moment accumulators (Adam only).
+    sw: Vec<f32>,
+    sb: Vec<f32>,
+    #[serde(skip)]
+    cache: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-uniform initialised weights.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero or `k` is even (same-padding needs an
+    /// odd kernel).
+    pub fn new(cin: usize, cout: usize, k: usize, seed: u64) -> Self {
+        assert!(cin > 0 && cout > 0 && k > 0, "conv dims must be non-zero");
+        assert!(k % 2 == 1, "same-padded convolution needs an odd kernel");
+        let fan_in = (cin * k * k) as f32;
+        let bound = (6.0 / fan_in).sqrt();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = (0..cout * cin * k * k)
+            .map(|_| rng.random_range(-bound..bound))
+            .collect();
+        let n = cout * cin * k * k;
+        Self {
+            cin,
+            cout,
+            k,
+            w,
+            b: vec![0.0; cout],
+            gw: vec![0.0; n],
+            gb: vec![0.0; cout],
+            vw: vec![0.0; n],
+            vb: vec![0.0; cout],
+            sw: vec![0.0; n],
+            sb: vec![0.0; cout],
+            cache: None,
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn n_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Copies out the weights and biases (for serialisation).
+    pub fn export_params(&self) -> (Vec<f32>, Vec<f32>) {
+        (self.w.clone(), self.b.clone())
+    }
+
+    /// Replaces the weights and biases (for deserialisation); resets the
+    /// optimiser state.
+    ///
+    /// # Errors
+    /// Returns a message if the lengths do not match this layer's shape.
+    pub fn import_params(&mut self, w: &[f32], b: &[f32]) -> Result<(), String> {
+        if w.len() != self.w.len() {
+            return Err(format!(
+                "expected {} weights, got {}",
+                self.w.len(),
+                w.len()
+            ));
+        }
+        if b.len() != self.b.len() {
+            return Err(format!("expected {} biases, got {}", self.b.len(), b.len()));
+        }
+        self.w.copy_from_slice(w);
+        self.b.copy_from_slice(b);
+        self.vw.fill(0.0);
+        self.vb.fill(0.0);
+        self.sw.fill(0.0);
+        self.sb.fill(0.0);
+        self.zero_grad();
+        Ok(())
+    }
+
+    /// Multiply-accumulate operations for one forward pass over `h × w`.
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        (self.cin * self.cout * self.k * self.k * h * w) as u64
+    }
+
+    /// Forward pass; caches the input for the backward pass.
+    ///
+    /// # Panics
+    /// Panics if the input channel count differs from `cin`.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.channels(), self.cin, "conv input channel mismatch");
+        let (h, w) = (x.height(), x.width());
+        let pad = (self.k / 2) as i32;
+        let mut out = Tensor::zeros(self.cout, h, w);
+        for co in 0..self.cout {
+            for y in 0..h {
+                for xp in 0..w {
+                    let mut acc = self.b[co];
+                    for ci in 0..self.cin {
+                        for ky in 0..self.k {
+                            let sy = y as i32 + ky as i32 - pad;
+                            if sy < 0 || sy >= h as i32 {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let sx = xp as i32 + kx as i32 - pad;
+                                if sx < 0 || sx >= w as i32 {
+                                    continue;
+                                }
+                                let wi = ((co * self.cin + ci) * self.k + ky) * self.k + kx;
+                                acc += self.w[wi] * x.get(ci, sy as usize, sx as usize);
+                            }
+                        }
+                    }
+                    out.set(co, y, xp, acc);
+                }
+            }
+        }
+        self.cache = Some(x.clone());
+        out
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns the
+    /// gradient with respect to the input.
+    ///
+    /// # Panics
+    /// Panics if called before [`Conv2d::forward`] or with a gradient whose
+    /// shape does not match the forward output.
+    pub fn backward(&mut self, gout: &Tensor) -> Tensor {
+        let x = self.cache.as_ref().expect("forward must run before backward");
+        assert_eq!(gout.channels(), self.cout, "grad channel mismatch");
+        assert_eq!(
+            (gout.height(), gout.width()),
+            (x.height(), x.width()),
+            "grad spatial mismatch"
+        );
+        let (h, w) = (x.height(), x.width());
+        let pad = (self.k / 2) as i32;
+        let mut gin = Tensor::zeros(self.cin, h, w);
+        for co in 0..self.cout {
+            for y in 0..h {
+                for xp in 0..w {
+                    let g = gout.get(co, y, xp);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.gb[co] += g;
+                    for ci in 0..self.cin {
+                        for ky in 0..self.k {
+                            let sy = y as i32 + ky as i32 - pad;
+                            if sy < 0 || sy >= h as i32 {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let sx = xp as i32 + kx as i32 - pad;
+                                if sx < 0 || sx >= w as i32 {
+                                    continue;
+                                }
+                                let wi = ((co * self.cin + ci) * self.k + ky) * self.k + kx;
+                                self.gw[wi] += g * x.get(ci, sy as usize, sx as usize);
+                                let cur = gin.get(ci, sy as usize, sx as usize);
+                                gin.set(ci, sy as usize, sx as usize, cur + g * self.w[wi]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        gin
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.gw.fill(0.0);
+        self.gb.fill(0.0);
+    }
+
+    /// SGD-with-momentum update using the accumulated gradients, scaled by
+    /// `1 / batch` (pass the minibatch size).
+    pub fn apply_grads(&mut self, lr: f32, momentum: f32, batch: usize) {
+        let scale = 1.0 / batch.max(1) as f32;
+        for i in 0..self.w.len() {
+            self.vw[i] = momentum * self.vw[i] - lr * self.gw[i] * scale;
+            self.w[i] += self.vw[i];
+        }
+        for i in 0..self.b.len() {
+            self.vb[i] = momentum * self.vb[i] - lr * self.gb[i] * scale;
+            self.b[i] += self.vb[i];
+        }
+    }
+
+    /// Adam update (Kingma & Ba) with bias correction; `step` is the
+    /// 1-based optimisation step and `batch` the minibatch size.
+    pub fn apply_grads_adam(
+        &mut self,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        step: usize,
+        batch: usize,
+    ) {
+        let scale = 1.0 / batch.max(1) as f32;
+        let t = step.max(1) as i32;
+        let bc1 = 1.0 - beta1.powi(t);
+        let bc2 = 1.0 - beta2.powi(t);
+        let update = |w: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32]| {
+            for i in 0..w.len() {
+                let grad = g[i] * scale;
+                m[i] = beta1 * m[i] + (1.0 - beta1) * grad;
+                v[i] = beta2 * v[i] + (1.0 - beta2) * grad * grad;
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                w[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        };
+        update(&mut self.w, &self.gw, &mut self.vw, &mut self.sw);
+        update(&mut self.b, &self.gb, &mut self.vb, &mut self.sb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut conv = Conv2d::new(1, 1, 3, 0);
+        conv.w.fill(0.0);
+        conv.w[4] = 1.0; // centre tap
+        let x = Tensor::from_vec(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = conv.forward(&x);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn macs_and_params_counts() {
+        let conv = Conv2d::new(3, 8, 3, 0);
+        assert_eq!(conv.n_params(), 3 * 8 * 9 + 8);
+        assert_eq!(conv.macs(10, 10), 3 * 8 * 9 * 100);
+    }
+
+    #[test]
+    fn gradient_check_single_weight() {
+        // Numerical vs analytical gradient for one weight and one input.
+        let mut conv = Conv2d::new(1, 1, 3, 42);
+        let x = Tensor::from_vec(1, 3, 3, (1..=9).map(|v| v as f32 / 9.0).collect());
+        let wi = 2; // an arbitrary weight index
+
+        let loss = |conv: &mut Conv2d, x: &Tensor| -> f32 {
+            let y = conv.forward(x);
+            // Loss = sum of squares / 2, dL/dy = y.
+            y.as_slice().iter().map(|v| v * v).sum::<f32>() / 2.0
+        };
+
+        // Analytical.
+        let y = conv.forward(&x);
+        conv.zero_grad();
+        let _ = conv.backward(&y);
+        let analytic = conv.gw[wi];
+
+        // Numerical.
+        let eps = 1e-3;
+        conv.w[wi] += eps;
+        let lp = loss(&mut conv, &x);
+        conv.w[wi] -= 2.0 * eps;
+        let lm = loss(&mut conv, &x);
+        conv.w[wi] += eps;
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-2,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let mut conv = Conv2d::new(2, 3, 3, 7);
+        let mut x = Tensor::from_vec(2, 3, 3, (0..18).map(|v| (v as f32) / 18.0).collect());
+        let y = conv.forward(&x);
+        let gin = {
+            conv.zero_grad();
+            conv.backward(&y)
+        };
+        // Numerical gradient for input element (1, 1, 1).
+        let eps = 1e-3;
+        let idx = (1usize, 1usize, 1usize);
+        let orig = x.get(idx.0, idx.1, idx.2);
+        x.set(idx.0, idx.1, idx.2, orig + eps);
+        let lp: f32 = conv.forward(&x).as_slice().iter().map(|v| v * v).sum::<f32>() / 2.0;
+        x.set(idx.0, idx.1, idx.2, orig - eps);
+        let lm: f32 = conv.forward(&x).as_slice().iter().map(|v| v * v).sum::<f32>() / 2.0;
+        let numeric = (lp - lm) / (2.0 * eps);
+        let analytic = gin.get(idx.0, idx.1, idx.2);
+        assert!(
+            (analytic - numeric).abs() < 1e-2,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn adam_reduces_simple_loss() {
+        let mut conv = Conv2d::new(1, 1, 3, 3);
+        let x = Tensor::from_vec(1, 4, 4, (0..16).map(|v| v as f32 / 16.0).collect());
+        let target: Vec<f32> = x.as_slice().iter().map(|v| 2.0 * v).collect();
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for step in 1..=200 {
+            let y = conv.forward(&x);
+            let diff: Vec<f32> = y
+                .as_slice()
+                .iter()
+                .zip(&target)
+                .map(|(a, b)| a - b)
+                .collect();
+            last_loss = diff.iter().map(|d| d * d).sum::<f32>();
+            first_loss.get_or_insert(last_loss);
+            let g = Tensor::from_vec(1, 4, 4, diff);
+            conv.zero_grad();
+            let _ = conv.backward(&g);
+            conv.apply_grads_adam(0.02, 0.9, 0.999, 1e-8, step, 1);
+        }
+        assert!(
+            last_loss < first_loss.unwrap() / 10.0,
+            "Adam loss did not drop: {first_loss:?} -> {last_loss}"
+        );
+    }
+
+    #[test]
+    fn sgd_reduces_simple_loss() {
+        // Train a 1x1-ish task: map input to 2*input via a 3x3 conv.
+        let mut conv = Conv2d::new(1, 1, 3, 3);
+        let x = Tensor::from_vec(1, 4, 4, (0..16).map(|v| v as f32 / 16.0).collect());
+        let target: Vec<f32> = x.as_slice().iter().map(|v| 2.0 * v).collect();
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..200 {
+            let y = conv.forward(&x);
+            let diff: Vec<f32> = y
+                .as_slice()
+                .iter()
+                .zip(&target)
+                .map(|(a, b)| a - b)
+                .collect();
+            last_loss = diff.iter().map(|d| d * d).sum::<f32>();
+            first_loss.get_or_insert(last_loss);
+            let g = Tensor::from_vec(1, 4, 4, diff);
+            conv.zero_grad();
+            let _ = conv.backward(&g);
+            conv.apply_grads(0.05, 0.9, 1);
+        }
+        assert!(
+            last_loss < first_loss.unwrap() / 10.0,
+            "loss did not drop: {first_loss:?} -> {last_loss}"
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! NN-L: the large per-frame recognition networks, modelled as calibrated
+//! oracles.
+//!
+//! The paper runs ROI-SegNet (FAVOS), the OSVOS two-stream FCN and SELSA —
+//! trained CNNs in the hundreds of megaFLOPs per frame. Training those is
+//! outside this reproduction's scope (see `DESIGN.md` §2); what VR-DANN
+//! needs from them is (a) their **compute cost**, charged by the simulator,
+//! and (b) the **quality of the masks/boxes** they produce, because VR-DANN
+//! reconstructs B-frames *from those imperfect outputs*.
+//!
+//! The error model matters: a real network's segmentation errors are
+//! *structured* — the predicted boundary is a smooth, plausible contour
+//! displaced from the true one — not white noise (which a refinement
+//! network could trivially learn to remove). A [`LargeNet`] therefore warps
+//! the ground-truth mask with a smooth random displacement field (plus a
+//! sprinkle of boundary speckle), with the displacement amplitude
+//! calibrated per scheme to that scheme's published accuracy. B-frame
+//! accuracy in the experiments is then a genuine measurement of
+//! reconstruction + refinement running on realistic reference masks.
+
+use serde::Serialize;
+use vrd_video::texture::{hash2, value_noise};
+use vrd_video::{Detection, Rect, SegMask};
+
+/// Operations per pixel of one NN-L segmentation inference.
+///
+/// Derived from the paper's §VI-B: "the raw TOPS of a frame is 0.5 TOPS"
+/// at 854×480 → 0.5e12 / (854·480) ≈ 1.22e6 ops/pixel.
+pub const NNL_OPS_PER_PIXEL: f64 = 1.22e6;
+
+/// Operations per pixel of one FlowNet optical-flow inference (DFF's
+/// per-non-key-frame cost). FlowNet-S costs the same order of magnitude as
+/// the segmentation backbone — this is why the paper finds DFF only ~1.3×
+/// faster than FAVOS ("DFF spends lots of energy on searching the optical
+/// flow", §VI-B) and why VR-DANN beats it by 2.2×.
+pub const FLOWNET_OPS_PER_PIXEL: f64 = 8.5e5;
+
+/// Noise/cost profile of a large network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LargeNetProfile {
+    /// Human-readable scheme name.
+    pub name: &'static str,
+    /// Amplitude of the smooth boundary-displacement field, in pixels.
+    pub warp_amp: f32,
+    /// Spatial scale of the displacement field, in pixels.
+    pub warp_scale: f32,
+    /// Probability of flipping a pixel adjacent to the (warped) boundary
+    /// (residual speckle).
+    pub speckle: f32,
+    /// Detection box jitter amplitude, in pixels.
+    pub box_jitter: f32,
+    /// Probability of missing a ground-truth object entirely (occlusion,
+    /// blur — the dominant error mode behind sub-100% mAP on VID).
+    pub miss_prob: f32,
+    /// Segmentation ops per pixel (relative cost of the scheme's network).
+    pub ops_per_pixel: f64,
+}
+
+impl LargeNetProfile {
+    /// ROI-SegNet as used by FAVOS — the accuracy reference (paper Fig. 10:
+    /// best IoU/F-score of all schemes). Also the NN-L VR-DANN borrows for
+    /// its I/P frames (§V-A).
+    pub fn favos() -> Self {
+        Self {
+            name: "favos",
+            warp_amp: 1.7,
+            warp_scale: 9.0,
+            speckle: 0.06,
+            box_jitter: 1.2,
+            miss_prob: 0.0,
+            ops_per_pixel: NNL_OPS_PER_PIXEL,
+        }
+    }
+
+    /// The OSVOS two-stream FCN: two large networks per frame, noticeably
+    /// noisier masks (paper: VR-DANN beats it by 7.6% IoU).
+    pub fn osvos() -> Self {
+        Self {
+            name: "osvos",
+            warp_amp: 4.4,
+            warp_scale: 7.0,
+            speckle: 0.12,
+            box_jitter: 2.5,
+            miss_prob: 0.0,
+            ops_per_pixel: 2.0 * NNL_OPS_PER_PIXEL,
+        }
+    }
+
+    /// The large network DFF runs on key frames (same family as FAVOS's).
+    pub fn dff_key() -> Self {
+        Self {
+            name: "dff-key",
+            ..Self::favos()
+        }
+    }
+
+    /// SELSA's detection backbone (sequence-level aggregation: accurate).
+    pub fn selsa() -> Self {
+        Self {
+            name: "selsa",
+            warp_amp: 1.5,
+            warp_scale: 9.0,
+            speckle: 0.05,
+            box_jitter: 2.4,
+            miss_prob: 0.0,
+            ops_per_pixel: 1.5 * NNL_OPS_PER_PIXEL,
+        }
+    }
+}
+
+/// A calibrated large-network oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LargeNet {
+    profile: LargeNetProfile,
+}
+
+impl LargeNet {
+    /// Creates an oracle with the given profile.
+    pub fn new(profile: LargeNetProfile) -> Self {
+        Self { profile }
+    }
+
+    /// The oracle's profile.
+    pub fn profile(&self) -> &LargeNetProfile {
+        &self.profile
+    }
+
+    /// Total operations of one inference over a `w`×`h` frame.
+    pub fn ops(&self, w: usize, h: usize) -> u64 {
+        (self.profile.ops_per_pixel * (w * h) as f64) as u64
+    }
+
+    /// Segments a frame: the ground truth resampled through a smooth random
+    /// displacement field plus boundary speckle. Deterministic in
+    /// `(gt, seed)`.
+    pub fn segment(&self, gt: &SegMask, seed: u64) -> SegMask {
+        let (w, h) = (gt.width(), gt.height());
+        let p = &self.profile;
+        let mut out = SegMask::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let nx = value_noise(x as f32, y as f32, p.warp_scale, seed ^ 0x11) - 0.5;
+                let ny = value_noise(x as f32, y as f32, p.warp_scale, seed ^ 0x22) - 0.5;
+                let sx = (x as f32 + nx * 2.0 * p.warp_amp).round() as i32;
+                let sy = (y as f32 + ny * 2.0 * p.warp_amp).round() as i32;
+                out.set(x, y, gt.get_clamped(sx, sy));
+            }
+        }
+        if p.speckle > 0.0 {
+            // Flip a fraction of the pixels adjacent to the warped boundary.
+            let snapshot = out.clone();
+            for y in 0..h {
+                for x in 0..w {
+                    let v = snapshot.get(x, y);
+                    let near_boundary = (x + 1 < w && snapshot.get(x + 1, y) != v)
+                        || (x > 0 && snapshot.get(x - 1, y) != v)
+                        || (y + 1 < h && snapshot.get(x, y + 1) != v)
+                        || (y > 0 && snapshot.get(x, y - 1) != v);
+                    if !near_boundary {
+                        continue;
+                    }
+                    let r = (hash2(x as i64, y as i64, seed ^ 0x33) >> 40) as f32
+                        / (1u64 << 24) as f32;
+                    if r < p.speckle {
+                        out.set(x, y, 1 - v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Detects objects: ground-truth boxes jittered by the profile's
+    /// `box_jitter`, each with a confidence score. Deterministic in
+    /// `(gt_boxes, seed)`.
+    pub fn detect(
+        &self,
+        gt_boxes: &[Rect],
+        frame_w: usize,
+        frame_h: usize,
+        seed: u64,
+    ) -> Vec<Detection> {
+        let jitter_amp = self.profile.box_jitter;
+        gt_boxes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let r = (hash2(*i as i64, 6, seed) >> 40) as f32 / (1u64 << 24) as f32;
+                r >= self.profile.miss_prob
+            })
+            .map(|(i, b)| {
+                let jitter = |salt: i64| -> i32 {
+                    let r = (hash2(i as i64, salt, seed) >> 40) as f32 / (1u64 << 24) as f32;
+                    ((r - 0.5) * 2.0 * jitter_amp).round() as i32
+                };
+                let rect = Rect::new(
+                    b.x0 + jitter(1),
+                    b.y0 + jitter(2),
+                    b.x1 + jitter(3),
+                    b.y1 + jitter(4),
+                )
+                .clamped(frame_w, frame_h);
+                let score_r = (hash2(i as i64, 5, seed) >> 40) as f32 / (1u64 << 24) as f32;
+                let score = (1.0 - 0.1 * jitter_amp * score_r).clamp(0.05, 1.0);
+                Detection::new(rect, score)
+            })
+            .filter(|d| !d.rect.is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_mask(w: usize, h: usize, r: Rect) -> SegMask {
+        let mut m = SegMask::new(w, h);
+        m.fill_rect(r);
+        m
+    }
+
+    fn iou(a: &SegMask, b: &SegMask) -> f64 {
+        let mut inter = 0u64;
+        let mut uni = 0u64;
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            if *x == 1 && *y == 1 {
+                inter += 1;
+            }
+            if *x == 1 || *y == 1 {
+                uni += 1;
+            }
+        }
+        inter as f64 / uni.max(1) as f64
+    }
+
+    #[test]
+    fn noise_stays_near_the_boundary() {
+        let gt = square_mask(64, 64, Rect::new(16, 16, 48, 48));
+        let net = LargeNet::new(LargeNetProfile::favos());
+        let seg = net.segment(&gt, 42);
+        // Interior deep inside the object must be untouched (warp amplitude
+        // is a couple of pixels).
+        for y in 26..38 {
+            for x in 26..38 {
+                assert_eq!(seg.get(x, y), 1, "interior flipped at ({x},{y})");
+            }
+        }
+        // But something near the boundary must differ.
+        assert_ne!(seg, gt);
+    }
+
+    #[test]
+    fn errors_are_structured_not_speckle() {
+        // The warped mask must stay a mostly-connected blob: its foreground
+        // count should be close to the truth even though the boundary moved.
+        let gt = square_mask(96, 96, Rect::new(24, 24, 72, 72));
+        let net = LargeNet::new(LargeNetProfile::favos());
+        let seg = net.segment(&gt, 9);
+        let ratio = seg.count_ones() as f64 / gt.count_ones() as f64;
+        assert!((0.9..1.1).contains(&ratio), "area drifted: {ratio:.3}");
+    }
+
+    #[test]
+    fn favos_quality_beats_osvos() {
+        let gt = square_mask(96, 96, Rect::new(20, 20, 76, 76));
+        let favos = LargeNet::new(LargeNetProfile::favos());
+        let osvos = LargeNet::new(LargeNetProfile::osvos());
+        let iou_f = iou(&favos.segment(&gt, 1), &gt);
+        let iou_o = iou(&osvos.segment(&gt, 1), &gt);
+        assert!(iou_f > iou_o, "favos {iou_f:.3} <= osvos {iou_o:.3}");
+        assert!(iou_f > 0.85, "favos too noisy: {iou_f:.3}");
+    }
+
+    #[test]
+    fn segmentation_is_deterministic_per_seed() {
+        let gt = square_mask(32, 32, Rect::new(8, 8, 24, 24));
+        let net = LargeNet::new(LargeNetProfile::favos());
+        assert_eq!(net.segment(&gt, 7), net.segment(&gt, 7));
+        assert_ne!(net.segment(&gt, 7), net.segment(&gt, 8));
+    }
+
+    #[test]
+    fn ops_follow_paper_scale() {
+        let net = LargeNet::new(LargeNetProfile::favos());
+        // 854x480 ≈ 0.5 TOPS per the paper.
+        let ops = net.ops(854, 480) as f64;
+        assert!((ops - 0.5e12).abs() / 0.5e12 < 0.01, "{ops:e}");
+        let osvos = LargeNet::new(LargeNetProfile::osvos());
+        assert_eq!(osvos.ops(854, 480), 2 * net.ops(854, 480));
+    }
+
+    #[test]
+    fn detection_jitters_but_overlaps() {
+        let boxes = vec![Rect::new(10, 10, 40, 34), Rect::new(50, 5, 70, 25)];
+        let net = LargeNet::new(LargeNetProfile::favos()); // miss-free profile
+        let dets = net.detect(&boxes, 96, 64, 3);
+        assert_eq!(dets.len(), 2);
+        for (d, gt) in dets.iter().zip(&boxes) {
+            assert!(d.rect.iou(gt) > 0.6, "detection drifted: {:?}", d.rect);
+            assert!((0.0..=1.0).contains(&d.score));
+        }
+    }
+
+    #[test]
+    fn selsa_profile_misses_a_calibrated_fraction() {
+        let boxes = vec![Rect::new(10, 10, 30, 30)];
+        let net = LargeNet::new(LargeNetProfile::selsa());
+        let detected = (0..400)
+            .filter(|&seed| !net.detect(&boxes, 96, 64, seed).is_empty())
+            .count();
+        let rate = detected as f64 / 400.0;
+        // SELSA aggregates over the whole sequence, so its per-frame miss
+        // rate is 0 in this model (difficulty shows up as box jitter).
+        assert!(rate > 0.99, "detection rate {rate:.2} should be ~1");
+    }
+}

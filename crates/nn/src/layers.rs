@@ -1,0 +1,236 @@
+//! Parameter-free layers: pooling, upsampling, activation, concatenation.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// 2×2 max pooling (the NN-S "downsampling" layer).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MaxPool2 {
+    #[serde(skip)]
+    argmax: Vec<usize>,
+    #[serde(skip)]
+    in_shape: (usize, usize, usize),
+}
+
+impl MaxPool2 {
+    /// Creates a pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward pass; input height/width must be even.
+    ///
+    /// # Panics
+    /// Panics on odd input dimensions.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (c, h, w) = (x.channels(), x.height(), x.width());
+        assert!(h % 2 == 0 && w % 2 == 0, "max-pool needs even dimensions");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor::zeros(c, oh, ow);
+        self.argmax = vec![0; c * oh * ow];
+        self.in_shape = (c, h, w);
+        for ci in 0..c {
+            for y in 0..oh {
+                for xp in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let (sy, sx) = (2 * y + dy, 2 * xp + dx);
+                            let v = x.get(ci, sy, sx);
+                            if v > best {
+                                best = v;
+                                best_idx = (ci * h + sy) * w + sx;
+                            }
+                        }
+                    }
+                    out.set(ci, y, xp, best);
+                    self.argmax[(ci * oh + y) * ow + xp] = best_idx;
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: routes gradients to the argmax positions.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&self, gout: &Tensor) -> Tensor {
+        let (c, h, w) = self.in_shape;
+        assert!(c > 0, "forward must run before backward");
+        let mut gin = Tensor::zeros(c, h, w);
+        for (i, &src) in self.argmax.iter().enumerate() {
+            gin.as_mut_slice()[src] += gout.as_slice()[i];
+        }
+        gin
+    }
+}
+
+/// Nearest-neighbour 2× upsampling (the NN-S "upsampling" layer).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Upsample2;
+
+impl Upsample2 {
+    /// Forward pass: each input pixel becomes a 2×2 block.
+    pub fn forward(x: &Tensor) -> Tensor {
+        let (c, h, w) = (x.channels(), x.height(), x.width());
+        let mut out = Tensor::zeros(c, h * 2, w * 2);
+        for ci in 0..c {
+            for y in 0..h * 2 {
+                for xp in 0..w * 2 {
+                    out.set(ci, y, xp, x.get(ci, y / 2, xp / 2));
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: sums the 2×2 block gradients back to the source pixel.
+    ///
+    /// # Panics
+    /// Panics on odd gradient dimensions.
+    pub fn backward(gout: &Tensor) -> Tensor {
+        let (c, h, w) = (gout.channels(), gout.height(), gout.width());
+        assert!(h % 2 == 0 && w % 2 == 0, "upsample grad needs even dims");
+        let mut gin = Tensor::zeros(c, h / 2, w / 2);
+        for ci in 0..c {
+            for y in 0..h {
+                for xp in 0..w {
+                    let cur = gin.get(ci, y / 2, xp / 2);
+                    gin.set(ci, y / 2, xp / 2, cur + gout.get(ci, y, xp));
+                }
+            }
+        }
+        gin
+    }
+}
+
+/// ReLU activation with cached mask.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Relu {
+    #[serde(skip)]
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.mask = x.as_slice().iter().map(|&v| v > 0.0).collect();
+        let data = x.as_slice().iter().map(|&v| v.max(0.0)).collect();
+        Tensor::from_vec(x.channels(), x.height(), x.width(), data)
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    /// Panics if called before `forward` or with a mismatched shape.
+    pub fn backward(&self, gout: &Tensor) -> Tensor {
+        assert_eq!(self.mask.len(), gout.len(), "relu shape mismatch");
+        let data = gout
+            .as_slice()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(gout.channels(), gout.height(), gout.width(), data)
+    }
+}
+
+/// Channel-wise concatenation of two tensors, with a matching split for the
+/// backward pass.
+pub fn concat(a: &Tensor, b: &Tensor) -> Tensor {
+    Tensor::stack(&[a.clone(), b.clone()])
+}
+
+/// Splits a gradient back into the two concatenated parts.
+///
+/// # Panics
+/// Panics if `c_first` is not smaller than the gradient's channel count.
+pub fn split(g: &Tensor, c_first: usize) -> (Tensor, Tensor) {
+    let (c, h, w) = (g.channels(), g.height(), g.width());
+    assert!(c_first < c, "split point must leave both halves non-empty");
+    let plane = h * w;
+    let first = Tensor::from_vec(c_first, h, w, g.as_slice()[..c_first * plane].to_vec());
+    let second = Tensor::from_vec(c - c_first, h, w, g.as_slice()[c_first * plane..].to_vec());
+    (first, second)
+}
+
+/// Element-wise logistic sigmoid.
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    let data = x
+        .as_slice()
+        .iter()
+        .map(|&v| 1.0 / (1.0 + (-v).exp()))
+        .collect();
+    Tensor::from_vec(x.channels(), x.height(), x.width(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_forward_backward() {
+        let x = Tensor::from_vec(
+            1,
+            2,
+            4,
+            vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 9.0],
+        );
+        let mut pool = MaxPool2::new();
+        let y = pool.forward(&x);
+        assert_eq!(y.as_slice(), &[5.0, 9.0]);
+        let g = Tensor::from_vec(1, 1, 2, vec![10.0, 20.0]);
+        let gin = pool.backward(&g);
+        // Gradient flows only to the max positions.
+        assert_eq!(gin.get(0, 0, 1), 10.0);
+        assert_eq!(gin.get(0, 1, 3), 20.0);
+        assert_eq!(gin.as_slice().iter().sum::<f32>(), 30.0);
+    }
+
+    #[test]
+    fn upsample_forward_backward_are_adjoint() {
+        let x = Tensor::from_vec(1, 1, 2, vec![3.0, 7.0]);
+        let y = Upsample2::forward(&x);
+        assert_eq!(y.get(0, 1, 1), 3.0);
+        assert_eq!(y.get(0, 0, 3), 7.0);
+        let gin = Upsample2::backward(&y);
+        // Each source receives 4 copies of its own value.
+        assert_eq!(gin.as_slice(), &[12.0, 28.0]);
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let x = Tensor::from_vec(1, 1, 4, vec![-1.0, 2.0, 0.0, 3.0]);
+        let mut relu = Relu::new();
+        let y = relu.forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 3.0]);
+        let g = Tensor::from_vec(1, 1, 4, vec![1.0; 4]);
+        assert_eq!(relu.backward(&g).as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let a = Tensor::from_vec(2, 2, 2, (0..8).map(|v| v as f32).collect());
+        let b = Tensor::from_vec(1, 2, 2, vec![9.0; 4]);
+        let c = concat(&a, &b);
+        let (ga, gb) = split(&c, 2);
+        assert_eq!(ga, a);
+        assert_eq!(gb, b);
+    }
+
+    #[test]
+    fn sigmoid_squashes() {
+        let x = Tensor::from_vec(1, 1, 3, vec![-100.0, 0.0, 100.0]);
+        let y = sigmoid(&x);
+        assert!(y.as_slice()[0] < 1e-6);
+        assert!((y.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(y.as_slice()[2] > 1.0 - 1e-6);
+    }
+}

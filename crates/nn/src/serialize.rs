@@ -1,0 +1,157 @@
+//! Save/load trained NN-S models.
+//!
+//! A small, self-contained little-endian binary format (no external
+//! serialisation crates): magic, version, hidden width, then each
+//! convolution's weights and biases. Training NN-S takes seconds, but a
+//! deployed pipeline wants the exact shipped weights — and reproducibility
+//! audits want byte-stable artefacts.
+
+use crate::conv::Conv2d;
+use crate::nns::{NnS, SANDWICH_CHANNELS};
+
+/// Magic bytes of a serialised NN-S model.
+pub const MAGIC: [u8; 4] = *b"VRNS";
+/// Format version.
+pub const VERSION: u8 = 1;
+
+fn put_f32s(out: &mut Vec<u8>, vals: &[f32]) {
+    out.extend_from_slice(&(vals.len() as u32).to_le_bytes());
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn get_f32s(buf: &[u8], pos: &mut usize) -> Result<Vec<f32>, String> {
+    let n = u32::from_le_bytes(
+        buf.get(*pos..*pos + 4)
+            .ok_or("truncated length")?
+            .try_into()
+            .expect("slice of 4"),
+    ) as usize;
+    *pos += 4;
+    let end = pos
+        .checked_add(n * 4)
+        .filter(|&e| e <= buf.len())
+        .ok_or("truncated parameter block")?;
+    let vals = buf[*pos..end]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect();
+    *pos = end;
+    Ok(vals)
+}
+
+fn put_conv(out: &mut Vec<u8>, conv: &Conv2d) {
+    let (w, b) = conv.export_params();
+    put_f32s(out, &w);
+    put_f32s(out, &b);
+}
+
+fn get_conv(
+    buf: &[u8],
+    pos: &mut usize,
+    cin: usize,
+    cout: usize,
+    k: usize,
+) -> Result<Conv2d, String> {
+    let w = get_f32s(buf, pos)?;
+    let b = get_f32s(buf, pos)?;
+    let mut conv = Conv2d::new(cin, cout, k, 0);
+    conv.import_params(&w, &b)
+        .map_err(|e| format!("conv {cin}x{cout}: {e}"))?;
+    Ok(conv)
+}
+
+/// Serialises a trained NN-S to bytes.
+///
+/// # Example
+/// ```
+/// use vrd_nn::{load_nns, save_nns, NnS, Tensor};
+///
+/// # fn main() -> Result<(), String> {
+/// let mut model = NnS::new(4, 7);
+/// let bytes = save_nns(&model);
+/// let mut restored = load_nns(&bytes)?;
+/// let x = Tensor::zeros(3, 8, 8);
+/// assert_eq!(model.infer(&x).as_slice(), restored.infer(&x).as_slice());
+/// # Ok(())
+/// # }
+/// ```
+pub fn save_nns(model: &NnS) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&(model.hidden() as u32).to_le_bytes());
+    let (c1, c2, c3) = model.convs();
+    put_conv(&mut out, c1);
+    put_conv(&mut out, c2);
+    put_conv(&mut out, c3);
+    out
+}
+
+/// Deserialises an NN-S from bytes produced by [`save_nns`].
+///
+/// # Errors
+/// Returns a message on bad magic/version, truncation or shape mismatch.
+pub fn load_nns(buf: &[u8]) -> Result<NnS, String> {
+    if buf.len() < 9 || buf[..4] != MAGIC {
+        return Err("not an NN-S model (bad magic)".into());
+    }
+    if buf[4] != VERSION {
+        return Err(format!("unsupported model version {}", buf[4]));
+    }
+    let hidden = u32::from_le_bytes(buf[5..9].try_into().expect("slice of 4")) as usize;
+    if hidden == 0 || hidden > 4096 {
+        return Err(format!("implausible hidden width {hidden}"));
+    }
+    let mut pos = 9usize;
+    let c1 = get_conv(buf, &mut pos, SANDWICH_CHANNELS, hidden, 3)?;
+    let c2 = get_conv(buf, &mut pos, hidden, hidden, 3)?;
+    let c3 = get_conv(buf, &mut pos, 2 * hidden, 1, 3)?;
+    if pos != buf.len() {
+        return Err(format!("{} trailing bytes", buf.len() - pos));
+    }
+    Ok(NnS::from_convs(hidden, c1, c2, c3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn roundtrip_preserves_inference() {
+        let mut model = NnS::new(4, 99);
+        // Nudge it away from the raw init so the test is not vacuous.
+        let x = Tensor::from_vec(3, 8, 8, (0..192).map(|v| v as f32 / 192.0).collect());
+        let t = Tensor::zeros(1, 8, 8);
+        model.zero_grad();
+        model.train_step(&x, &t);
+        model.apply_grads(0.1, 0.9, 1);
+
+        let bytes = save_nns(&model);
+        let mut loaded = load_nns(&bytes).expect("loads");
+        assert_eq!(loaded.n_params(), model.n_params());
+        assert_eq!(model.infer(&x).as_slice(), loaded.infer(&x).as_slice());
+    }
+
+    #[test]
+    fn save_is_deterministic() {
+        let model = NnS::new(8, 7);
+        assert_eq!(save_nns(&model), save_nns(&model));
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        assert!(load_nns(b"garbage").is_err());
+        let mut bytes = save_nns(&NnS::new(4, 1));
+        bytes[4] = 99; // bad version
+        assert!(load_nns(&bytes).is_err());
+        let mut truncated = save_nns(&NnS::new(4, 1));
+        truncated.truncate(truncated.len() / 2);
+        assert!(load_nns(&truncated).is_err());
+        let mut trailing = save_nns(&NnS::new(4, 1));
+        trailing.push(0);
+        assert!(load_nns(&trailing).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Simulation output: timing, energy and DRAM-traffic breakdowns.
+
+use crate::dram::DramStats;
+use serde::{Deserialize, Serialize};
+use vr_dann::SchemeKind;
+
+/// DRAM traffic by category (the Fig. 14 breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrafficBreakdown {
+    /// Network weight streaming.
+    pub weights: u64,
+    /// Activations: raw decoded frames plus spilled feature maps.
+    pub activations: u64,
+    /// Motion-vector records.
+    pub mv: u64,
+    /// Segmentation reads/writes (reference fetches, reconstructions,
+    /// results).
+    pub seg: u64,
+    /// Compressed bitstream reads.
+    pub bitstream: u64,
+}
+
+impl TrafficBreakdown {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.weights + self.activations + self.mv + self.seg + self.bitstream
+    }
+
+    /// Accumulates another breakdown.
+    pub fn merge(&mut self, other: &TrafficBreakdown) {
+        self.weights += other.weights;
+        self.activations += other.activations;
+        self.mv += other.mv;
+        self.seg += other.seg;
+        self.bitstream += other.bitstream;
+    }
+}
+
+/// Energy by component, in millijoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// NPU compute energy.
+    pub npu_mj: f64,
+    /// DRAM transfer energy.
+    pub dram_mj: f64,
+    /// Video decoder energy.
+    pub decoder_mj: f64,
+    /// Agent-unit SRAM energy (VR-DANN-parallel only).
+    pub agent_mj: f64,
+    /// CPU software-reconstruction energy (VR-DANN-serial only).
+    pub cpu_mj: f64,
+    /// SoC static energy over the execution window.
+    pub static_mj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.npu_mj + self.dram_mj + self.decoder_mj + self.agent_mj + self.cpu_mj
+            + self.static_mj
+    }
+}
+
+/// Complete result of simulating one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// The scheme simulated.
+    pub scheme: SchemeKind,
+    /// Frames processed.
+    pub frames: usize,
+    /// End-to-end time in nanoseconds.
+    pub total_ns: f64,
+    /// Sustained recognition rate in frames/second.
+    pub fps: f64,
+    /// Time the NPU spent computing.
+    pub npu_busy_ns: f64,
+    /// Time lost to model switching.
+    pub switch_ns: f64,
+    /// Number of model switches.
+    pub switches: usize,
+    /// Time the NPU stalled waiting for B-frame reconstruction.
+    pub recon_stall_ns: f64,
+    /// Time spent in serial (CPU) reconstruction, if any.
+    pub cpu_recon_ns: f64,
+    /// Peak `b_Q` occupancy observed (VR-DANN-parallel only; must never
+    /// exceed the configured 24 entries).
+    pub max_b_q_occupancy: usize,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// DRAM traffic breakdown.
+    pub traffic: TrafficBreakdown,
+    /// Event-level DRAM statistics of the agent-unit accesses.
+    pub dram: DramStats,
+}
+
+impl SimReport {
+    /// Total simulated time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns / 1e6
+    }
+
+    /// Speed-up of this report relative to `baseline` (>1 = faster).
+    pub fn speedup_vs(&self, baseline: &SimReport) -> f64 {
+        baseline.total_ns / self.total_ns
+    }
+
+    /// Energy reduction relative to `baseline` (>1 = less energy).
+    pub fn energy_reduction_vs(&self, baseline: &SimReport) -> f64 {
+        baseline.energy.total_mj() / self.energy.total_mj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_totals_and_merge() {
+        let mut a = TrafficBreakdown {
+            weights: 10,
+            activations: 20,
+            mv: 1,
+            seg: 2,
+            bitstream: 3,
+        };
+        assert_eq!(a.total(), 36);
+        a.merge(&a.clone());
+        assert_eq!(a.total(), 72);
+    }
+
+    #[test]
+    fn report_ratios() {
+        let mk = |ns: f64, mj: f64| SimReport {
+            scheme: SchemeKind::Favos,
+            frames: 10,
+            total_ns: ns,
+            fps: 10.0 / (ns / 1e9),
+            npu_busy_ns: ns,
+            switch_ns: 0.0,
+            switches: 0,
+            recon_stall_ns: 0.0,
+            cpu_recon_ns: 0.0,
+            max_b_q_occupancy: 0,
+            energy: EnergyBreakdown {
+                npu_mj: mj,
+                ..EnergyBreakdown::default()
+            },
+            traffic: TrafficBreakdown::default(),
+            dram: DramStats::default(),
+        };
+        let base = mk(100.0, 10.0);
+        let fast = mk(25.0, 5.0);
+        assert!((fast.speedup_vs(&base) - 4.0).abs() < 1e-9);
+        assert!((fast.energy_reduction_vs(&base) - 2.0).abs() < 1e-9);
+        assert!((base.total_ms() - 1e-4).abs() < 1e-12);
+    }
+}

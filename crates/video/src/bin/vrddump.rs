@@ -1,0 +1,54 @@
+//! `vrddump` — writes a suite sequence to disk as PGM images for visual
+//! inspection: raw frames, ground-truth masks and boundary overlays.
+//!
+//! ```text
+//! cargo run -p vrd-video --bin vrddump -- [video] [out_dir] [--quick]
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use vrd_video::davis::{davis_sequence, davis_val_names, SuiteConfig};
+use vrd_video::pgm::{frame_to_pgm, mask_to_pgm, overlay};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
+    let name = positional.next().cloned().unwrap_or_else(|| "cows".into());
+    let out_dir = PathBuf::from(
+        positional
+            .next()
+            .cloned()
+            .unwrap_or_else(|| format!("vrddump-{name}")),
+    );
+    if !davis_val_names().contains(&name.as_str()) {
+        return Err(format!(
+            "unknown sequence {name:?}; choose from: {}",
+            davis_val_names().join(", ")
+        )
+        .into());
+    }
+    let cfg = if args.iter().any(|a| a == "--quick") {
+        SuiteConfig::tiny()
+    } else {
+        SuiteConfig::default()
+    };
+    let seq = davis_sequence(&name, &cfg)?;
+    fs::create_dir_all(&out_dir)?;
+    for (t, (frame, mask)) in seq.frames.iter().zip(&seq.gt_masks).enumerate() {
+        fs::write(out_dir.join(format!("{t:03}_frame.pgm")), frame_to_pgm(frame))?;
+        fs::write(out_dir.join(format!("{t:03}_mask.pgm")), mask_to_pgm(mask))?;
+        fs::write(
+            out_dir.join(format!("{t:03}_overlay.pgm")),
+            frame_to_pgm(&overlay(frame, mask)),
+        )?;
+    }
+    println!(
+        "wrote {} frames of '{}' ({}x{}) to {}",
+        seq.len(),
+        name,
+        seq.width(),
+        seq.height(),
+        out_dir.display()
+    );
+    Ok(())
+}

@@ -1,0 +1,375 @@
+//! The DAVIS-like segmentation benchmark suite.
+//!
+//! DAVIS-2016 itself (50 natural videos) is not redistributable here, so the
+//! suite recreates its *validation split by name*: the 20 sequences the paper
+//! plots in Fig. 9, each given a motion/deformation profile matching the
+//! qualitative description of the real sequence (e.g. `parkour` is very fast,
+//! `breakdance` deforms dramatically, `cows` is large and slow). Accuracy is
+//! measured against pixel-exact synthetic ground truth. See `DESIGN.md` §2
+//! for why this substitution preserves the paper's behaviour.
+
+use crate::geom::{Point, Vec2};
+use crate::object::{Deformation, SceneObject, Shape, Trajectory};
+use crate::scene::Scene;
+use crate::sequence::Sequence;
+use crate::texture::Texture;
+use serde::{Deserialize, Serialize};
+
+/// Shared knobs for suite generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuiteConfig {
+    /// Frame width in pixels (must be a multiple of 16 for both codec
+    /// profiles).
+    pub width: usize,
+    /// Frame height in pixels (must be a multiple of 16).
+    pub height: usize,
+    /// Frames per sequence.
+    pub frames: usize,
+    /// Master seed; every sequence derives its own sub-seed from it.
+    pub seed: u64,
+}
+
+impl Default for SuiteConfig {
+    /// 160×96 @ 48 frames: large enough for 8/16-pixel macro-blocks to be
+    /// meaningful, small enough to run the full 20-video suite in seconds.
+    fn default() -> Self {
+        Self {
+            width: 160,
+            height: 96,
+            frames: 48,
+            seed: 0x5eed_da15,
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// A reduced configuration for fast unit/property tests.
+    pub fn tiny() -> Self {
+        Self {
+            width: 64,
+            height: 48,
+            frames: 16,
+            seed: 0x7e57,
+        }
+    }
+
+    /// Validates that the canvas is compatible with both codec profiles.
+    ///
+    /// # Errors
+    /// Returns a message if a dimension is zero or not a multiple of 16.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.width == 0 || self.height == 0 || self.frames == 0 {
+            return Err("width, height and frames must be non-zero".into());
+        }
+        if !self.width.is_multiple_of(16) || !self.height.is_multiple_of(16) {
+            return Err(format!(
+                "dimensions {}x{} must be multiples of 16 (largest macro-block)",
+                self.width, self.height
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Trajectory archetype for a DAVIS-like sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Traj {
+    Bounce,
+    Linear,
+    /// Vertical sinusoid: (relative amplitude, period in frames).
+    Sin(f32, f32),
+    Circular,
+}
+
+/// One row of the suite definition table.
+struct Spec {
+    name: &'static str,
+    /// Object radius as a fraction of the frame height.
+    rel_size: f32,
+    /// Speed in pixels/frame at the 160-pixel-wide reference canvas.
+    speed: f32,
+    traj: Traj,
+    deform: Deformation,
+    /// Camera pan in reference pixels/frame.
+    pan: f32,
+    /// Rigid box silhouette (vehicles) instead of a lobed blob.
+    boxy: bool,
+}
+
+/// The 20 DAVIS-2016 validation sequence profiles plotted in the paper's
+/// Fig. 9, ordered as in the dataset.
+const DAVIS_VAL: &[Spec] = &[
+    Spec { name: "blackswan", rel_size: 0.26, speed: 0.6, traj: Traj::Sin(0.02, 24.0), deform: Deformation::None, pan: 0.1, boxy: false },
+    Spec { name: "bmx-trees", rel_size: 0.17, speed: 2.6, traj: Traj::Bounce, deform: Deformation::PulseSpin { amp: 0.18, period: 12.0, omega: 0.08 }, pan: 0.4, boxy: false },
+    Spec { name: "breakdance", rel_size: 0.23, speed: 1.8, traj: Traj::Bounce, deform: Deformation::PulseSpin { amp: 0.28, period: 10.0, omega: 0.12 }, pan: 0.0, boxy: false },
+    Spec { name: "camel", rel_size: 0.30, speed: 0.5, traj: Traj::Linear, deform: Deformation::None, pan: 0.1, boxy: false },
+    Spec { name: "car-roundabout", rel_size: 0.21, speed: 1.6, traj: Traj::Circular, deform: Deformation::None, pan: 0.0, boxy: true },
+    Spec { name: "car-shadow", rel_size: 0.21, speed: 1.4, traj: Traj::Linear, deform: Deformation::None, pan: 0.2, boxy: true },
+    Spec { name: "cows", rel_size: 0.33, speed: 0.4, traj: Traj::Sin(0.015, 30.0), deform: Deformation::None, pan: 0.0, boxy: false },
+    Spec { name: "dance-twirl", rel_size: 0.23, speed: 1.5, traj: Traj::Bounce, deform: Deformation::Spin { omega: 0.1 }, pan: 0.0, boxy: false },
+    Spec { name: "dog", rel_size: 0.21, speed: 1.2, traj: Traj::Sin(0.04, 14.0), deform: Deformation::Pulse { amp: 0.1, period: 12.0 }, pan: 0.1, boxy: false },
+    Spec { name: "drift-chicane", rel_size: 0.17, speed: 2.8, traj: Traj::Sin(0.08, 18.0), deform: Deformation::None, pan: 0.3, boxy: true },
+    Spec { name: "drift-straight", rel_size: 0.17, speed: 3.0, traj: Traj::Linear, deform: Deformation::None, pan: 0.3, boxy: true },
+    Spec { name: "goat", rel_size: 0.25, speed: 0.7, traj: Traj::Linear, deform: Deformation::None, pan: 0.1, boxy: false },
+    Spec { name: "horsejump-high", rel_size: 0.21, speed: 2.2, traj: Traj::Sin(0.1, 16.0), deform: Deformation::Pulse { amp: 0.12, period: 16.0 }, pan: 0.2, boxy: false },
+    Spec { name: "kite-surf", rel_size: 0.13, speed: 1.6, traj: Traj::Sin(0.05, 12.0), deform: Deformation::None, pan: 0.2, boxy: false },
+    Spec { name: "libby", rel_size: 0.12, speed: 3.3, traj: Traj::Bounce, deform: Deformation::Pulse { amp: 0.12, period: 8.0 }, pan: 0.1, boxy: false },
+    Spec { name: "motocross-jump", rel_size: 0.19, speed: 2.9, traj: Traj::Sin(0.12, 14.0), deform: Deformation::PulseSpin { amp: 0.14, period: 12.0, omega: 0.06 }, pan: 0.3, boxy: false },
+    Spec { name: "paragliding-launch", rel_size: 0.13, speed: 0.8, traj: Traj::Linear, deform: Deformation::None, pan: 0.1, boxy: false },
+    Spec { name: "parkour", rel_size: 0.15, speed: 3.6, traj: Traj::Bounce, deform: Deformation::Pulse { amp: 0.15, period: 6.0 }, pan: 0.3, boxy: false },
+    Spec { name: "scooter-black", rel_size: 0.19, speed: 1.5, traj: Traj::Linear, deform: Deformation::None, pan: 0.2, boxy: true },
+    Spec { name: "soapbox", rel_size: 0.21, speed: 1.9, traj: Traj::Sin(0.05, 20.0), deform: Deformation::None, pan: 0.2, boxy: true },
+];
+
+/// The names of the 20 validation sequences in suite order.
+pub fn davis_val_names() -> Vec<&'static str> {
+    DAVIS_VAL.iter().map(|s| s.name).collect()
+}
+
+fn build_scene(spec: &Spec, cfg: &SuiteConfig, salt: u64) -> Scene {
+    let w = cfg.width as f32;
+    let h = cfg.height as f32;
+    let sx = w / 160.0; // speed scale relative to the reference canvas
+    let seed = cfg
+        .seed
+        .wrapping_mul(0x9e37_79b9)
+        .wrapping_add(crate::texture::hash2(spec.name.len() as i64, salt as i64, cfg.seed));
+    let size = spec.rel_size * h;
+    let speed = spec.speed * sx;
+
+    // Direction derived from the seed so different seeds give different runs.
+    let dir = (seed % 360) as f32 * std::f32::consts::PI / 180.0;
+    // Favour horizontal motion (like real footage) but renormalise so the
+    // object's speed matches the spec exactly.
+    let raw = Vec2::new(dir.cos(), dir.sin() * 0.6);
+    let vel = raw.scaled(speed / raw.norm().max(1e-6));
+    let start = Point::new(
+        w * (0.3 + 0.4 * ((seed >> 8) % 100) as f32 / 100.0),
+        h * (0.35 + 0.3 * ((seed >> 16) % 100) as f32 / 100.0),
+    );
+    let margin = size + 2.0;
+    let trajectory = match spec.traj {
+        Traj::Bounce => Trajectory::Bounce {
+            start,
+            vel,
+            w,
+            h,
+            margin: margin.min(w / 3.0).min(h / 3.0),
+        },
+        Traj::Linear => {
+            // Linear motion still must not leave the canvas over a long
+            // sequence; a wide bounce box keeps it effectively linear for
+            // typical lengths while staying visible.
+            let flat = Vec2::new(vel.dx, vel.dy * 0.3);
+            Trajectory::Bounce {
+                start,
+                vel: flat.scaled(speed / flat.norm().max(1e-6)),
+                w,
+                h,
+                margin: margin.min(w / 3.0).min(h / 3.0),
+            }
+        }
+        Traj::Sin(amp, period) => Trajectory::Sinusoid {
+            start,
+            vel: Vec2::new(speed * dir.cos().signum(), 0.0),
+            amp: amp * h,
+            period,
+        },
+        Traj::Circular => Trajectory::Circular {
+            center: Point::new(w / 2.0, h / 2.0),
+            radius: (h / 2.0 - margin).max(4.0),
+            omega: speed / (h / 2.0 - margin).max(4.0),
+            phase: (seed % 628) as f32 / 100.0,
+        },
+    };
+    // For sinusoids the horizontal drift can still escape; wrap it in a
+    // bounce on x by reusing Bounce when the drift would leave the frame.
+    let trajectory = match trajectory {
+        Trajectory::Sinusoid { start, vel, amp, period }
+            if vel.dx.abs() * cfg.frames as f32 > w - 2.0 * margin =>
+        {
+            // Too fast to stay on screen: bounce instead, keeping the
+            // vertical oscillation approximated by a diagonal velocity.
+            Trajectory::Bounce {
+                start,
+                vel: Vec2::new(vel.dx, 2.0 * amp / period.max(1.0)),
+                w,
+                h,
+                margin: margin.min(w / 3.0).min(h / 3.0),
+            }
+        }
+        t => t,
+    };
+
+    let shape = if spec.boxy {
+        Shape::Box {
+            hw: size,
+            hh: size * 0.55,
+        }
+    } else {
+        Shape::Blob {
+            r0: size,
+            lobes: 3 + (seed % 4) as u32,
+            lobe_amp: 0.22,
+        }
+    };
+    let texture = if spec.boxy {
+        Texture::Stripes {
+            a: 215,
+            b: 35,
+            period: 4,
+        }
+    } else {
+        Texture::Checker {
+            a: 225,
+            b: 45,
+            cell: 3,
+        }
+    };
+    Scene::new(
+        cfg.width,
+        cfg.height,
+        Texture::Blobs {
+            lo: 70,
+            hi: 170,
+            scale: 11.0,
+        },
+        seed,
+    )
+    .with_camera_pan(Vec2::new(spec.pan * sx, 0.0))
+    .with_object(SceneObject {
+        shape,
+        trajectory,
+        deformation: spec.deform,
+        texture,
+        seed: seed ^ 0xa5a5,
+    })
+}
+
+/// Generates the 20-sequence DAVIS-like validation suite.
+///
+/// # Panics
+/// Panics if `cfg` fails [`SuiteConfig::validate`].
+pub fn davis_val_suite(cfg: &SuiteConfig) -> Vec<Sequence> {
+    cfg.validate().expect("invalid suite config");
+    DAVIS_VAL
+        .iter()
+        .map(|spec| Sequence::from_scene(spec.name, &build_scene(spec, cfg, 0), cfg.frames))
+        .collect()
+}
+
+/// Generates a disjoint training suite (different seeds and mixed motion
+/// profiles) used to train NN-S, mirroring the paper's use of the DAVIS
+/// training split.
+///
+/// # Panics
+/// Panics if `cfg` fails [`SuiteConfig::validate`].
+pub fn davis_train_suite(cfg: &SuiteConfig, n_sequences: usize) -> Vec<Sequence> {
+    cfg.validate().expect("invalid suite config");
+    (0..n_sequences)
+        .map(|i| {
+            let spec = &DAVIS_VAL[(i * 7 + 3) % DAVIS_VAL.len()];
+            let scene = build_scene(spec, cfg, 1000 + i as u64);
+            Sequence::from_scene(format!("train-{i:02}-{}", spec.name), &scene, cfg.frames)
+        })
+        .collect()
+}
+
+/// Generates a single named validation sequence (one of
+/// [`davis_val_names`]).
+///
+/// # Errors
+/// Returns an error if `name` is not in the suite.
+pub fn davis_sequence(name: &str, cfg: &SuiteConfig) -> Result<Sequence, String> {
+    cfg.validate()?;
+    let spec = DAVIS_VAL
+        .iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| format!("unknown DAVIS sequence: {name}"))?;
+    Ok(Sequence::from_scene(
+        spec.name,
+        &build_scene(spec, cfg, 0),
+        cfg.frames,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::SpeedClass;
+
+    #[test]
+    fn twenty_named_sequences() {
+        let names = davis_val_names();
+        assert_eq!(names.len(), 20);
+        assert!(names.contains(&"cows"));
+        assert!(names.contains(&"parkour"));
+        assert!(names.contains(&"libby"));
+    }
+
+    #[test]
+    fn suite_generation_is_deterministic_and_grounded() {
+        let cfg = SuiteConfig::tiny();
+        let a = davis_val_suite(&cfg);
+        let b = davis_val_suite(&cfg);
+        assert_eq!(a.len(), 20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.frames, y.frames, "nondeterministic frames for {}", x.name);
+            assert_eq!(x.gt_masks, y.gt_masks);
+        }
+        for seq in &a {
+            assert_eq!(seq.len(), cfg.frames);
+            // Object must be visible in most frames.
+            let visible = seq
+                .gt_masks
+                .iter()
+                .filter(|m| m.count_ones() > 10)
+                .count();
+            assert!(
+                visible >= cfg.frames * 3 / 4,
+                "{} visible in only {visible}/{} frames",
+                seq.name,
+                cfg.frames
+            );
+        }
+    }
+
+    #[test]
+    fn speed_profiles_match_the_paper() {
+        let cfg = SuiteConfig::default();
+        let suite = davis_val_suite(&cfg);
+        let by_name = |n: &str| suite.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("cows").speed_class(), SpeedClass::Slow);
+        assert_eq!(by_name("parkour").speed_class(), SpeedClass::Fast);
+        assert_eq!(by_name("libby").speed_class(), SpeedClass::Fast);
+        assert!(by_name("breakdance").deformation > 0.3);
+        assert_eq!(by_name("camel").deformation, 0.0);
+    }
+
+    #[test]
+    fn train_suite_differs_from_val() {
+        let cfg = SuiteConfig::tiny();
+        let train = davis_train_suite(&cfg, 6);
+        assert_eq!(train.len(), 6);
+        let val = davis_val_suite(&cfg);
+        // Training sequences must not be bit-identical to any val sequence.
+        for t in &train {
+            for v in &val {
+                assert_ne!(t.frames, v.frames, "{} duplicates {}", t.name, v.name);
+            }
+        }
+    }
+
+    #[test]
+    fn named_lookup_and_validation_errors() {
+        let cfg = SuiteConfig::tiny();
+        assert!(davis_sequence("cows", &cfg).is_ok());
+        assert!(davis_sequence("not-a-video", &cfg).is_err());
+        let bad = SuiteConfig {
+            width: 100, // not a multiple of 16
+            ..cfg
+        };
+        assert!(bad.validate().is_err());
+        assert!(davis_sequence("cows", &bad).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! PGM (portable graymap) export for visual inspection.
+//!
+//! The suites are synthetic, so "what does this sequence look like?" comes
+//! up constantly while debugging reconstruction quality. These helpers
+//! serialise frames and masks to binary PGM (P5) — viewable by effectively
+//! every image tool — without pulling in an image dependency. The `vrddump`
+//! binary writes whole sequences.
+
+use crate::frame::{Frame, SegMask};
+
+/// Serialises a frame as a binary PGM (P5) image.
+///
+/// # Example
+/// ```
+/// use vrd_video::pgm::{frame_to_pgm, parse_pgm_header};
+/// use vrd_video::Frame;
+///
+/// # fn main() -> Result<(), String> {
+/// let frame = Frame::new(16, 8);
+/// let pgm = frame_to_pgm(&frame);
+/// let (w, h, offset) = parse_pgm_header(&pgm)?;
+/// assert_eq!((w, h), (16, 8));
+/// assert_eq!(pgm.len() - offset, 16 * 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn frame_to_pgm(frame: &Frame) -> Vec<u8> {
+    let mut out = format!("P5\n{} {}\n255\n", frame.width(), frame.height()).into_bytes();
+    out.extend_from_slice(frame.as_slice());
+    out
+}
+
+/// Serialises a mask as a binary PGM (foreground white).
+pub fn mask_to_pgm(mask: &SegMask) -> Vec<u8> {
+    let mut out = format!("P5\n{} {}\n255\n", mask.width(), mask.height()).into_bytes();
+    out.extend(mask.as_slice().iter().map(|&v| if v == 1 { 255 } else { 0 }));
+    out
+}
+
+/// Renders a frame with the mask's boundary burned in as white pixels
+/// (the usual segmentation-overlay visualisation).
+///
+/// # Panics
+/// Panics if the mask dimensions differ from the frame's.
+pub fn overlay(frame: &Frame, mask: &SegMask) -> Frame {
+    assert_eq!(frame.width(), mask.width(), "overlay width mismatch");
+    assert_eq!(frame.height(), mask.height(), "overlay height mismatch");
+    let (w, h) = (frame.width(), frame.height());
+    let mut out = frame.clone();
+    for y in 0..h {
+        for x in 0..w {
+            if mask.get(x, y) == 0 {
+                continue;
+            }
+            let boundary = (x > 0 && mask.get(x - 1, y) == 0)
+                || (x + 1 < w && mask.get(x + 1, y) == 0)
+                || (y > 0 && mask.get(x, y - 1) == 0)
+                || (y + 1 < h && mask.get(x, y + 1) == 0);
+            if boundary {
+                out.set(x, y, 255);
+            }
+        }
+    }
+    out
+}
+
+/// Parses the header of a binary PGM produced by this module, returning
+/// `(width, height, pixel_offset)`.
+///
+/// # Errors
+/// Returns a message for non-P5 input or malformed headers.
+pub fn parse_pgm_header(data: &[u8]) -> Result<(usize, usize, usize), String> {
+    // Tokenise raw bytes: the header is ASCII but is followed immediately by
+    // binary pixel data, so a UTF-8 view of a fixed prefix would fail.
+    let mut pos = 0usize;
+    let mut token = || -> Result<&[u8], String> {
+        while pos < data.len() && data[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        let start = pos;
+        while pos < data.len() && !data[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if start == pos {
+            return Err("truncated header".into());
+        }
+        Ok(&data[start..pos])
+    };
+    if token()? != b"P5" {
+        return Err("not a binary PGM (P5)".into());
+    }
+    let parse = |t: &[u8]| -> Result<usize, String> {
+        std::str::from_utf8(t)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "non-numeric header field".into())
+    };
+    let w = parse(token()?)?;
+    let h = parse(token()?)?;
+    let maxval = parse(token()?)?;
+    if maxval != 255 {
+        return Err(format!("unsupported maxval {maxval}"));
+    }
+    // Pixels start after exactly one whitespace byte following the maxval.
+    Ok((w, h, pos + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Rect;
+
+    #[test]
+    fn pgm_roundtrip_header_and_pixels() {
+        let mut f = Frame::new(6, 4);
+        f.set(2, 1, 200);
+        let pgm = frame_to_pgm(&f);
+        let (w, h, off) = parse_pgm_header(&pgm).unwrap();
+        assert_eq!((w, h), (6, 4));
+        assert_eq!(&pgm[off..], f.as_slice());
+    }
+
+    #[test]
+    fn mask_pgm_is_black_and_white() {
+        let mut m = SegMask::new(4, 4);
+        m.fill_rect(Rect::new(1, 1, 3, 3));
+        let pgm = mask_to_pgm(&m);
+        let (_, _, off) = parse_pgm_header(&pgm).unwrap();
+        let px = &pgm[off..];
+        assert!(px.iter().all(|&v| v == 0 || v == 255));
+        assert_eq!(px.iter().filter(|&&v| v == 255).count(), 4);
+    }
+
+    #[test]
+    fn overlay_marks_only_the_boundary() {
+        let f = Frame::new(8, 8);
+        let mut m = SegMask::new(8, 8);
+        m.fill_rect(Rect::new(2, 2, 6, 6));
+        let o = overlay(&f, &m);
+        // Boundary pixel is white, interior untouched.
+        assert_eq!(o.get(2, 2), 255);
+        assert_eq!(o.get(3, 3), 0);
+        assert_eq!(o.get(0, 0), 0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_pgm_header(b"JFIF....").is_err());
+        assert!(parse_pgm_header(b"P5\nxx").is_err());
+    }
+}

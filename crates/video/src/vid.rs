@@ -1,0 +1,177 @@
+//! The ImageNet-VID-like detection benchmark suite.
+//!
+//! Stands in for the ImageNet-VID validation split used by the paper's
+//! detection experiments (Fig. 11). Sequences contain one to three objects
+//! with per-frame ground-truth boxes and are generated in three speed groups
+//! (fast / medium / slow) so the paper's grouped mAP comparison can be
+//! reproduced.
+
+use crate::davis::SuiteConfig;
+use crate::geom::{Point, Vec2};
+use crate::object::{Deformation, SceneObject, Shape, Trajectory};
+use crate::scene::Scene;
+use crate::sequence::{Sequence, SpeedClass};
+use crate::texture::{hash2, Texture};
+
+/// Speeds (reference pixels/frame) representative of each group.
+fn group_speed(class: SpeedClass, salt: u64) -> f32 {
+    let jitter = (salt % 100) as f32 / 100.0;
+    match class {
+        SpeedClass::Slow => 0.3 + 0.5 * jitter,
+        SpeedClass::Medium => 1.1 + 1.0 * jitter,
+        SpeedClass::Fast => 2.5 + 1.3 * jitter,
+    }
+}
+
+fn vid_scene(cfg: &SuiteConfig, class: SpeedClass, index: usize) -> Scene {
+    let w = cfg.width as f32;
+    let h = cfg.height as f32;
+    let sx = w / 160.0;
+    let seed = hash2(index as i64, class as i64, cfg.seed ^ VID_SEED_MARKER);
+    // Mostly single-object sequences (like ImageNet-VID); some two-object.
+    let n_objects = 1 + usize::from(seed % 5 < 2);
+    let mut scene = Scene::new(
+        cfg.width,
+        cfg.height,
+        Texture::Blobs {
+            lo: 60,
+            hi: 160,
+            scale: 13.0,
+        },
+        seed,
+    );
+    for k in 0..n_objects {
+        let oseed = hash2(k as i64, index as i64, seed);
+        let speed = group_speed(class, oseed) * sx;
+        let dir = (oseed % 360) as f32 * std::f32::consts::PI / 180.0;
+        let size = h * (0.10 + 0.08 * ((oseed >> 7) % 100) as f32 / 100.0);
+        let start = Point::new(
+            w * (0.25 + 0.5 * ((oseed >> 13) % 100) as f32 / 100.0),
+            h * (0.25 + 0.5 * ((oseed >> 21) % 100) as f32 / 100.0),
+        );
+        let margin = (size + 2.0).min(w / 3.0).min(h / 3.0);
+        let shape = if k % 2 == 0 {
+            Shape::Box {
+                hw: size,
+                hh: size * 0.6,
+            }
+        } else {
+            Shape::Ellipse {
+                rx: size,
+                ry: size * 0.7,
+            }
+        };
+        scene = scene.with_object(SceneObject {
+            shape,
+            trajectory: Trajectory::Bounce {
+                start,
+                vel: Vec2::new(speed * dir.cos(), speed * dir.sin() * 0.7),
+                w,
+                h,
+                margin,
+            },
+            deformation: if class == SpeedClass::Fast && k == 0 {
+                Deformation::Pulse {
+                    amp: 0.12,
+                    period: 9.0,
+                }
+            } else {
+                Deformation::None
+            },
+            texture: if k % 2 == 0 {
+                Texture::Stripes {
+                    a: 220,
+                    b: 40,
+                    period: 3 + k as u32,
+                }
+            } else {
+                Texture::Checker {
+                    a: 235,
+                    b: 25,
+                    cell: 2 + k as u32,
+                }
+            },
+            seed: oseed,
+        });
+    }
+    scene
+}
+
+/// Domain-separation constant so VID seeds never collide with DAVIS seeds.
+const VID_SEED_MARKER: u64 = 0x01d0_1d00;
+
+/// Generates the VID-like detection suite: `per_group` sequences in each of
+/// the three speed groups, in (slow, medium, fast) order.
+///
+/// # Panics
+/// Panics if `cfg` fails [`SuiteConfig::validate`] or `per_group` is zero.
+pub fn vid_val_suite(cfg: &SuiteConfig, per_group: usize) -> Vec<Sequence> {
+    cfg.validate().expect("invalid suite config");
+    assert!(per_group > 0, "per_group must be non-zero");
+    let mut out = Vec::with_capacity(per_group * 3);
+    for class in [SpeedClass::Slow, SpeedClass::Medium, SpeedClass::Fast] {
+        for i in 0..per_group {
+            let scene = vid_scene(cfg, class, i);
+            let name = format!("vid-{class}-{i:02}");
+            out.push(Sequence::from_scene(name, &scene, cfg.frames));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_all_speed_groups() {
+        let cfg = SuiteConfig::tiny();
+        let suite = vid_val_suite(&cfg, 2);
+        assert_eq!(suite.len(), 6);
+        let slow = suite.iter().filter(|s| s.name.contains("slow")).count();
+        let fast = suite.iter().filter(|s| s.name.contains("fast")).count();
+        assert_eq!(slow, 2);
+        assert_eq!(fast, 2);
+    }
+
+    #[test]
+    fn fast_sequences_move_faster_than_slow() {
+        let cfg = SuiteConfig::default();
+        let suite = vid_val_suite(&cfg, 3);
+        let avg = |tag: &str| {
+            let v: Vec<f32> = suite
+                .iter()
+                .filter(|s| s.name.contains(tag))
+                .map(|s| s.norm_speed)
+                .collect();
+            v.iter().sum::<f32>() / v.len() as f32
+        };
+        assert!(avg("fast") > avg("medium"));
+        assert!(avg("medium") > avg("slow"));
+    }
+
+    #[test]
+    fn every_frame_has_boxes() {
+        let cfg = SuiteConfig::tiny();
+        let suite = vid_val_suite(&cfg, 1);
+        for seq in &suite {
+            for (t, boxes) in seq.gt_boxes.iter().enumerate() {
+                assert!(!boxes.is_empty(), "{} has no boxes at frame {t}", seq.name);
+                for b in boxes {
+                    assert!(b.area() > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = SuiteConfig::tiny();
+        let a = vid_val_suite(&cfg, 1);
+        let b = vid_val_suite(&cfg, 1);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.frames, y.frames);
+            assert_eq!(x.gt_boxes, y.gt_boxes);
+        }
+    }
+}

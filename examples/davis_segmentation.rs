@@ -1,0 +1,78 @@
+//! Video segmentation across the DAVIS-like validation suite — the paper's
+//! motivating workload (video editing).
+//!
+//! ```text
+//! cargo run --release --example davis_segmentation [video-name ...]
+//! ```
+//!
+//! With no arguments, runs a representative subset (a slow, a medium, a
+//! fast and a deforming video); pass sequence names (e.g. `cows parkour`)
+//! to choose. Compares the accuracy of all four segmentation schemes and
+//! the simulated time of each, per video.
+
+use vr_dann::baselines::{run_dff, run_favos, run_osvos, DFF_KEY_INTERVAL};
+use vr_dann::{TrainTask, VrDann, VrDannConfig};
+use vrd_metrics::score_sequence;
+use vrd_sim::{simulate, ExecMode, ParallelOptions, SimConfig};
+use vrd_video::davis::{davis_sequence, davis_train_suite, davis_val_names, SuiteConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let requested: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<String> = if requested.is_empty() {
+        ["cows", "dog", "parkour", "breakdance"]
+            .map(String::from)
+            .to_vec()
+    } else {
+        for name in &requested {
+            if !davis_val_names().contains(&name.as_str()) {
+                return Err(format!(
+                    "unknown sequence {name:?}; choose from: {}",
+                    davis_val_names().join(", ")
+                )
+                .into());
+            }
+        }
+        requested
+    };
+
+    let cfg = SuiteConfig::default();
+    eprintln!("training NN-S ...");
+    let mut model = VrDann::train(
+        &davis_train_suite(&cfg, 4),
+        TrainTask::Segmentation,
+        VrDannConfig::default(),
+    )?;
+    let sim = SimConfig::default();
+
+    println!(
+        "{:<14} {:>7} | {:>11} {:>11} {:>11} {:>11} | {:>9}",
+        "video", "B-ratio", "OSVOS IoU", "DFF IoU", "FAVOS IoU", "VRDANN IoU", "speedup"
+    );
+    for name in &names {
+        let seq = davis_sequence(name, &cfg)?;
+        let encoded = model.encode(&seq)?;
+        let vr = model.run_segmentation(&seq, &encoded)?;
+        let favos = run_favos(&seq, &encoded, 1);
+        let osvos = run_osvos(&seq, &encoded, 1);
+        let dff = run_dff(&seq, &encoded, DFF_KEY_INTERVAL, 1);
+
+        let iou = |masks: &[vrd_video::SegMask]| score_sequence(masks, &seq.gt_masks).iou;
+        let r_favos = simulate(&favos.trace, ExecMode::InOrder, &sim);
+        let r_par = simulate(
+            &vr.trace,
+            ExecMode::VrDannParallel(ParallelOptions::default()),
+            &sim,
+        );
+        println!(
+            "{:<14} {:>6.0}% | {:>11.3} {:>11.3} {:>11.3} {:>11.3} | {:>8.2}x",
+            name,
+            encoded.stats.b_ratio() * 100.0,
+            iou(&osvos.masks),
+            iou(&dff.masks),
+            iou(&favos.masks),
+            iou(&vr.masks),
+            r_par.speedup_vs(&r_favos),
+        );
+    }
+    Ok(())
+}

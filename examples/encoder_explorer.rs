@@ -1,0 +1,87 @@
+//! Encoder-interaction explorer (§III-C): how the B-frame ratio, the search
+//! interval `n` and the encoding standard shape VR-DANN's behaviour on one
+//! video.
+//!
+//! ```text
+//! cargo run --release --example encoder_explorer [video-name]
+//! ```
+
+use vr_dann::{TrainTask, VrDann, VrDannConfig};
+use vrd_codec::{BFrameMode, CodecConfig, SearchInterval, Standard};
+use vrd_metrics::score_sequence;
+use vrd_video::davis::{davis_sequence, davis_train_suite, SuiteConfig};
+
+fn evaluate(
+    label: &str,
+    codec: CodecConfig,
+    seq: &vrd_video::Sequence,
+    train: &[vrd_video::Sequence],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut model = VrDann::train(
+        train,
+        TrainTask::Segmentation,
+        VrDannConfig {
+            codec,
+            ..VrDannConfig::default()
+        },
+    )?;
+    let encoded = model.encode(seq)?;
+    let run = model.run_segmentation(seq, &encoded)?;
+    let scores = score_sequence(&run.masks, &seq.gt_masks);
+    println!(
+        "{:<26} B-ratio {:>4.0}%  refs/B {:>4.1}  compression {:>4.1}x  F {:.3}  IoU {:.3}",
+        label,
+        encoded.stats.b_ratio() * 100.0,
+        encoded.stats.mean_refs_per_b(),
+        encoded.stats.compression_ratio(),
+        scores.f_score,
+        scores.iou,
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "dog".into());
+    let cfg = SuiteConfig::default();
+    let seq = davis_sequence(&name, &cfg)?;
+    let train = davis_train_suite(&cfg, 3);
+    let base = CodecConfig::default();
+
+    println!("-- B-frame ratio (paper Fig. 15) --");
+    for b in 1..=3u8 {
+        evaluate(
+            &format!("B run {b}"),
+            CodecConfig {
+                b_frames: BFrameMode::Fixed(b),
+                ..base
+            },
+            &seq,
+            &train,
+        )?;
+    }
+    evaluate("auto B ratio", base, &seq, &train)?;
+
+    println!("-- search interval n (paper Fig. 16) --");
+    for n in [1u8, 5, 9] {
+        evaluate(
+            &format!("n = {n}"),
+            CodecConfig {
+                search_interval: SearchInterval::Fixed(n),
+                ..base
+            },
+            &seq,
+            &train,
+        )?;
+    }
+
+    println!("-- encoding standard (paper Fig. 17) --");
+    for standard in [Standard::H264, Standard::H265] {
+        evaluate(
+            &standard.to_string(),
+            CodecConfig { standard, ..base },
+            &seq,
+            &train,
+        )?;
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Train once, ship the weights: NN-S model export/import.
+//!
+//! ```text
+//! cargo run --release --example model_persistence
+//! ```
+//!
+//! Trains NN-S, serialises it to a byte-stable artefact, reloads it into a
+//! fresh pipeline and verifies the two produce identical segmentations —
+//! the deployment flow of an SoC vendor shipping calibrated weights.
+
+use vr_dann::{TrainTask, VrDann, VrDannConfig};
+use vrd_video::davis::{davis_sequence, davis_train_suite, SuiteConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SuiteConfig::default();
+    println!("training NN-S ...");
+    let mut trained = VrDann::train(
+        &davis_train_suite(&cfg, 3),
+        TrainTask::Segmentation,
+        VrDannConfig::default(),
+    )?;
+
+    let artefact = trained.export_nns();
+    println!(
+        "exported {} bytes ({} parameters) — byte-stable across runs",
+        artefact.len(),
+        trained.nns().n_params()
+    );
+
+    let mut deployed = VrDann::from_parts(*trained.config(), &artefact)?;
+    let seq = davis_sequence("goat", &cfg)?;
+    let encoded = trained.encode(&seq)?;
+    let a = trained.run_segmentation(&seq, &encoded)?;
+    let b = deployed.run_segmentation(&seq, &encoded)?;
+    assert_eq!(a.masks, b.masks, "deployed model must match the trained one");
+    println!(
+        "deployed pipeline reproduces the trained pipeline exactly on '{}' ({} frames)",
+        seq.name,
+        seq.len()
+    );
+    Ok(())
+}

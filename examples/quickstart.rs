@@ -1,0 +1,83 @@
+//! Quickstart: the complete VR-DANN flow on one video, end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a DAVIS-like sequence, trains NN-S (the paper's two epochs),
+//! encodes the video, runs the decoder-assisted pipeline, and reports
+//! accuracy plus the simulated speed-up over FAVOS.
+
+use vr_dann::baselines::run_favos;
+use vr_dann::{TrainTask, VrDann, VrDannConfig};
+use vrd_metrics::score_sequence;
+use vrd_sim::{simulate, ExecMode, ParallelOptions, SimConfig};
+use vrd_video::davis::{davis_sequence, davis_train_suite, SuiteConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SuiteConfig::default();
+
+    println!("== 1. Train NN-S (3-layer refinement network, 2 epochs) ==");
+    let train_seqs = davis_train_suite(&cfg, 4);
+    let mut model = VrDann::train(&train_seqs, TrainTask::Segmentation, VrDannConfig::default())?;
+    println!(
+        "   NN-S has {} parameters (NN-L equivalents have millions)",
+        model.nns().n_params()
+    );
+
+    println!("== 2. Encode the video (H.265 profile, auto B ratio) ==");
+    let seq = davis_sequence("cows", &cfg)?;
+    let encoded = model.encode(&seq)?;
+    println!(
+        "   {} frames, {:.0}% B-frames, {:.1}x compression, up to {} reference frames per B-frame",
+        seq.len(),
+        encoded.stats.b_ratio() * 100.0,
+        encoded.stats.compression_ratio(),
+        encoded.stats.max_refs_per_b()
+    );
+
+    println!("== 3. Run VR-DANN (decode anchors, reconstruct + refine B-frames) ==");
+    let vr = model.run_segmentation(&seq, &encoded)?;
+    let vr_scores = score_sequence(&vr.masks, &seq.gt_masks);
+
+    println!("== 4. Compare against FAVOS (large network on every frame) ==");
+    let favos = run_favos(&seq, &encoded, 1);
+    let favos_scores = score_sequence(&favos.masks, &seq.gt_masks);
+    println!(
+        "   accuracy  FAVOS   F={:.3} IoU={:.3}",
+        favos_scores.f_score, favos_scores.iou
+    );
+    println!(
+        "   accuracy  VR-DANN F={:.3} IoU={:.3}",
+        vr_scores.f_score, vr_scores.iou
+    );
+
+    println!("== 5. Simulate both on the SoC model ==");
+    let sim = SimConfig::default();
+    let r_favos = simulate(&favos.trace, ExecMode::InOrder, &sim);
+    let r_serial = simulate(&vr.trace, ExecMode::VrDannSerial, &sim);
+    let r_par = simulate(
+        &vr.trace,
+        ExecMode::VrDannParallel(ParallelOptions::default()),
+        &sim,
+    );
+    println!(
+        "   FAVOS             {:8.2} ms  ({:5.1} fps)",
+        r_favos.total_ms(),
+        r_favos.fps
+    );
+    println!(
+        "   VR-DANN-serial    {:8.2} ms  ({:5.1} fps, {:.2}x)",
+        r_serial.total_ms(),
+        r_serial.fps,
+        r_serial.speedup_vs(&r_favos)
+    );
+    println!(
+        "   VR-DANN-parallel  {:8.2} ms  ({:5.1} fps, {:.2}x, {:.2}x energy reduction)",
+        r_par.total_ms(),
+        r_par.fps,
+        r_par.speedup_vs(&r_favos),
+        r_par.energy_reduction_vs(&r_favos)
+    );
+    Ok(())
+}
