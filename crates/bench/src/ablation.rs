@@ -43,9 +43,8 @@ pub struct Ablation {
 fn accuracy_of(ctx: &Context, label: &str, cfg: VrDannConfig) -> AccuracyRow {
     let model = ctx.train_variant(cfg, TrainTask::Segmentation);
     let scores = parallel_map(&ctx.davis, |seq| {
-        let mut m = model.clone();
-        let encoded = m.encode(seq).expect("ablation sequences encode");
-        let run = m
+        let encoded = model.encode(seq).expect("ablation sequences encode");
+        let run = model
             .run_segmentation(seq, &encoded)
             .expect("ablation sequences segment");
         ctx.score(seq, &run.masks)
@@ -141,7 +140,12 @@ pub fn run(ctx: &Context) -> Ablation {
     let full_time: f64 = traces
         .iter()
         .map(|t| {
-            simulate(t, ExecMode::VrDannParallel(ParallelOptions::default()), &ctx.sim).total_ns
+            simulate(
+                t,
+                ExecMode::VrDannParallel(ParallelOptions::default()),
+                &ctx.sim,
+            )
+            .total_ns
         })
         .sum();
     let architecture = variants
@@ -179,7 +183,11 @@ impl Ablation {
                 fmt_score(r.scores.iou),
             ]);
         }
-        let mut b = Table::new(vec!["architecture variant", "relative time", "switches/seq"]);
+        let mut b = Table::new(vec![
+            "architecture variant",
+            "relative time",
+            "switches/seq",
+        ]);
         for r in &self.architecture {
             b.row(vec![
                 r.label.clone(),

@@ -1,0 +1,133 @@
+//! Machine-readable performance snapshot of the NN compute path.
+//!
+//! Times the optimised kernels against the naive reference at the paper's
+//! deployment resolution (854×480) and the training resolution (64×48),
+//! then writes `BENCH_nn.json` for tooling / CI trend tracking. The JSON is
+//! hand-rolled — the workspace carries no serialisation dependency.
+//!
+//! Usage: `cargo run --release --bin perf_snapshot [out.json]`
+
+use std::time::Instant;
+use vrd_nn::conv::{reference, Conv2d};
+use vrd_nn::layers::{maxpool2_into, relu_in_place, sigmoid_in_place, upsample2_into};
+use vrd_nn::{NnS, Tensor};
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    times[times.len() / 2]
+}
+
+/// NN-S inference composed purely from the naive reference conv kernels —
+/// the pre-optimisation baseline the speedup is measured against.
+fn naive_infer(nns: &NnS, x: &Tensor) -> Tensor {
+    let (c1, c2, c3) = nns.convs();
+    let (h, w) = (x.height(), x.width());
+    let hid = nns.hidden();
+    let mut a1 = reference::forward(c1, x);
+    relu_in_place(a1.as_mut_slice());
+    let mut d = vec![0.0; hid * h * w / 4];
+    maxpool2_into(a1.as_slice(), hid, h, w, &mut d);
+    let mut a2 = reference::forward(c2, &Tensor::from_vec(hid, h / 2, w / 2, d));
+    relu_in_place(a2.as_mut_slice());
+    let mut cat = vec![0.0; 2 * hid * h * w];
+    cat[..hid * h * w].copy_from_slice(a1.as_slice());
+    upsample2_into(a2.as_slice(), hid, h / 2, w / 2, &mut cat[hid * h * w..]);
+    let mut out = reference::forward(c3, &Tensor::from_vec(2 * hid, h, w, cat));
+    sigmoid_in_place(out.as_mut_slice());
+    out
+}
+
+struct Row {
+    name: &'static str,
+    optimized_ms: f64,
+    naive_ms: f64,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_nn.json".into());
+    let mut rows = Vec::new();
+
+    // --- NN-S refinement at deployment resolution (the headline number).
+    let nns = NnS::new(8, 42);
+    let hd = Tensor::from_vec(
+        3,
+        480,
+        854,
+        (0..3 * 480 * 854)
+            .map(|v| (v as f32 * 0.01).sin())
+            .collect(),
+    );
+    let fast = nns.infer(&hd);
+    let slow = naive_infer(&nns, &hd);
+    assert_eq!(fast.as_slice(), slow.as_slice(), "kernels diverged");
+    rows.push(Row {
+        name: "nns_infer_854x480",
+        optimized_ms: time_median(5, || {
+            std::hint::black_box(nns.infer(&hd));
+        }) * 1e3,
+        naive_ms: time_median(3, || {
+            std::hint::black_box(naive_infer(&nns, &hd));
+        }) * 1e3,
+    });
+
+    // --- Single conv layer, training resolution.
+    let conv = Conv2d::new(3, 8, 3, 7);
+    let x = Tensor::from_vec(
+        3,
+        48,
+        64,
+        (0..3 * 48 * 64).map(|v| (v as f32).cos()).collect(),
+    );
+    rows.push(Row {
+        name: "conv_forward_64x48",
+        optimized_ms: time_median(31, || {
+            std::hint::black_box(conv.forward_inference(&x));
+        }) * 1e3,
+        naive_ms: time_median(31, || {
+            std::hint::black_box(reference::forward(&conv, &x));
+        }) * 1e3,
+    });
+
+    // --- Conv backward, training resolution.
+    let mut conv_t = Conv2d::new(3, 8, 3, 7);
+    let gout = conv_t.forward(&x);
+    rows.push(Row {
+        name: "conv_backward_64x48",
+        optimized_ms: time_median(31, || {
+            conv_t.zero_grad();
+            std::hint::black_box(conv_t.backward(&gout));
+        }) * 1e3,
+        naive_ms: time_median(31, || {
+            std::hint::black_box(reference::backward(&conv_t, &x, &gout));
+        }) * 1e3,
+    });
+
+    let mut json = String::from("{\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  \"{}\": {{\"optimized_ms\": {:.4}, \"naive_ms\": {:.4}, \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.optimized_ms,
+            r.naive_ms,
+            r.naive_ms / r.optimized_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

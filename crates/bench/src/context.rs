@@ -6,7 +6,6 @@
 //! CI runs stay fast; [`Scale::Full`] is the paper-scale configuration every
 //! number in `EXPERIMENTS.md` was produced with.
 
-use std::thread;
 use vr_dann::{SegmentationRun, TrainTask, VrDann, VrDannConfig};
 use vrd_codec::{CodecConfig, EncodedVideo};
 use vrd_metrics::{score_sequence, SegScores};
@@ -126,9 +125,9 @@ impl Context {
 
     /// Runs VR-DANN segmentation on one sequence (encoding included).
     pub fn run_vrdann(&self, seq: &Sequence) -> (EncodedVideo, SegmentationRun) {
-        let mut model = self.model.clone();
-        let encoded = model.encode(seq).expect("suite sequences encode");
-        let run = model
+        let encoded = self.model.encode(seq).expect("suite sequences encode");
+        let run = self
+            .model
             .run_segmentation(seq, &encoded)
             .expect("suite sequences segment");
         (encoded, run)
@@ -154,37 +153,10 @@ impl Context {
     }
 }
 
-/// Runs `f` over the items on all available cores, preserving order.
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let chunk = items.len().div_ceil(threads.max(1));
-    let f = &f;
-    thread::scope(|s| {
-        for (slot_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            s.spawn(move || {
-                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot is filled by its worker"))
-        .collect()
-}
+// The scoped-thread map the experiments fan out with now lives in the
+// shared runtime crate; re-exported so experiment modules keep their
+// `crate::context::parallel_map` imports.
+pub use vrd_runtime::parallel_map;
 
 /// The default codec configuration (shared by experiments for readability).
 pub fn default_codec() -> CodecConfig {
@@ -206,14 +178,5 @@ mod tests {
         assert!(report.fps > 0.0);
         let scores = ctx.score(&ctx.davis[0], &run.masks);
         assert!(scores.iou > 0.3);
-    }
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<u32> = (0..37).collect();
-        let out = parallel_map(&items, |&x| x * 2);
-        assert_eq!(out, (0..37).map(|x| x * 2).collect::<Vec<_>>());
-        let empty: Vec<u32> = vec![];
-        assert!(parallel_map(&empty, |&x| x).is_empty());
     }
 }

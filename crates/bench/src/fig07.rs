@@ -73,8 +73,7 @@ impl Fig07 {
             .map(|r| r.report.total_ns)
             .fold(0.0f64, f64::max);
         for run in &self.runs {
-            let scaled_width =
-                ((run.report.total_ns / max_end) * width as f64).ceil() as usize;
+            let scaled_width = ((run.report.total_ns / max_end) * width as f64).ceil() as usize;
             out.push_str(&format!(
                 "\n{} — {:.2} ms, {} switches\n",
                 run.label,

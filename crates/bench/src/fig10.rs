@@ -53,7 +53,12 @@ pub fn run(ctx: &Context) -> Fig10 {
             eval(&vr.masks),
         )
     });
-    type Row = ((SegScores, f64), (SegScores, f64), (SegScores, f64), (SegScores, f64));
+    type Row = (
+        (SegScores, f64),
+        (SegScores, f64),
+        (SegScores, f64),
+        (SegScores, f64),
+    );
     let col = |f: fn(&Row) -> (SegScores, f64)| {
         let picked: Vec<(SegScores, f64)> = per_video.iter().map(f).collect();
         SchemeScores {

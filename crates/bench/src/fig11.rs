@@ -73,9 +73,8 @@ pub fn run(ctx: &Context) -> Fig11 {
     let suite = ctx.vid_suite();
     let det_model = ctx.detection_model();
     let results = parallel_map(&suite, |seq| {
-        let mut model = det_model.clone();
-        let encoded = model.encode(seq).expect("suite sequences encode");
-        let vr = model
+        let encoded = det_model.encode(seq).expect("suite sequences encode");
+        let vr = det_model
             .run_detection(seq, &encoded)
             .expect("suite sequences detect");
         let selsa = run_selsa(seq, &encoded, 2);

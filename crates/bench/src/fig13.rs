@@ -51,10 +51,9 @@ pub fn run(ctx: &Context) -> Fig13 {
     });
     let n = per_video.len().max(1) as f64;
     let mean = |f: fn(&(Relative, Relative, Relative, Relative)) -> Relative| {
-        let (p, e) = per_video
-            .iter()
-            .map(f)
-            .fold((0.0, 0.0), |acc, r| (acc.0 + r.performance, acc.1 + r.energy));
+        let (p, e) = per_video.iter().map(f).fold((0.0, 0.0), |acc, r| {
+            (acc.0 + r.performance, acc.1 + r.energy)
+        });
         Relative {
             performance: p / n,
             energy: e / n,
@@ -79,7 +78,7 @@ pub fn fps_hd(frames: usize) -> (f64, f64, f64) {
         seed: 0x40f0,
     };
     let train = davis_train_suite(&SuiteConfig::default(), 4);
-    let mut model = VrDann::train(&train, TrainTask::Segmentation, VrDannConfig::default())
+    let model = VrDann::train(&train, TrainTask::Segmentation, VrDannConfig::default())
         .expect("training succeeds");
     let seq = vrd_video::davis::davis_sequence("cows", &cfg).expect("HD sequence generates");
     let encoded = model.encode(&seq).expect("HD sequence encodes");

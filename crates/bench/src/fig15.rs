@@ -45,9 +45,8 @@ pub fn sweep_point(ctx: &Context, label: &str, codec: CodecConfig) -> Fig15Row {
         TrainTask::Segmentation,
     );
     let results = parallel_map(&ctx.davis, |seq| {
-        let mut m = model.clone();
-        let encoded = m.encode(seq).expect("sweep sequences encode");
-        let vr = m
+        let encoded = model.encode(seq).expect("sweep sequences encode");
+        let vr = model
             .run_segmentation(seq, &encoded)
             .expect("sweep sequences segment");
         let favos = ctx.sim_in_order(&run_favos(seq, &encoded, 1).trace);
@@ -73,9 +72,30 @@ pub fn sweep_point(ctx: &Context, label: &str, codec: CodecConfig) -> Fig15Row {
 pub fn run(ctx: &Context) -> Fig15 {
     let base = CodecConfig::default();
     let rows = vec![
-        sweep_point(ctx, "B run 1 (~50%)", CodecConfig { b_frames: BFrameMode::Fixed(1), ..base }),
-        sweep_point(ctx, "B run 2 (~67%)", CodecConfig { b_frames: BFrameMode::Fixed(2), ..base }),
-        sweep_point(ctx, "B run 3 (~75%)", CodecConfig { b_frames: BFrameMode::Fixed(3), ..base }),
+        sweep_point(
+            ctx,
+            "B run 1 (~50%)",
+            CodecConfig {
+                b_frames: BFrameMode::Fixed(1),
+                ..base
+            },
+        ),
+        sweep_point(
+            ctx,
+            "B run 2 (~67%)",
+            CodecConfig {
+                b_frames: BFrameMode::Fixed(2),
+                ..base
+            },
+        ),
+        sweep_point(
+            ctx,
+            "B run 3 (~75%)",
+            CodecConfig {
+                b_frames: BFrameMode::Fixed(3),
+                ..base
+            },
+        ),
         sweep_point(ctx, "auto B ratio", base),
     ];
     Fig15 { rows }
@@ -84,7 +104,13 @@ pub fn run(ctx: &Context) -> Fig15 {
 impl Fig15 {
     /// Renders the paper-style rows.
     pub fn render(&self) -> String {
-        let mut t = Table::new(vec!["setting", "B ratio", "F-score", "IoU", "speedup vs FAVOS"]);
+        let mut t = Table::new(vec![
+            "setting",
+            "B ratio",
+            "F-score",
+            "IoU",
+            "speedup vs FAVOS",
+        ]);
         for r in &self.rows {
             t.row(vec![
                 r.label.clone(),

@@ -41,7 +41,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod nns_width;
 pub mod sensitivity;
-pub mod table02;
 pub mod table;
+pub mod table02;
 
 pub use context::{parallel_map, Context, Scale};

@@ -44,9 +44,8 @@ pub fn run(ctx: &Context, widths: &[usize]) -> NnsWidth {
                 TrainTask::Segmentation,
             );
             let scores = parallel_map(&ctx.davis, |seq| {
-                let mut m = model.clone();
-                let encoded = m.encode(seq).expect("sweep sequences encode");
-                let run = m
+                let encoded = model.encode(seq).expect("sweep sequences encode");
+                let run = model
                     .run_segmentation(seq, &encoded)
                     .expect("sweep sequences segment");
                 ctx.score(seq, &run.masks)
@@ -54,9 +53,7 @@ pub fn run(ctx: &Context, widths: &[usize]) -> NnsWidth {
             WidthRow {
                 hidden,
                 params: model.nns().n_params(),
-                macs_per_frame: model
-                    .nns()
-                    .macs(ctx.suite_cfg.height, ctx.suite_cfg.width),
+                macs_per_frame: model.nns().macs(ctx.suite_cfg.height, ctx.suite_cfg.width),
                 scores: mean_scores(&scores),
             }
         })

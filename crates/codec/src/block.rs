@@ -174,6 +174,9 @@ mod tests {
 
     #[test]
     fn average_rounds_to_nearest() {
-        assert_eq!(average_blocks(&[0, 10, 255], &[1, 20, 255]), vec![1, 15, 255]);
+        assert_eq!(
+            average_blocks(&[0, 10, 255], &[1, 20, 255]),
+            vec![1, 15, 255]
+        );
     }
 }

@@ -6,7 +6,6 @@
 //! ([`Standard`], which fixes the macro-block size and intra-mode count).
 
 use crate::error::{CodecError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Encoding standard profile.
 ///
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// VR-DANN finer-grained motion vectors and therefore better reconstruction,
 /// at higher encoder cost. We reproduce the two profiles by their two
 /// behaviour-relevant differences: macro-block size and intra-mode count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Standard {
     /// 16×16 macro-blocks, 9 intra modes.
     H264,
@@ -51,7 +50,7 @@ impl std::fmt::Display for Standard {
 }
 
 /// How many consecutive B-frames to place between anchors.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum BFrameMode {
     /// Motion-adaptive (the encoder's default "auto B ratio"): low-motion
     /// segments get 3 B-frames per anchor, fast segments fewer. This is what
@@ -65,7 +64,7 @@ pub enum BFrameMode {
 
 /// The motion-vector search interval `n`: how many decoded anchor frames a
 /// B-frame's blocks may reference (§III-C, Fig. 16).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SearchInterval {
     /// Encoder-chosen ("Auto n" in the paper): balances accuracy against
     /// memory-access dispersion.
@@ -89,7 +88,7 @@ impl SearchInterval {
 }
 
 /// Complete encoder configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CodecConfig {
     /// Encoding standard (macro-block size, intra modes).
     pub standard: Standard,

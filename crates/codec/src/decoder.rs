@@ -199,7 +199,14 @@ impl Decoder {
             for by in (0..hdr.height).step_by(mb) {
                 for bx in (0..hdr.width).step_by(mb) {
                     let pred = Self::read_prediction(
-                        &mut r, &frames, &rec, bx, by, mb, hdr.n_frames, &mut refs_used,
+                        &mut r,
+                        &frames,
+                        &rec,
+                        bx,
+                        by,
+                        mb,
+                        hdr.n_frames,
+                        &mut refs_used,
                     )?;
                     let resid = r.get_residual(mb * mb)?;
                     let mut block = Vec::with_capacity(mb * mb);
@@ -251,7 +258,9 @@ impl Decoder {
             let dx = r.get_svarint()? as i32;
             let dy = r.get_svarint()? as i32;
             if rf >= n_frames {
-                return Err(CodecError::Bitstream(format!("reference {rf} out of range")));
+                return Err(CodecError::Bitstream(format!(
+                    "reference {rf} out of range"
+                )));
             }
             refs_used.insert(rf as u32);
             Ok((rf as u32, dx, dy))
@@ -260,11 +269,7 @@ impl Decoder {
             let f = frames[rf as usize]
                 .as_ref()
                 .ok_or_else(|| CodecError::Bitstream(format!("reference {rf} not yet decoded")))?;
-            if sx < 0
-                || sy < 0
-                || sx as usize + mb > f.width()
-                || sy as usize + mb > f.height()
-            {
+            if sx < 0 || sy < 0 || sx as usize + mb > f.width() || sy as usize + mb > f.height() {
                 return Err(CodecError::Bitstream("motion vector out of frame".into()));
             }
             Ok(extract_block(f, sx as usize, sy as usize, mb))
@@ -316,9 +321,7 @@ impl Decoder {
             };
             for by in (0..hdr.height).step_by(mb) {
                 for bx in (0..hdr.width).step_by(mb) {
-                    let read_mv = |r: &mut Reader,
-                                       summary: &mut FrameSummary|
-                     -> Result<()> {
+                    let read_mv = |r: &mut Reader, summary: &mut FrameSummary| -> Result<()> {
                         let rf = r.get_varint()? as u32;
                         let dx = r.get_svarint()? as f64;
                         let dy = r.get_svarint()? as f64;
@@ -342,9 +345,7 @@ impl Decoder {
                             summary.bi_blocks += 1;
                         }
                         m => {
-                            return Err(CodecError::Bitstream(format!(
-                                "unknown block mode {m}"
-                            )));
+                            return Err(CodecError::Bitstream(format!("unknown block mode {m}")));
                         }
                     }
                     r.skip_residual()?;
@@ -544,7 +545,9 @@ mod tests {
             ..CodecConfig::default()
         };
         let (_, ev) = encode_tiny(cfg);
-        let rec = Decoder::new().decode_for_recognition(&ev.bitstream).unwrap();
+        let rec = Decoder::new()
+            .decode_for_recognition(&ev.bitstream)
+            .unwrap();
         let n_b = ev.stats.b_frames;
         assert_eq!(rec.b_frames.len(), n_b);
         assert_eq!(rec.anchors.len(), ev.stats.n_frames - n_b);
@@ -570,7 +573,9 @@ mod tests {
     fn recognition_anchors_match_full_decode() {
         let (_, ev) = encode_tiny(CodecConfig::default());
         let full = Decoder::new().decode(&ev.bitstream).unwrap();
-        let rec = Decoder::new().decode_for_recognition(&ev.bitstream).unwrap();
+        let rec = Decoder::new()
+            .decode_for_recognition(&ev.bitstream)
+            .unwrap();
         for (display, frame) in &rec.anchors {
             assert_eq!(
                 frame, &full.frames[*display as usize],
@@ -582,7 +587,9 @@ mod tests {
     #[test]
     fn byte_accounting_sums_to_stream_length() {
         let (_, ev) = encode_tiny(CodecConfig::default());
-        let rec = Decoder::new().decode_for_recognition(&ev.bitstream).unwrap();
+        let rec = Decoder::new()
+            .decode_for_recognition(&ev.bitstream)
+            .unwrap();
         assert_eq!(rec.anchor_bytes + rec.b_bytes, ev.bitstream.len());
         assert!(rec.b_bytes > 0);
     }

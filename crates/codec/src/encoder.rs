@@ -152,24 +152,12 @@ impl Encoder {
 
             for by in (0..h).step_by(mb) {
                 for bx in (0..w).step_by(mb) {
-                    let (mode_intra, pred_intra, sae_intra) = intra::best_mode(
-                        cur,
-                        &rec,
-                        bx,
-                        by,
-                        mb,
-                        self.cfg.standard.intra_modes(),
-                    );
+                    let (mode_intra, pred_intra, sae_intra) =
+                        intra::best_mode(cur, &rec, bx, by, mb, self.cfg.standard.intra_modes());
 
                     // Inter candidates.
-                    let single = me::search_all(
-                        cur,
-                        bx,
-                        by,
-                        &cand_frames,
-                        mb,
-                        self.cfg.search_range,
-                    );
+                    let single =
+                        me::search_all(cur, bx, by, &cand_frames, mb, self.cfg.search_range);
                     let bi = if ftype == FrameType::B {
                         self.best_bi(cur, bx, by, display, &candidates, &cand_frames, mb)
                     } else {
@@ -372,7 +360,9 @@ mod tests {
     fn first_frame_is_all_intra() {
         // A one-frame sequence can only be intra coded.
         let frames = vec![tiny_frames()[0].clone()];
-        let ev = Encoder::new(CodecConfig::default()).encode(&frames).unwrap();
+        let ev = Encoder::new(CodecConfig::default())
+            .encode(&frames)
+            .unwrap();
         let blocks = (64 / 8) * (48 / 8);
         assert_eq!(ev.stats.intra_blocks, blocks);
         assert_eq!(ev.stats.inter_blocks, 0);

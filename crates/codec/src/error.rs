@@ -37,10 +37,7 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let e = CodecError::InvalidConfig("gop too short".into());
-        assert_eq!(
-            e.to_string(),
-            "invalid codec configuration: gop too short"
-        );
+        assert_eq!(e.to_string(), "invalid codec configuration: gop too short");
         let e = CodecError::Bitstream("truncated at byte 12".into());
         assert!(e.to_string().contains("truncated"));
     }

@@ -8,7 +8,6 @@
 use crate::config::{BFrameMode, CodecConfig};
 use crate::error::{CodecError, Result};
 use crate::types::FrameType;
-use serde::{Deserialize, Serialize};
 
 /// Motion-adaptive B-run thresholds on the estimated displacement in
 /// pixels/frame (see [`crate::motion::estimate_motion`]). Calibrated so the
@@ -27,7 +26,7 @@ fn auto_b_run(window_motion: f64) -> u8 {
 }
 
 /// The complete frame-structure plan for one sequence.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GopPlan {
     /// Frame type per display index.
     pub types: Vec<FrameType>,
@@ -138,9 +137,7 @@ impl GopPlan {
             FrameType::B,
             "frame {display_idx} is not a B-frame"
         );
-        let pos = self
-            .anchors
-            .partition_point(|&a| a < display_idx);
+        let pos = self.anchors.partition_point(|&a| a < display_idx);
         (self.anchors[pos - 1], self.anchors[pos])
     }
 
@@ -232,7 +229,7 @@ mod tests {
     #[test]
     fn decode_order_is_a_permutation() {
         let plan = GopPlan::plan(&cfg_fixed(2, 12), 30, &[]).unwrap();
-        let mut seen = vec![false; 30];
+        let mut seen = [false; 30];
         for &d in &plan.decode_order {
             assert!(!seen[d as usize], "frame {d} decoded twice");
             seen[d as usize] = true;
@@ -264,11 +261,7 @@ mod tests {
     #[test]
     fn candidate_refs_start_with_bracketing_anchors() {
         let plan = GopPlan::plan(&cfg_fixed(3, 8), 24, &[]).unwrap();
-        let b = plan
-            .types
-            .iter()
-            .position(|t| *t == FrameType::B)
-            .unwrap() as u32;
+        let b = plan.types.iter().position(|t| *t == FrameType::B).unwrap() as u32;
         let (prev, next) = plan.bracketing_anchors(b);
         let refs = plan.candidate_refs(b, 5);
         assert_eq!(refs[0], prev);

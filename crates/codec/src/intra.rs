@@ -19,22 +19,10 @@ const MID: u8 = 128;
 /// `MID` outside the frame. `recon` is the in-progress reconstructed frame.
 fn neighbours(recon: &Frame, x: usize, y: usize, size: usize) -> (Vec<u8>, Vec<u8>, u8) {
     let top: Vec<u8> = (0..size)
-        .map(|i| {
-            if y > 0 {
-                recon.get(x + i, y - 1)
-            } else {
-                MID
-            }
-        })
+        .map(|i| if y > 0 { recon.get(x + i, y - 1) } else { MID })
         .collect();
     let left: Vec<u8> = (0..size)
-        .map(|i| {
-            if x > 0 {
-                recon.get(x - 1, y + i)
-            } else {
-                MID
-            }
-        })
+        .map(|i| if x > 0 { recon.get(x - 1, y + i) } else { MID })
         .collect();
     let corner = if x > 0 && y > 0 {
         recon.get(x - 1, y - 1)
@@ -58,9 +46,7 @@ pub fn predict(recon: &Frame, x: usize, y: usize, size: usize, mode: u8) -> Vec<
     assert!(x + size <= recon.width() && y + size <= recon.height());
     let (top, left, corner) = neighbours(recon, x, y, size);
     let mut out = vec![0u8; size * size];
-    let at = |i: i32, arr: &[u8]| -> u8 {
-        arr[i.clamp(0, size as i32 - 1) as usize]
-    };
+    let at = |i: i32, arr: &[u8]| -> u8 { arr[i.clamp(0, size as i32 - 1) as usize] };
     match mode {
         // DC: mean of all neighbour samples.
         0 => {
@@ -121,9 +107,9 @@ pub fn predict(recon: &Frame, x: usize, y: usize, size: usize, mode: u8) -> Vec<
         m => {
             // (family, numerator, denominator): offset = r * num / den.
             let (vertical, num, den) = match m {
-                6 => (true, 1, 2),   // vertical-right
-                7 => (false, 1, 2),  // horizontal-down
-                8 => (true, -1, 2),  // vertical-left
+                6 => (true, 1, 2),  // vertical-right
+                7 => (false, 1, 2), // horizontal-down
+                8 => (true, -1, 2), // vertical-left
                 9 => (true, 1, 4),
                 10 => (true, -1, 4),
                 11 => (false, 1, 4),
@@ -181,7 +167,7 @@ mod tests {
     /// A reconstructed frame with a strong vertical stripe pattern.
     fn striped(w: usize, h: usize) -> Frame {
         let data = (0..w * h)
-            .map(|i| if (i % w) % 2 == 0 { 200 } else { 40 })
+            .map(|i| if (i % w).is_multiple_of(2) { 200 } else { 40 })
             .collect();
         Frame::from_vec(w, h, data)
     }

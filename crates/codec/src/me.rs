@@ -34,16 +34,7 @@ pub fn search_one(
 ) -> (i32, i32, u32) {
     let mut best_dx = 0i32;
     let mut best_dy = 0i32;
-    let mut best = sae_between(
-        cur,
-        bx,
-        by,
-        reference,
-        bx as i32,
-        by as i32,
-        size,
-        u32::MAX,
-    );
+    let mut best = sae_between(cur, bx, by, reference, bx as i32, by as i32, size, u32::MAX);
     let mut step = range.clamp(1, 4);
     // Round the initial step down to a power of two for the classic ladder.
     while step & (step - 1) != 0 {

@@ -51,11 +51,7 @@ pub fn psnr(a: &Frame, b: &Frame) -> f64 {
 pub fn psnr_sequence(a: &[Frame], b: &[Frame]) -> f64 {
     assert_eq!(a.len(), b.len(), "sequence length mismatch");
     assert!(!a.is_empty(), "cannot score an empty sequence");
-    let finite: Vec<f64> = a
-        .iter()
-        .zip(b)
-        .map(|(x, y)| psnr(x, y).min(99.0))
-        .collect();
+    let finite: Vec<f64> = a.iter().zip(b).map(|(x, y)| psnr(x, y).min(99.0)).collect();
     finite.iter().sum::<f64>() / finite.len() as f64
 }
 
@@ -124,8 +120,8 @@ mod tests {
         let perturb = |amp: i32| {
             let mut g = f.clone();
             for (i, v) in g.as_mut_slice().iter_mut().enumerate() {
-                let n = (vrd_video::texture::hash2(i as i64, 0, 7) % (2 * amp as u64 + 1)) as i32
-                    - amp;
+                let n =
+                    (vrd_video::texture::hash2(i as i64, 0, 7) % (2 * amp as u64 + 1)) as i32 - amp;
                 *v = (*v as i32 + n).clamp(0, 255) as u8;
             }
             g

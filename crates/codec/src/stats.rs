@@ -1,9 +1,7 @@
 //! Encoder-side statistics, the source data for Fig. 3 of the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// Statistics gathered while encoding one sequence.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EncodeStats {
     /// Total frames encoded.
     pub n_frames: usize,

@@ -6,10 +6,8 @@
 //! reference frames with source coordinates, and the `bi-ref` flag implied by
 //! the presence of the second reference.
 
-use serde::{Deserialize, Serialize};
-
 /// H.26x frame classification (§II of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FrameType {
     /// Intra-coded frame: every macro-block predicted within the frame.
     I,
@@ -40,7 +38,7 @@ impl std::fmt::Display for FrameType {
 }
 
 /// One motion-vector reference: which frame, and the source block position.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RefMv {
     /// Display index of the referenced (anchor) frame.
     pub frame: u32,
@@ -52,7 +50,7 @@ pub struct RefMv {
 
 /// A motion-vector table entry for one macro-block of a B-frame (or P-frame),
 /// equivalent to one `mv_T` row in the paper's agent unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MvRecord {
     /// Destination x of the block's top-left corner in the current frame.
     pub dst_x: u32,
@@ -80,7 +78,7 @@ impl MvRecord {
 }
 
 /// How a macro-block was coded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BlockMode {
     /// Intra prediction with the given mode index.
     Intra(u8),
@@ -92,7 +90,7 @@ pub enum BlockMode {
 
 /// Decode-order metadata for one frame, as exposed by the decoder's
 /// "high-level parameter parser" (the information the agent unit taps).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrameMeta {
     /// Frame type.
     pub ftype: FrameType,

@@ -23,6 +23,12 @@ fn auto_b_ratio_matches_paper_shape() {
     }
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     println!("mean b_ratio = {mean:.3}, max refs = {max_refs}");
-    assert!(mean > 0.55 && mean < 0.75, "mean B ratio {mean:.2} off paper's ~0.65");
-    assert!(ratios.iter().cloned().fold(1.0, f64::min) < 0.55, "no slow/fast spread");
+    assert!(
+        mean > 0.55 && mean < 0.75,
+        "mean B ratio {mean:.2} off paper's ~0.65"
+    );
+    assert!(
+        ratios.iter().cloned().fold(1.0, f64::min) < 0.55,
+        "no slow/fast spread"
+    );
 }

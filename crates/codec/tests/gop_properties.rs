@@ -61,7 +61,7 @@ proptest! {
 
         // GOP boundaries are I-frames.
         for &a in &plan.anchors {
-            if a as usize % gop_len == 0 {
+            if (a as usize).is_multiple_of(gop_len) {
                 prop_assert_eq!(plan.types[a as usize], FrameType::I);
             }
         }
@@ -70,7 +70,7 @@ proptest! {
         for (d, t) in plan.types.iter().enumerate() {
             if *t == FrameType::B {
                 let refs = plan.candidate_refs(d as u32, 5);
-                prop_assert!(refs.len() <= 5.max(2));
+                prop_assert!(refs.len() <= 5);
                 let mut sorted = refs.clone();
                 sorted.sort_unstable();
                 sorted.dedup();

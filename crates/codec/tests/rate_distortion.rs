@@ -45,12 +45,18 @@ fn larger_quantiser_shrinks_stream_and_lowers_psnr() {
         sizes.push(encoded.bitstream.len());
         quality.push(mean_psnr);
     }
-    assert!(sizes[0] > sizes[1] && sizes[1] > sizes[2], "sizes {sizes:?}");
+    assert!(
+        sizes[0] > sizes[1] && sizes[1] > sizes[2],
+        "sizes {sizes:?}"
+    );
     assert!(
         quality[0] > quality[1] && quality[1] > quality[2],
         "psnr {quality:?}"
     );
-    assert!(quality[0] > 40.0, "q=2 should be near-lossless: {quality:?}");
+    assert!(
+        quality[0] > 40.0,
+        "q=2 should be near-lossless: {quality:?}"
+    );
     assert!(quality[2] > 22.0, "q=24 should stay watchable: {quality:?}");
 }
 

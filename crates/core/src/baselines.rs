@@ -60,13 +60,25 @@ fn run_per_frame_nnl(
 
 /// OSVOS: two large networks (foreground + contour) on every decoded frame.
 pub fn run_osvos(seq: &Sequence, encoded: &EncodedVideo, seed: u64) -> SegmentationRun {
-    run_per_frame_nnl(seq, encoded, SchemeKind::Osvos, LargeNetProfile::osvos(), seed)
+    run_per_frame_nnl(
+        seq,
+        encoded,
+        SchemeKind::Osvos,
+        LargeNetProfile::osvos(),
+        seed,
+    )
 }
 
 /// FAVOS: part tracking + ROI-SegNet on every decoded frame. The accuracy
 /// reference of Fig. 9/10 and the normalisation baseline of Figs. 12–13.
 pub fn run_favos(seq: &Sequence, encoded: &EncodedVideo, seed: u64) -> SegmentationRun {
-    run_per_frame_nnl(seq, encoded, SchemeKind::Favos, LargeNetProfile::favos(), seed)
+    run_per_frame_nnl(
+        seq,
+        encoded,
+        SchemeKind::Favos,
+        LargeNetProfile::favos(),
+        seed,
+    )
 }
 
 /// DFF: the large network on every `DFF_KEY_INTERVAL`-th frame; other frames
@@ -216,7 +228,11 @@ pub fn run_euphrates(
                         (det.score * 0.97).max(0.05),
                     )
                 })
-                .filter(|det| !det.rect.intersect(&Rect::new(0, 0, w as i32, h as i32)).is_empty())
+                .filter(|det| {
+                    !det.rect
+                        .intersect(&Rect::new(0, 0, w as i32, h as i32))
+                        .is_empty()
+                })
                 .collect();
             detections.push(moved);
             frames.push(TraceFrame {
@@ -268,7 +284,12 @@ mod tests {
         let osvos = run_osvos(&seq, &encoded, 1);
         let sf = score_sequence(&favos.masks, &seq.gt_masks);
         let so = score_sequence(&osvos.masks, &seq.gt_masks);
-        assert!(sf.iou > so.iou, "favos {:.3} <= osvos {:.3}", sf.iou, so.iou);
+        assert!(
+            sf.iou > so.iou,
+            "favos {:.3} <= osvos {:.3}",
+            sf.iou,
+            so.iou
+        );
         // OSVOS costs twice the ops.
         assert!(osvos.trace.total_ops() > favos.trace.total_ops());
     }

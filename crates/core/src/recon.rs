@@ -103,7 +103,8 @@ pub fn reconstruct_b_frame(
                 let s1 = fetch(r1.frame)?;
                 for dy in 0..mb_size {
                     for dx in 0..mb_size {
-                        let a = s0.get_clamped(mv.ref0.src_x + dx as i32, mv.ref0.src_y + dy as i32);
+                        let a =
+                            s0.get_clamped(mv.ref0.src_x + dx as i32, mv.ref0.src_y + dy as i32);
                         let b = s1.get_clamped(r1.src_x + dx as i32, r1.src_y + dy as i32);
                         plane.set(
                             mv.dst_x as usize + dx,
@@ -116,7 +117,8 @@ pub fn reconstruct_b_frame(
             _ => {
                 for dy in 0..mb_size {
                     for dx in 0..mb_size {
-                        let a = s0.get_clamped(mv.ref0.src_x + dx as i32, mv.ref0.src_y + dy as i32);
+                        let a =
+                            s0.get_clamped(mv.ref0.src_x + dx as i32, mv.ref0.src_y + dy as i32);
                         plane.set(
                             mv.dst_x as usize + dx,
                             mv.dst_y as usize + dy,
@@ -172,7 +174,12 @@ mod tests {
         m
     }
 
-    fn mv(dst: (u32, u32), f0: u32, src0: (i32, i32), second: Option<(u32, (i32, i32))>) -> MvRecord {
+    fn mv(
+        dst: (u32, u32),
+        f0: u32,
+        src0: (i32, i32),
+        second: Option<(u32, (i32, i32))>,
+    ) -> MvRecord {
         MvRecord {
             dst_x: dst.0,
             dst_y: dst.1,
@@ -198,8 +205,7 @@ mod tests {
             mvs: vec![mv((0, 0), 0, (8, 0), None)],
             intra_blocks: vec![],
         };
-        let plane =
-            reconstruct_b_frame(&info, &refs, 32, 16, 8, &ReconConfig::default()).unwrap();
+        let plane = reconstruct_b_frame(&info, &refs, 32, 16, 8, &ReconConfig::default()).unwrap();
         // The destination block is fully white (the source was foreground).
         assert_eq!(plane.get(0, 0), Seg2::White);
         assert_eq!(plane.get(7, 7), Seg2::White);
@@ -217,8 +223,7 @@ mod tests {
             mvs: vec![mv((8, 8), 0, (0, 0), Some((4, (0, 0))))],
             intra_blocks: vec![],
         };
-        let plane =
-            reconstruct_b_frame(&info, &refs, 32, 16, 8, &ReconConfig::default()).unwrap();
+        let plane = reconstruct_b_frame(&info, &refs, 32, 16, 8, &ReconConfig::default()).unwrap();
         // Ref0 says white, ref4 (at 0,0) says black -> gray.
         assert_eq!(plane.get(8, 8), Seg2::Gray);
         let strict = plane_to_mask(
@@ -261,8 +266,7 @@ mod tests {
             mvs: vec![],
             intra_blocks: vec![(0, 8)],
         };
-        let plane =
-            reconstruct_b_frame(&info, &refs, 32, 16, 8, &ReconConfig::default()).unwrap();
+        let plane = reconstruct_b_frame(&info, &refs, 32, 16, 8, &ReconConfig::default()).unwrap();
         assert_eq!(plane.get(0, 8), Seg2::White);
         assert_eq!(plane.get(0, 0), Seg2::Black);
     }

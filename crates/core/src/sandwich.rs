@@ -24,10 +24,7 @@ pub fn build_sandwich(
     plane: &Seg2Plane,
     ref_segs: &BTreeMap<u32, SegMask>,
 ) -> Result<Tensor> {
-    let prev = ref_segs
-        .range(..display_idx)
-        .next_back()
-        .map(|(_, m)| m);
+    let prev = ref_segs.range(..display_idx).next_back().map(|(_, m)| m);
     let next = ref_segs.range(display_idx + 1..).next().map(|(_, m)| m);
     let (prev, next) = match (prev, next) {
         (Some(p), Some(n)) => (p, n),

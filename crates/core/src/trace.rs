@@ -9,11 +9,10 @@
 //! traces against its NPU/decoder/DRAM/agent-unit models to produce the
 //! cycle and energy numbers of Figs. 12–16.
 
-use serde::{Deserialize, Serialize};
 use vrd_codec::{FrameType, MvRecord};
 
 /// Which recognition scheme produced a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
     /// OSVOS: two large networks on every frame.
     Osvos,
@@ -45,7 +44,7 @@ impl std::fmt::Display for SchemeKind {
 }
 
 /// The compute a frame requires.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ComputeKind {
     /// A large-network inference (NN-L family).
     NnL {
@@ -88,7 +87,7 @@ impl ComputeKind {
 }
 
 /// One frame's work item, in decode order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceFrame {
     /// Display index of the frame.
     pub display: u32,
@@ -103,7 +102,7 @@ pub struct TraceFrame {
 }
 
 /// A complete per-sequence workload description for one scheme.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchemeTrace {
     /// The scheme that produced this trace.
     pub scheme: SchemeKind,

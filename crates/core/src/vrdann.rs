@@ -212,7 +212,7 @@ impl VrDann {
     /// # Errors
     /// Fails on malformed bitstreams or missing references.
     pub fn run_segmentation(
-        &mut self,
+        &self,
         seq: &Sequence,
         encoded: &EncodedVideo,
     ) -> Result<SegmentationRun> {
@@ -259,8 +259,7 @@ impl VrDann {
                 if let Some(threshold) = self.cfg.fallback_mv_threshold {
                     if p90_mv_magnitude(&info.mvs) > threshold as f64 {
                         let seed = hash2(info.display_idx as i64, 2, self.cfg.seed);
-                        let mask =
-                            nnl.segment(&seq.gt_masks[info.display_idx as usize], seed);
+                        let mask = nnl.segment(&seq.gt_masks[info.display_idx as usize], seed);
                         ref_segs.insert(info.display_idx, mask.clone());
                         masks[info.display_idx as usize] = Some(mask);
                         frames.push(TraceFrame {
@@ -324,11 +323,7 @@ impl VrDann {
     ///
     /// # Errors
     /// Fails on malformed bitstreams or missing references.
-    pub fn run_detection(
-        &mut self,
-        seq: &Sequence,
-        encoded: &EncodedVideo,
-    ) -> Result<DetectionRun> {
+    pub fn run_detection(&self, seq: &Sequence, encoded: &EncodedVideo) -> Result<DetectionRun> {
         let rec = Decoder::new().decode_for_recognition(&encoded.bitstream)?;
         let nnl = LargeNet::new(self.cfg.detect_profile);
         let (w, h) = (rec.width, rec.height);
@@ -432,7 +427,7 @@ mod tests {
 
     #[test]
     fn segmentation_pipeline_end_to_end() {
-        let (mut model, cfg) = tiny_model(TrainTask::Segmentation);
+        let (model, cfg) = tiny_model(TrainTask::Segmentation);
         let seq = davis_sequence("cows", &cfg).unwrap();
         let encoded = model.encode(&seq).unwrap();
         let run = model.run_segmentation(&seq, &encoded).unwrap();
@@ -459,7 +454,7 @@ mod tests {
 
     #[test]
     fn refinement_improves_over_raw_reconstruction() {
-        let (mut refined, cfg) = tiny_model(TrainTask::Segmentation);
+        let (refined, cfg) = tiny_model(TrainTask::Segmentation);
         let seq = davis_sequence("dog", &cfg).unwrap();
         let encoded = refined.encode(&seq).unwrap();
         let run_ref = refined.run_segmentation(&seq, &encoded).unwrap();
@@ -480,7 +475,7 @@ mod tests {
 
     #[test]
     fn detection_pipeline_end_to_end() {
-        let (mut model, cfg) = tiny_model(TrainTask::Detection);
+        let (model, cfg) = tiny_model(TrainTask::Detection);
         let seq = davis_sequence("camel", &cfg).unwrap();
         let encoded = model.encode(&seq).unwrap();
         let run = model.run_detection(&seq, &encoded).unwrap();
@@ -492,13 +487,13 @@ mod tests {
 
     #[test]
     fn export_import_preserves_pipeline_outputs() {
-        let (mut model, cfg) = tiny_model(TrainTask::Segmentation);
+        let (model, cfg) = tiny_model(TrainTask::Segmentation);
         let seq = davis_sequence("goat", &cfg).unwrap();
         let encoded = model.encode(&seq).unwrap();
         let original = model.run_segmentation(&seq, &encoded).unwrap();
 
         let bytes = model.export_nns();
-        let mut restored = VrDann::from_parts(*model.config(), &bytes).unwrap();
+        let restored = VrDann::from_parts(*model.config(), &bytes).unwrap();
         let replayed = restored.run_segmentation(&seq, &encoded).unwrap();
         assert_eq!(original.masks, replayed.masks);
 
@@ -515,8 +510,7 @@ mod tests {
         let seq = davis_sequence("parkour", &cfg).unwrap();
         let encoded = model.encode(&seq).unwrap();
 
-        let mut plain = model.clone();
-        let run_plain = plain.run_segmentation(&seq, &encoded).unwrap();
+        let run_plain = model.run_segmentation(&seq, &encoded).unwrap();
         let mut fb = model.clone();
         fb.cfg.fallback_mv_threshold = Some(1.5);
         let run_fb = fb.run_segmentation(&seq, &encoded).unwrap();
@@ -557,11 +551,7 @@ mod tests {
         seq.frames.truncate(1);
         seq.gt_masks.truncate(1);
         seq.gt_boxes.truncate(1);
-        let err = VrDann::train(
-            &[seq],
-            TrainTask::Segmentation,
-            VrDannConfig::default(),
-        );
+        let err = VrDann::train(&[seq], TrainTask::Segmentation, VrDannConfig::default());
         assert!(err.is_err());
     }
 }

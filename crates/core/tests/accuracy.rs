@@ -13,8 +13,7 @@ use vrd_video::davis::{davis_train_suite, davis_val_suite, SuiteConfig};
 fn segmentation_accuracy_shape_matches_paper() {
     let cfg = SuiteConfig::default();
     let train = davis_train_suite(&cfg, 6);
-    let mut model =
-        VrDann::train(&train, TrainTask::Segmentation, VrDannConfig::default()).unwrap();
+    let model = VrDann::train(&train, TrainTask::Segmentation, VrDannConfig::default()).unwrap();
     let suite = davis_val_suite(&cfg);
 
     let mut scores: [Vec<SegScores>; 4] = [vec![], vec![], vec![], vec![]];

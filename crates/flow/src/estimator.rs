@@ -37,15 +37,7 @@ impl Default for FlowConfig {
 
 /// Sum of absolute differences between a block of `cur` and `reference`,
 /// `u32::MAX` when out of bounds.
-fn sad(
-    cur: &Frame,
-    cx: usize,
-    cy: usize,
-    reference: &Frame,
-    rx: i32,
-    ry: i32,
-    size: usize,
-) -> u32 {
+fn sad(cur: &Frame, cx: usize, cy: usize, reference: &Frame, rx: i32, ry: i32, size: usize) -> u32 {
     if rx < 0
         || ry < 0
         || rx as usize + size > reference.width()
@@ -90,7 +82,15 @@ pub fn estimate(cur: &Frame, reference: &Frame, cfg: &FlowConfig) -> FlowField {
             let mut best = (0i32, 0i32, u32::MAX);
             for dy in -cfg.range..=cfg.range {
                 for dx in -cfg.range..=cfg.range {
-                    let s = sad(cur, px, py, reference, px as i32 + dx, py as i32 + dy, cfg.block);
+                    let s = sad(
+                        cur,
+                        px,
+                        py,
+                        reference,
+                        px as i32 + dx,
+                        py as i32 + dy,
+                        cfg.block,
+                    );
                     if s == u32::MAX {
                         continue;
                     }

@@ -1,6 +1,5 @@
 //! Dense optical-flow fields and warping.
 
-use serde::{Deserialize, Serialize};
 use vrd_video::{Frame, SegMask};
 
 /// A dense backward flow field: for every pixel of the *current* frame,
@@ -8,7 +7,7 @@ use vrd_video::{Frame, SegMask};
 ///
 /// Backward orientation makes warping trivial and hole-free:
 /// `out(x, y) = ref(x + dx(x, y), y + dy(x, y))`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowField {
     width: usize,
     height: usize,
@@ -120,7 +119,11 @@ impl FlowField {
                 let p11 = reference.get_clamped(x0 + 1, y0 + 1) as f32;
                 let top = p00 + (p10 - p00) * fx;
                 let bot = p01 + (p11 - p01) * fx;
-                out.set(x, y, (top + (bot - top) * fy).round().clamp(0.0, 255.0) as u8);
+                out.set(
+                    x,
+                    y,
+                    (top + (bot - top) * fy).round().clamp(0.0, 255.0) as u8,
+                );
             }
         }
         out

@@ -86,8 +86,7 @@ pub fn boundary_f_score(pred: &SegMask, gt: &SegMask, tolerance: usize) -> f64 {
     let near_pred = dilate(&bp, w, h, tolerance);
     let precision =
         bp.iter().filter(|&&(x, y)| near_gt[y * w + x]).count() as f64 / bp.len() as f64;
-    let recall =
-        bg.iter().filter(|&&(x, y)| near_pred[y * w + x]).count() as f64 / bg.len() as f64;
+    let recall = bg.iter().filter(|&&(x, y)| near_pred[y * w + x]).count() as f64 / bg.len() as f64;
     if precision + recall == 0.0 {
         0.0
     } else {
@@ -173,11 +172,7 @@ mod tests {
     fn sequence_averaging() {
         let gt = mask(Rect::new(8, 8, 24, 24));
         let far = mask(Rect::new(1, 1, 4, 4));
-        let f = boundary_f_sequence(
-            &[gt.clone(), far.clone()],
-            &[gt.clone(), gt],
-            1,
-        );
+        let f = boundary_f_sequence(&[gt.clone(), far.clone()], &[gt.clone(), gt], 1);
         assert!(f > 0.4 && f < 0.6, "mean of 1.0 and ~0.0: {f}");
     }
 }

@@ -6,7 +6,6 @@
 //! whole suite (computed per sequence and averaged, mirroring the paper's
 //! per-group reporting).
 
-use serde::{Deserialize, Serialize};
 use vrd_video::{Detection, Rect};
 
 /// The IoU threshold above which a detection counts as a true positive
@@ -14,7 +13,7 @@ use vrd_video::{Detection, Rect};
 pub const MATCH_IOU: f64 = 0.5;
 
 /// One frame's detections and ground truth.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FrameDetections {
     /// Predicted, scored boxes.
     pub detections: Vec<Detection>,
@@ -48,7 +47,10 @@ pub fn average_precision(frames: &[FrameDetections]) -> f64 {
         .collect();
     ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
 
-    let mut matched: Vec<Vec<bool>> = frames.iter().map(|f| vec![false; f.ground_truth.len()]).collect();
+    let mut matched: Vec<Vec<bool>> = frames
+        .iter()
+        .map(|f| vec![false; f.ground_truth.len()])
+        .collect();
     let mut tp_flags = Vec::with_capacity(ranked.len());
     for &(_, fi, di) in &ranked {
         let det = &frames[fi].detections[di];
@@ -81,10 +83,7 @@ pub fn average_precision(frames: &[FrameDetections]) -> f64 {
         } else {
             fp += 1;
         }
-        curve.push((
-            tp as f64 / total_gt as f64,
-            tp as f64 / (tp + fp) as f64,
-        ));
+        curve.push((tp as f64 / total_gt as f64, tp as f64 / (tp + fp) as f64));
     }
     // Monotone-decreasing interpolation of precision from the right.
     let mut max_prec = 0.0;

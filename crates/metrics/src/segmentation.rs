@@ -4,11 +4,10 @@
 //! and recall on a pixel level, while IoU measures the overlap rate of the
 //! segmentation result and the ground truth."
 
-use serde::{Deserialize, Serialize};
 use vrd_video::SegMask;
 
 /// Pixel-level confusion counts of one mask against ground truth.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PixelCounts {
     /// Foreground predicted, foreground true.
     pub tp: u64,
@@ -87,7 +86,7 @@ impl PixelCounts {
 }
 
 /// Per-sequence segmentation scores: frame-mean IoU and F-score.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SegScores {
     /// Mean per-frame F-score.
     pub f_score: f64,
@@ -191,7 +190,13 @@ mod tests {
         let gts = vec![gt.clone(), gt];
         let s = score_sequence(&preds, &gts);
         assert!((s.iou - 0.5).abs() < 1e-9);
-        let m = mean_scores(&[s, SegScores { f_score: 1.0, iou: 1.0 }]);
+        let m = mean_scores(&[
+            s,
+            SegScores {
+                f_score: 1.0,
+                iou: 1.0,
+            },
+        ]);
         assert!((m.iou - 0.75).abs() < 1e-9);
         assert_eq!(mean_scores(&[]), SegScores::default());
     }

@@ -1,13 +1,31 @@
 //! 2D convolution with backpropagation.
+//!
+//! The compute kernels are row-sliced: instead of a bounds-checked
+//! `get()`/`set()` per multiply-accumulate, each kernel tap is applied as a
+//! slice AXPY over a whole output row, which the compiler auto-vectorises.
+//! Tap application order per output element is kept identical to the naive
+//! triple loop (see [`reference`]), so the optimised kernels are **bit-exact**
+//! with the reference — the equivalence is pinned by property tests in
+//! `tests/conv_equivalence.rs`.
+//!
+//! Work above [`PAR_MIN_MACS`] is split across cores via `vrd-runtime`
+//! (forward: per output channel; backward: per output channel for weight
+//! gradients, per input channel for the input gradient). The partitions
+//! write disjoint buffers in unchanged per-element order, so results are
+//! independent of the thread count.
 
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+
+/// Minimum multiply-accumulate count before a convolution pass fans out
+/// across threads; below this the scoped-thread setup costs more than it
+/// saves.
+const PAR_MIN_MACS: u64 = 8_000_000;
 
 /// A stride-1, same-padded `k × k` convolution layer with bias, plus the
 /// plumbing needed to train it (gradient buffers, SGD-momentum state).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Conv2d {
     cin: usize,
     cout: usize,
@@ -22,7 +40,6 @@ pub struct Conv2d {
     /// Second-moment accumulators (Adam only).
     sw: Vec<f32>,
     sb: Vec<f32>,
-    #[serde(skip)]
     cache: Option<Tensor>,
 }
 
@@ -63,6 +80,30 @@ impl Conv2d {
         self.w.len() + self.b.len()
     }
 
+    /// Accumulated weight and bias gradients (for tests and reductions).
+    pub fn grads(&self) -> (&[f32], &[f32]) {
+        (&self.gw, &self.gb)
+    }
+
+    /// Adds another layer's accumulated gradients into this one's buffers
+    /// (per-sample gradient reduction in the trainer).
+    ///
+    /// # Panics
+    /// Panics if the layer shapes differ.
+    pub fn accumulate_grads_from(&mut self, other: &Conv2d) {
+        assert_eq!(
+            self.gw.len(),
+            other.gw.len(),
+            "grad reduction shape mismatch"
+        );
+        for (a, &g) in self.gw.iter_mut().zip(&other.gw) {
+            *a += g;
+        }
+        for (a, &g) in self.gb.iter_mut().zip(&other.gb) {
+            *a += g;
+        }
+    }
+
     /// Copies out the weights and biases (for serialisation).
     pub fn export_params(&self) -> (Vec<f32>, Vec<f32>) {
         (self.w.clone(), self.b.clone())
@@ -99,41 +140,187 @@ impl Conv2d {
         (self.cin * self.cout * self.k * self.k * h * w) as u64
     }
 
+    fn check_input(&self, x: &Tensor) {
+        assert_eq!(x.channels(), self.cin, "conv input channel mismatch");
+    }
+
+    /// Computes one output-channel plane of the forward pass.
+    ///
+    /// Bias first, then one slice AXPY per `(ci, ky, kx)` tap — the same
+    /// per-element accumulation order as the naive loop in [`reference`].
+    fn forward_plane(&self, co: usize, xdata: &[f32], h: usize, w: usize, plane: &mut [f32]) {
+        let (k, pad) = (self.k, (self.k / 2) as isize);
+        plane.fill(self.b[co]);
+        for ci in 0..self.cin {
+            let xplane = &xdata[ci * h * w..][..h * w];
+            for ky in 0..k {
+                let dy = ky as isize - pad;
+                let y0 = (-dy).max(0) as usize;
+                let y1 = (h as isize - dy).min(h as isize).max(0) as usize;
+                for kx in 0..k {
+                    let dx = kx as isize - pad;
+                    let x0 = (-dx).max(0) as usize;
+                    let x1 = (w as isize - dx).min(w as isize).max(0) as usize;
+                    if x0 >= x1 {
+                        continue;
+                    }
+                    let wv = self.w[((co * self.cin + ci) * k + ky) * k + kx];
+                    for y in y0..y1 {
+                        let sy = (y as isize + dy) as usize;
+                        let sx = (x0 as isize + dx) as usize;
+                        let orow = &mut plane[y * w + x0..y * w + x1];
+                        let xrow = &xplane[sy * w + sx..][..x1 - x0];
+                        for (o, &xv) in orow.iter_mut().zip(xrow) {
+                            *o += wv * xv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Slice-level forward kernel: reads a `cin × h × w` input, writes a
+    /// `cout × h × w` output. Used by both the tensor API and the pooled
+    /// scratch-buffer inference path in `NnS`.
+    pub(crate) fn forward_into(&self, xdata: &[f32], h: usize, w: usize, out: &mut [f32]) {
+        assert_eq!(xdata.len(), self.cin * h * w, "conv input length mismatch");
+        assert_eq!(out.len(), self.cout * h * w, "conv output length mismatch");
+        if self.macs(h, w) >= PAR_MIN_MACS && vrd_runtime::max_threads() > 1 {
+            let planes: Vec<(usize, &mut [f32])> = out.chunks_mut(h * w).enumerate().collect();
+            vrd_runtime::parallel_for_each(planes, |(co, plane)| {
+                self.forward_plane(co, xdata, h, w, plane);
+            });
+        } else {
+            for (co, plane) in out.chunks_mut(h * w).enumerate() {
+                self.forward_plane(co, xdata, h, w, plane);
+            }
+        }
+    }
+
+    /// Forward pass without gradient bookkeeping: no input clone is cached,
+    /// so per-frame pipelines do not pay training costs.
+    ///
+    /// # Panics
+    /// Panics if the input channel count differs from `cin`.
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        self.check_input(x);
+        let (h, w) = (x.height(), x.width());
+        let mut out = Tensor::zeros(self.cout, h, w);
+        self.forward_into(x.as_slice(), h, w, out.as_mut_slice());
+        out
+    }
+
     /// Forward pass; caches the input for the backward pass.
     ///
     /// # Panics
     /// Panics if the input channel count differs from `cin`.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        assert_eq!(x.channels(), self.cin, "conv input channel mismatch");
+        let out = self.forward_inference(x);
+        self.cache = Some(x.clone());
+        out
+    }
+
+    /// Weight/bias gradient accumulation for one output channel.
+    fn backward_wb_plane(
+        &self,
+        co: usize,
+        x: &Tensor,
+        gout: &Tensor,
+        row_nz: &[bool],
+        gw_co: &mut [f32],
+        gb_co: &mut f32,
+    ) {
         let (h, w) = (x.height(), x.width());
-        let pad = (self.k / 2) as i32;
-        let mut out = Tensor::zeros(self.cout, h, w);
-        for co in 0..self.cout {
-            for y in 0..h {
-                for xp in 0..w {
-                    let mut acc = self.b[co];
-                    for ci in 0..self.cin {
-                        for ky in 0..self.k {
-                            let sy = y as i32 + ky as i32 - pad;
-                            if sy < 0 || sy >= h as i32 {
-                                continue;
-                            }
-                            for kx in 0..self.k {
-                                let sx = xp as i32 + kx as i32 - pad;
-                                if sx < 0 || sx >= w as i32 {
-                                    continue;
-                                }
-                                let wi = ((co * self.cin + ci) * self.k + ky) * self.k + kx;
-                                acc += self.w[wi] * x.get(ci, sy as usize, sx as usize);
-                            }
+        let (k, pad) = (self.k, (self.k / 2) as isize);
+        let gplane = &gout.as_slice()[co * h * w..][..h * w];
+        let nz = &row_nz[co * h..][..h];
+        // dL/db: plain sum of the output gradient, in (y, x) order. Rows
+        // that are entirely zero are skipped — the sparse fast path for
+        // ReLU-masked gradients — which cannot change the result.
+        let mut acc = *gb_co;
+        for y in 0..h {
+            if !nz[y] {
+                continue;
+            }
+            for &g in &gplane[y * w..][..w] {
+                acc += g;
+            }
+        }
+        *gb_co = acc;
+        // dL/dw: per tap, a scalar running sum over (y, x) — kept scalar so
+        // the accumulation order matches the reference exactly.
+        for ci in 0..self.cin {
+            let xplane = &x.as_slice()[ci * h * w..][..h * w];
+            for ky in 0..k {
+                let dy = ky as isize - pad;
+                let y0 = (-dy).max(0) as usize;
+                let y1 = (h as isize - dy).min(h as isize).max(0) as usize;
+                for kx in 0..k {
+                    let dx = kx as isize - pad;
+                    let x0 = (-dx).max(0) as usize;
+                    let x1 = (w as isize - dx).min(w as isize).max(0) as usize;
+                    if x0 >= x1 {
+                        continue;
+                    }
+                    let wi = (ci * k + ky) * k + kx;
+                    let mut acc = gw_co[wi];
+                    for y in y0..y1 {
+                        if !nz[y] {
+                            continue;
+                        }
+                        let sy = (y as isize + dy) as usize;
+                        let sx = (x0 as isize + dx) as usize;
+                        let grow = &gplane[y * w + x0..y * w + x1];
+                        let xrow = &xplane[sy * w + sx..][..x1 - x0];
+                        for (&g, &xv) in grow.iter().zip(xrow) {
+                            acc += g * xv;
                         }
                     }
-                    out.set(co, y, xp, acc);
+                    gw_co[wi] = acc;
                 }
             }
         }
-        self.cache = Some(x.clone());
-        out
+    }
+
+    /// Input-gradient accumulation for one input channel.
+    ///
+    /// The naive loop delivers contributions to a fixed input element in
+    /// ascending `(co, y, x)` order of the output elements; iterating the
+    /// kernel taps in *descending* `(ky, kx)` order reproduces exactly that,
+    /// so this scatter is bit-exact with the reference.
+    fn backward_gin_plane(&self, ci: usize, gout: &Tensor, row_nz: &[bool], gplane_in: &mut [f32]) {
+        let (h, w) = (gout.height(), gout.width());
+        let (k, pad) = (self.k, (self.k / 2) as isize);
+        for co in 0..self.cout {
+            let gplane = &gout.as_slice()[co * h * w..][..h * w];
+            let nz = &row_nz[co * h..][..h];
+            for ky in (0..k).rev() {
+                let dy = ky as isize - pad;
+                let y0 = (-dy).max(0) as usize;
+                let y1 = (h as isize - dy).min(h as isize).max(0) as usize;
+                for kx in (0..k).rev() {
+                    let dx = kx as isize - pad;
+                    let x0 = (-dx).max(0) as usize;
+                    let x1 = (w as isize - dx).min(w as isize).max(0) as usize;
+                    if x0 >= x1 {
+                        continue;
+                    }
+                    let wv = self.w[((co * self.cin + ci) * k + ky) * k + kx];
+                    for y in y0..y1 {
+                        if !nz[y] {
+                            continue;
+                        }
+                        let sy = (y as isize + dy) as usize;
+                        let sx = (x0 as isize + dx) as usize;
+                        let grow = &gplane[y * w + x0..y * w + x1];
+                        let irow = &mut gplane_in[sy * w + sx..][..x1 - x0];
+                        for (i, &g) in irow.iter_mut().zip(grow) {
+                            *i += wv * g;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Backward pass: accumulates weight/bias gradients and returns the
@@ -143,7 +330,7 @@ impl Conv2d {
     /// Panics if called before [`Conv2d::forward`] or with a gradient whose
     /// shape does not match the forward output.
     pub fn backward(&mut self, gout: &Tensor) -> Tensor {
-        let x = self.cache.as_ref().expect("forward must run before backward");
+        let x = self.cache.take().expect("forward must run before backward");
         assert_eq!(gout.channels(), self.cout, "grad channel mismatch");
         assert_eq!(
             (gout.height(), gout.width()),
@@ -151,37 +338,58 @@ impl Conv2d {
             "grad spatial mismatch"
         );
         let (h, w) = (x.height(), x.width());
-        let pad = (self.k / 2) as i32;
-        let mut gin = Tensor::zeros(self.cin, h, w);
-        for co in 0..self.cout {
-            for y in 0..h {
-                for xp in 0..w {
-                    let g = gout.get(co, y, xp);
-                    if g == 0.0 {
-                        continue;
-                    }
-                    self.gb[co] += g;
-                    for ci in 0..self.cin {
-                        for ky in 0..self.k {
-                            let sy = y as i32 + ky as i32 - pad;
-                            if sy < 0 || sy >= h as i32 {
-                                continue;
-                            }
-                            for kx in 0..self.k {
-                                let sx = xp as i32 + kx as i32 - pad;
-                                if sx < 0 || sx >= w as i32 {
-                                    continue;
-                                }
-                                let wi = ((co * self.cin + ci) * self.k + ky) * self.k + kx;
-                                self.gw[wi] += g * x.get(ci, sy as usize, sx as usize);
-                                let cur = gin.get(ci, sy as usize, sx as usize);
-                                gin.set(ci, sy as usize, sx as usize, cur + g * self.w[wi]);
-                            }
-                        }
-                    }
+        // Row-granular zero map: gradients arriving through ReLU masks are
+        // often zero-heavy, and whole-zero rows contribute nothing to any
+        // gradient, so each pass skips them up front.
+        let row_nz: Vec<bool> = gout
+            .as_slice()
+            .chunks(w)
+            .map(|row| row.iter().any(|&g| g != 0.0))
+            .collect();
+        let parallel = self.macs(h, w) >= PAR_MIN_MACS && vrd_runtime::max_threads() > 1;
+
+        // Pass A — weight and bias gradients, partitioned by output channel
+        // (each owns a disjoint `gw` block and `gb` element).
+        let wb_len = self.cin * self.k * self.k;
+        let mut gw = std::mem::take(&mut self.gw);
+        let mut gb = std::mem::take(&mut self.gb);
+        {
+            let items: Vec<(usize, (&mut [f32], &mut f32))> = gw
+                .chunks_mut(wb_len)
+                .zip(gb.iter_mut())
+                .enumerate()
+                .collect();
+            let run = |(co, (gw_co, gb_co)): (usize, (&mut [f32], &mut f32))| {
+                self.backward_wb_plane(co, &x, gout, &row_nz, gw_co, gb_co);
+            };
+            if parallel {
+                vrd_runtime::parallel_for_each(items, run);
+            } else {
+                for item in items {
+                    run(item);
                 }
             }
         }
+        self.gw = gw;
+        self.gb = gb;
+
+        // Pass B — input gradient, partitioned by input channel.
+        let mut gin = Tensor::zeros(self.cin, h, w);
+        {
+            let items: Vec<(usize, &mut [f32])> =
+                gin.as_mut_slice().chunks_mut(h * w).enumerate().collect();
+            let run = |(ci, plane): (usize, &mut [f32])| {
+                self.backward_gin_plane(ci, gout, &row_nz, plane);
+            };
+            if parallel {
+                vrd_runtime::parallel_for_each(items, run);
+            } else {
+                for item in items {
+                    run(item);
+                }
+            }
+        }
+        self.cache = Some(x);
         gin
     }
 
@@ -233,6 +441,108 @@ impl Conv2d {
         update(&mut self.w, &self.gw, &mut self.vw, &mut self.sw);
         update(&mut self.b, &self.gb, &mut self.vb, &mut self.sb);
     }
+
+    #[cfg(test)]
+    fn w_mut(&mut self) -> &mut [f32] {
+        &mut self.w
+    }
+}
+
+/// The naive per-element kernels the optimised paths are verified against.
+///
+/// These are the original triple-loop implementations, kept as the ground
+/// truth for the equivalence property tests (and as the baseline in the
+/// micro benchmarks). They accumulate in the same order the optimised
+/// kernels do, so equality is exact, not approximate.
+pub mod reference {
+    use super::Conv2d;
+    use crate::tensor::Tensor;
+
+    /// Naive forward pass.
+    ///
+    /// # Panics
+    /// Panics if the input channel count differs from the layer's.
+    pub fn forward(conv: &Conv2d, x: &Tensor) -> Tensor {
+        assert_eq!(x.channels(), conv.cin, "conv input channel mismatch");
+        let (h, w) = (x.height(), x.width());
+        let pad = (conv.k / 2) as i32;
+        let mut out = Tensor::zeros(conv.cout, h, w);
+        for co in 0..conv.cout {
+            for y in 0..h {
+                for xp in 0..w {
+                    let mut acc = conv.b[co];
+                    for ci in 0..conv.cin {
+                        for ky in 0..conv.k {
+                            let sy = y as i32 + ky as i32 - pad;
+                            if sy < 0 || sy >= h as i32 {
+                                continue;
+                            }
+                            for kx in 0..conv.k {
+                                let sx = xp as i32 + kx as i32 - pad;
+                                if sx < 0 || sx >= w as i32 {
+                                    continue;
+                                }
+                                let wi = ((co * conv.cin + ci) * conv.k + ky) * conv.k + kx;
+                                acc += conv.w[wi] * x.get(ci, sy as usize, sx as usize);
+                            }
+                        }
+                    }
+                    out.set(co, y, xp, acc);
+                }
+            }
+        }
+        out
+    }
+
+    /// Naive backward pass over an explicit input; returns
+    /// `(gin, gw, gb)` without touching the layer's own gradient buffers.
+    ///
+    /// # Panics
+    /// Panics on a gradient shape mismatch.
+    #[allow(clippy::needless_range_loop)] // keep the naive loop nest verbatim
+    pub fn backward(conv: &Conv2d, x: &Tensor, gout: &Tensor) -> (Tensor, Vec<f32>, Vec<f32>) {
+        assert_eq!(gout.channels(), conv.cout, "grad channel mismatch");
+        assert_eq!(
+            (gout.height(), gout.width()),
+            (x.height(), x.width()),
+            "grad spatial mismatch"
+        );
+        let (h, w) = (x.height(), x.width());
+        let pad = (conv.k / 2) as i32;
+        let mut gin = Tensor::zeros(conv.cin, h, w);
+        let mut gw = vec![0.0; conv.w.len()];
+        let mut gb = vec![0.0; conv.b.len()];
+        for co in 0..conv.cout {
+            for y in 0..h {
+                for xp in 0..w {
+                    let g = gout.get(co, y, xp);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    gb[co] += g;
+                    for ci in 0..conv.cin {
+                        for ky in 0..conv.k {
+                            let sy = y as i32 + ky as i32 - pad;
+                            if sy < 0 || sy >= h as i32 {
+                                continue;
+                            }
+                            for kx in 0..conv.k {
+                                let sx = xp as i32 + kx as i32 - pad;
+                                if sx < 0 || sx >= w as i32 {
+                                    continue;
+                                }
+                                let wi = ((co * conv.cin + ci) * conv.k + ky) * conv.k + kx;
+                                gw[wi] += g * x.get(ci, sy as usize, sx as usize);
+                                let cur = gin.get(ci, sy as usize, sx as usize);
+                                gin.set(ci, sy as usize, sx as usize, cur + g * conv.w[wi]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (gin, gw, gb)
+    }
 }
 
 #[cfg(test)]
@@ -242,11 +552,48 @@ mod tests {
     #[test]
     fn identity_kernel_passes_through() {
         let mut conv = Conv2d::new(1, 1, 3, 0);
-        conv.w.fill(0.0);
-        conv.w[4] = 1.0; // centre tap
+        conv.w_mut().fill(0.0);
+        conv.w_mut()[4] = 1.0; // centre tap
         let x = Tensor::from_vec(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         let y = conv.forward(&x);
         assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn inference_matches_training_forward() {
+        let mut conv = Conv2d::new(3, 5, 3, 11);
+        let x = Tensor::from_vec(3, 6, 7, (0..126).map(|v| (v as f32).sin()).collect());
+        let trained = conv.forward(&x);
+        let inferred = conv.forward_inference(&x);
+        assert_eq!(trained.as_slice(), inferred.as_slice());
+    }
+
+    #[test]
+    fn optimized_forward_is_bit_exact_with_reference() {
+        let conv = Conv2d::new(2, 4, 5, 9);
+        let x = Tensor::from_vec(
+            2,
+            9,
+            11,
+            (0..198).map(|v| (v as f32 * 0.37).cos()).collect(),
+        );
+        let fast = conv.forward_inference(&x);
+        let naive = reference::forward(&conv, &x);
+        assert_eq!(fast.as_slice(), naive.as_slice());
+    }
+
+    #[test]
+    fn optimized_backward_is_bit_exact_with_reference() {
+        let mut conv = Conv2d::new(2, 3, 3, 5);
+        let x = Tensor::from_vec(2, 6, 8, (0..96).map(|v| (v as f32 * 0.13).sin()).collect());
+        let y = conv.forward(&x);
+        conv.zero_grad();
+        let gin = conv.backward(&y);
+        let (gin_ref, gw_ref, gb_ref) = reference::backward(&conv, &x, &y);
+        assert_eq!(gin.as_slice(), gin_ref.as_slice());
+        let (gw, gb) = conv.grads();
+        assert_eq!(gw, &gw_ref[..]);
+        assert_eq!(gb, &gb_ref[..]);
     }
 
     #[test]
@@ -273,15 +620,15 @@ mod tests {
         let y = conv.forward(&x);
         conv.zero_grad();
         let _ = conv.backward(&y);
-        let analytic = conv.gw[wi];
+        let analytic = conv.grads().0[wi];
 
         // Numerical.
         let eps = 1e-3;
-        conv.w[wi] += eps;
+        conv.w_mut()[wi] += eps;
         let lp = loss(&mut conv, &x);
-        conv.w[wi] -= 2.0 * eps;
+        conv.w_mut()[wi] -= 2.0 * eps;
         let lm = loss(&mut conv, &x);
-        conv.w[wi] += eps;
+        conv.w_mut()[wi] += eps;
         let numeric = (lp - lm) / (2.0 * eps);
         assert!(
             (analytic - numeric).abs() < 1e-2,
@@ -303,9 +650,21 @@ mod tests {
         let idx = (1usize, 1usize, 1usize);
         let orig = x.get(idx.0, idx.1, idx.2);
         x.set(idx.0, idx.1, idx.2, orig + eps);
-        let lp: f32 = conv.forward(&x).as_slice().iter().map(|v| v * v).sum::<f32>() / 2.0;
+        let lp: f32 = conv
+            .forward(&x)
+            .as_slice()
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            / 2.0;
         x.set(idx.0, idx.1, idx.2, orig - eps);
-        let lm: f32 = conv.forward(&x).as_slice().iter().map(|v| v * v).sum::<f32>() / 2.0;
+        let lm: f32 = conv
+            .forward(&x)
+            .as_slice()
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            / 2.0;
         let numeric = (lp - lm) / (2.0 * eps);
         let analytic = gin.get(idx.0, idx.1, idx.2);
         assert!(

@@ -18,7 +18,6 @@
 //! accuracy in the experiments is then a genuine measurement of
 //! reconstruction + refinement running on realistic reference masks.
 
-use serde::Serialize;
 use vrd_video::texture::{hash2, value_noise};
 use vrd_video::{Detection, Rect, SegMask};
 
@@ -36,7 +35,7 @@ pub const NNL_OPS_PER_PIXEL: f64 = 1.22e6;
 pub const FLOWNET_OPS_PER_PIXEL: f64 = 8.5e5;
 
 /// Noise/cost profile of a large network.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LargeNetProfile {
     /// Human-readable scheme name.
     pub name: &'static str,
@@ -109,7 +108,7 @@ impl LargeNetProfile {
 }
 
 /// A calibrated large-network oracle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LargeNet {
     profile: LargeNetProfile,
 }
@@ -137,20 +136,32 @@ impl LargeNet {
         let (w, h) = (gt.width(), gt.height());
         let p = &self.profile;
         let mut out = SegMask::new(w, h);
-        for y in 0..h {
-            for x in 0..w {
+        // Every output pixel is independent, so both passes split by row
+        // across cores on large frames — same bits at any thread count.
+        let parallel = w * h >= 1 << 16 && vrd_runtime::max_threads() > 1;
+        let warp_row = |y: usize, row: &mut [u8]| {
+            for (x, o) in row.iter_mut().enumerate() {
                 let nx = value_noise(x as f32, y as f32, p.warp_scale, seed ^ 0x11) - 0.5;
                 let ny = value_noise(x as f32, y as f32, p.warp_scale, seed ^ 0x22) - 0.5;
                 let sx = (x as f32 + nx * 2.0 * p.warp_amp).round() as i32;
                 let sy = (y as f32 + ny * 2.0 * p.warp_amp).round() as i32;
-                out.set(x, y, gt.get_clamped(sx, sy));
+                *o = gt.get_clamped(sx, sy);
+            }
+        };
+        if parallel {
+            let rows: Vec<(usize, &mut [u8])> =
+                out.as_mut_slice().chunks_mut(w).enumerate().collect();
+            vrd_runtime::parallel_for_each(rows, |(y, row)| warp_row(y, row));
+        } else {
+            for (y, row) in out.as_mut_slice().chunks_mut(w).enumerate() {
+                warp_row(y, row);
             }
         }
         if p.speckle > 0.0 {
             // Flip a fraction of the pixels adjacent to the warped boundary.
             let snapshot = out.clone();
-            for y in 0..h {
-                for x in 0..w {
+            let speckle_row = |y: usize, row: &mut [u8]| {
+                for (x, o) in row.iter_mut().enumerate() {
                     let v = snapshot.get(x, y);
                     let near_boundary = (x + 1 < w && snapshot.get(x + 1, y) != v)
                         || (x > 0 && snapshot.get(x - 1, y) != v)
@@ -159,11 +170,20 @@ impl LargeNet {
                     if !near_boundary {
                         continue;
                     }
-                    let r = (hash2(x as i64, y as i64, seed ^ 0x33) >> 40) as f32
-                        / (1u64 << 24) as f32;
+                    let r =
+                        (hash2(x as i64, y as i64, seed ^ 0x33) >> 40) as f32 / (1u64 << 24) as f32;
                     if r < p.speckle {
-                        out.set(x, y, 1 - v);
+                        *o = 1 - v;
                     }
+                }
+            };
+            if parallel {
+                let rows: Vec<(usize, &mut [u8])> =
+                    out.as_mut_slice().chunks_mut(w).enumerate().collect();
+                vrd_runtime::parallel_for_each(rows, |(y, row)| speckle_row(y, row));
+            } else {
+                for (y, row) in out.as_mut_slice().chunks_mut(w).enumerate() {
+                    speckle_row(y, row);
                 }
             }
         }

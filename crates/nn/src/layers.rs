@@ -1,14 +1,11 @@
 //! Parameter-free layers: pooling, upsampling, activation, concatenation.
 
 use crate::tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// 2×2 max pooling (the NN-S "downsampling" layer).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MaxPool2 {
-    #[serde(skip)]
     argmax: Vec<usize>,
-    #[serde(skip)]
     in_shape: (usize, usize, usize),
 }
 
@@ -68,7 +65,7 @@ impl MaxPool2 {
 }
 
 /// Nearest-neighbour 2× upsampling (the NN-S "upsampling" layer).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Upsample2;
 
 impl Upsample2 {
@@ -107,9 +104,8 @@ impl Upsample2 {
 }
 
 /// ReLU activation with cached mask.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Relu {
-    #[serde(skip)]
     mask: Vec<bool>,
 }
 
@@ -171,18 +167,82 @@ pub fn sigmoid(x: &Tensor) -> Tensor {
     Tensor::from_vec(x.channels(), x.height(), x.width(), data)
 }
 
+// --- Slice-level inference kernels ------------------------------------
+//
+// Cache-free counterparts of the layers above, operating on raw CHW
+// slices so the inference path can run entirely on pooled scratch
+// buffers. Each computes the same values as its training twin.
+
+/// In-place ReLU over a raw buffer.
+pub fn relu_in_place(data: &mut [f32]) {
+    for v in data.iter_mut() {
+        *v = v.max(0.0);
+    }
+}
+
+/// 2×2 max pooling from a `c × h × w` slice into a `c × h/2 × w/2` slice,
+/// without recording argmax positions.
+///
+/// # Panics
+/// Panics on odd input dimensions or mismatched buffer lengths.
+pub fn maxpool2_into(src: &[f32], c: usize, h: usize, w: usize, dst: &mut [f32]) {
+    assert!(
+        h.is_multiple_of(2) && w.is_multiple_of(2),
+        "max-pool needs even dimensions"
+    );
+    assert_eq!(src.len(), c * h * w, "max-pool input length mismatch");
+    assert_eq!(dst.len(), c * h * w / 4, "max-pool output length mismatch");
+    let (oh, ow) = (h / 2, w / 2);
+    for ci in 0..c {
+        let plane = &src[ci * h * w..][..h * w];
+        for y in 0..oh {
+            let top = &plane[2 * y * w..][..w];
+            let bot = &plane[(2 * y + 1) * w..][..w];
+            let orow = &mut dst[(ci * oh + y) * ow..][..ow];
+            for (xp, o) in orow.iter_mut().enumerate() {
+                let a = top[2 * xp].max(top[2 * xp + 1]);
+                let b = bot[2 * xp].max(bot[2 * xp + 1]);
+                *o = a.max(b);
+            }
+        }
+    }
+}
+
+/// Nearest-neighbour 2× upsampling from a `c × h × w` slice into a
+/// `c × 2h × 2w` slice.
+///
+/// # Panics
+/// Panics on mismatched buffer lengths.
+pub fn upsample2_into(src: &[f32], c: usize, h: usize, w: usize, dst: &mut [f32]) {
+    assert_eq!(src.len(), c * h * w, "upsample input length mismatch");
+    assert_eq!(dst.len(), c * h * w * 4, "upsample output length mismatch");
+    let (oh, ow) = (h * 2, w * 2);
+    for ci in 0..c {
+        let plane = &src[ci * h * w..][..h * w];
+        for y in 0..oh {
+            let srow = &plane[(y / 2) * w..][..w];
+            let orow = &mut dst[(ci * oh + y) * ow..][..ow];
+            for (xp, o) in orow.iter_mut().enumerate() {
+                *o = srow[xp / 2];
+            }
+        }
+    }
+}
+
+/// In-place logistic sigmoid over a raw buffer.
+pub fn sigmoid_in_place(data: &mut [f32]) {
+    for v in data.iter_mut() {
+        *v = 1.0 / (1.0 + (-*v).exp());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn maxpool_forward_backward() {
-        let x = Tensor::from_vec(
-            1,
-            2,
-            4,
-            vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 9.0],
-        );
+        let x = Tensor::from_vec(1, 2, 4, vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 9.0]);
         let mut pool = MaxPool2::new();
         let y = pool.forward(&x);
         assert_eq!(y.as_slice(), &[5.0, 9.0]);

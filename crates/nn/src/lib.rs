@@ -17,7 +17,7 @@
 //! ```
 //! use vrd_nn::{NnS, Tensor};
 //!
-//! let mut nns = NnS::new(8, 42);
+//! let nns = NnS::new(8, 42);
 //! // NN-S is tiny: under 1k parameters vs hundreds of millions for NN-L.
 //! assert!(nns.n_params() < 1500);
 //! let sandwich = Tensor::zeros(3, 16, 16);

@@ -7,13 +7,20 @@
 //! output is a single-channel refined foreground probability.
 
 use crate::conv::Conv2d;
-use crate::layers::{concat, sigmoid, split, MaxPool2, Relu, Upsample2};
+use crate::layers::{
+    concat, maxpool2_into, relu_in_place, sigmoid_in_place, split, upsample2_into, MaxPool2, Relu,
+    Upsample2,
+};
 use crate::loss::bce_with_logits;
 use crate::tensor::Tensor;
-use serde::{Deserialize, Serialize};
+use vrd_runtime::BufferPool;
 
 /// Channels of the sandwich input.
 pub const SANDWICH_CHANNELS: usize = 3;
+
+/// Scratch buffers for the cache-free inference path, recycled across
+/// frames so steady-state refinement does not allocate per call.
+static SCRATCH: BufferPool = BufferPool::new();
 
 /// Element-wise tensor addition.
 fn add(a: &Tensor, b: &Tensor) -> Tensor {
@@ -28,7 +35,7 @@ fn add(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// The NN-S refinement network.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NnS {
     hidden: usize,
     conv1: Conv2d,
@@ -37,7 +44,6 @@ pub struct NnS {
     conv2: Conv2d,
     relu2: Relu,
     conv3: Conv2d,
-    #[serde(skip)]
     cache_a1: Option<Tensor>,
 }
 
@@ -121,8 +127,47 @@ impl NnS {
     }
 
     /// Inference: refined foreground probability map in `[0, 1]`.
-    pub fn infer(&mut self, x: &Tensor) -> Tensor {
-        sigmoid(&self.forward_logits(x))
+    ///
+    /// Unlike the training path this takes `&self` and skips every piece of
+    /// gradient bookkeeping — no input clones, no activation masks, no
+    /// argmax maps — running the whole pipeline on pooled scratch buffers.
+    /// It computes exactly the same values as
+    /// `sigmoid(forward_logits(x))`.
+    ///
+    /// # Panics
+    /// Panics on a wrong channel count or odd spatial dimensions.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            x.channels(),
+            SANDWICH_CHANNELS,
+            "NN-S expects the 3-channel sandwich input"
+        );
+        let (h, w) = (x.height(), x.width());
+        assert!(h % 2 == 0 && w % 2 == 0, "max-pool needs even dimensions");
+        let (hw, hid) = (h * w, self.hidden);
+        let mut a1 = SCRATCH.take(hid * hw);
+        self.conv1.forward_into(x.as_slice(), h, w, &mut a1);
+        relu_in_place(&mut a1);
+        let mut d = SCRATCH.take(hid * hw / 4);
+        maxpool2_into(&a1, hid, h, w, &mut d);
+        let mut a2 = SCRATCH.take(hid * hw / 4);
+        self.conv2.forward_into(&d, h / 2, w / 2, &mut a2);
+        relu_in_place(&mut a2);
+        let mut cat = SCRATCH.take(2 * hid * hw);
+        cat[..hid * hw].copy_from_slice(&a1);
+        upsample2_into(&a2, hid, h / 2, w / 2, &mut cat[hid * hw..]);
+        let mut out = vec![0.0; hw];
+        self.conv3.forward_into(&cat, h, w, &mut out);
+        sigmoid_in_place(&mut out);
+        Tensor::from_vec(1, h, w, out)
+    }
+
+    /// Adds another model's accumulated gradients into this one's buffers
+    /// (per-sample gradient reduction in the trainer).
+    pub fn accumulate_grads_from(&mut self, other: &NnS) {
+        self.conv1.accumulate_grads_from(&other.conv1);
+        self.conv2.accumulate_grads_from(&other.conv2);
+        self.conv3.accumulate_grads_from(&other.conv3);
     }
 
     /// One training step: forward, BCE-with-logits against `target`,
@@ -174,9 +219,12 @@ impl NnS {
         step: usize,
         batch: usize,
     ) {
-        self.conv1.apply_grads_adam(lr, beta1, beta2, eps, step, batch);
-        self.conv2.apply_grads_adam(lr, beta1, beta2, eps, step, batch);
-        self.conv3.apply_grads_adam(lr, beta1, beta2, eps, step, batch);
+        self.conv1
+            .apply_grads_adam(lr, beta1, beta2, eps, step, batch);
+        self.conv2
+            .apply_grads_adam(lr, beta1, beta2, eps, step, batch);
+        self.conv3
+            .apply_grads_adam(lr, beta1, beta2, eps, step, batch);
     }
 }
 
@@ -186,11 +234,27 @@ mod tests {
 
     #[test]
     fn output_shape_and_range() {
-        let mut nns = NnS::new(4, 1);
+        let nns = NnS::new(4, 1);
         let x = Tensor::zeros(3, 8, 12);
         let y = nns.infer(&x);
         assert_eq!((y.channels(), y.height(), y.width()), (1, 8, 12));
         assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn inference_matches_training_forward() {
+        use crate::layers::sigmoid;
+        let mut nns = NnS::new(6, 23);
+        let x = Tensor::from_vec(
+            3,
+            10,
+            14,
+            (0..3 * 10 * 14).map(|v| (v as f32 * 0.11).sin()).collect(),
+        );
+        let logits = nns.forward_logits(&x);
+        let trained = sigmoid(&logits);
+        let inferred = nns.infer(&x);
+        assert_eq!(trained.as_slice(), inferred.as_slice());
     }
 
     #[test]
@@ -244,7 +308,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "sandwich")]
     fn rejects_wrong_channel_count() {
-        let mut nns = NnS::new(4, 0);
+        let nns = NnS::new(4, 0);
         let _ = nns.infer(&Tensor::zeros(2, 8, 8));
     }
 }

@@ -69,9 +69,9 @@ fn get_conv(
 /// use vrd_nn::{load_nns, save_nns, NnS, Tensor};
 ///
 /// # fn main() -> Result<(), String> {
-/// let mut model = NnS::new(4, 7);
+/// let model = NnS::new(4, 7);
 /// let bytes = save_nns(&model);
-/// let mut restored = load_nns(&bytes)?;
+/// let restored = load_nns(&bytes)?;
 /// let x = Tensor::zeros(3, 8, 8);
 /// assert_eq!(model.infer(&x).as_slice(), restored.infer(&x).as_slice());
 /// # Ok(())
@@ -130,7 +130,7 @@ mod tests {
         model.apply_grads(0.1, 0.9, 1);
 
         let bytes = save_nns(&model);
-        let mut loaded = load_nns(&bytes).expect("loads");
+        let loaded = load_nns(&bytes).expect("loads");
         assert_eq!(loaded.n_params(), model.n_params());
         assert_eq!(model.infer(&x).as_slice(), loaded.infer(&x).as_slice());
     }

@@ -1,10 +1,9 @@
 //! A minimal CHW float tensor.
 
-use serde::{Deserialize, Serialize};
 use vrd_video::{Seg2Plane, SegMask};
 
 /// A dense `channels × height × width` tensor of `f32`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     c: usize,
     h: usize,
@@ -18,7 +17,10 @@ impl Tensor {
     /// # Panics
     /// Panics if any dimension is zero.
     pub fn zeros(c: usize, h: usize, w: usize) -> Self {
-        assert!(c > 0 && h > 0 && w > 0, "tensor dimensions must be non-zero");
+        assert!(
+            c > 0 && h > 0 && w > 0,
+            "tensor dimensions must be non-zero"
+        );
         Self {
             c,
             h,
@@ -32,7 +34,10 @@ impl Tensor {
     /// # Panics
     /// Panics if `data.len() != c * h * w` or any dimension is zero.
     pub fn from_vec(c: usize, h: usize, w: usize, data: Vec<f32>) -> Self {
-        assert!(c > 0 && h > 0 && w > 0, "tensor dimensions must be non-zero");
+        assert!(
+            c > 0 && h > 0 && w > 0,
+            "tensor dimensions must be non-zero"
+        );
         assert_eq!(data.len(), c * h * w, "tensor buffer size mismatch");
         Self { c, h, w, data }
     }
@@ -145,10 +150,7 @@ impl Tensor {
         SegMask::from_vec(
             self.w,
             self.h,
-            self.data
-                .iter()
-                .map(|&v| u8::from(v > threshold))
-                .collect(),
+            self.data.iter().map(|&v| u8::from(v > threshold)).collect(),
         )
     }
 }

@@ -9,10 +9,9 @@ use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// The optimiser driving the weight updates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Optimizer {
     /// Stochastic gradient descent with momentum (the calibrated default).
     Sgd {
@@ -57,7 +56,7 @@ pub struct Sample {
 }
 
 /// Training hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
     /// Number of passes over the data (paper: 2).
     pub epochs: usize,
@@ -67,6 +66,10 @@ pub struct TrainConfig {
     pub batch: usize,
     /// Shuffling seed.
     pub seed: u64,
+    /// Worker threads for per-sample gradient computation; `0` means use
+    /// every available core. The trained weights are identical for every
+    /// setting (see [`train`]).
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -79,17 +82,28 @@ impl Default for TrainConfig {
             },
             batch: 4,
             seed: 0x7a41,
+            threads: 0,
         }
     }
 }
 
 /// Trains `model` on `samples`; returns the mean loss of each epoch.
 ///
+/// Each minibatch computes per-sample gradients independently (in parallel
+/// across `cfg.threads` workers) and reduces them in sample order, so the
+/// trained weights are **bit-identical for every thread count** — the
+/// parallelism only changes wall-clock time, never the result.
+///
 /// # Panics
 /// Panics if `samples` is empty or `cfg.batch == 0`.
 pub fn train(model: &mut NnS, samples: &[Sample], cfg: &TrainConfig) -> Vec<f32> {
     assert!(!samples.is_empty(), "cannot train on zero samples");
     assert!(cfg.batch > 0, "batch size must be non-zero");
+    let threads = if cfg.threads == 0 {
+        vrd_runtime::max_threads()
+    } else {
+        cfg.threads
+    };
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
@@ -99,8 +113,18 @@ pub fn train(model: &mut NnS, samples: &[Sample], cfg: &TrainConfig) -> Vec<f32>
         let mut epoch_loss = 0.0f32;
         for chunk in order.chunks(cfg.batch) {
             model.zero_grad();
-            for &i in chunk {
-                epoch_loss += model.train_step(&samples[i].input, &samples[i].target);
+            // Per-sample gradients in parallel: each worker clones the
+            // (zero-gradient) model, runs one forward/backward, and hands
+            // its gradient buffers back for an in-order reduction.
+            let shared: &NnS = model;
+            let per_sample = vrd_runtime::parallel_map_with(chunk, threads, |&i| {
+                let mut worker = shared.clone();
+                let loss = worker.train_step(&samples[i].input, &samples[i].target);
+                (loss, worker)
+            });
+            for (loss, worker) in &per_sample {
+                epoch_loss += loss;
+                model.accumulate_grads_from(worker);
             }
             step += 1;
             match cfg.optimizer {
@@ -202,6 +226,49 @@ mod tests {
         let h1 = train(&mut m1, &samples, &cfg);
         let h2 = train(&mut m2, &samples, &cfg);
         assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn training_is_bit_identical_across_thread_counts() {
+        let samples = toy_samples(16);
+        let weight_bits = |model: &NnS| -> Vec<Vec<u32>> {
+            let (c1, c2, c3) = model.convs();
+            [c1, c2, c3]
+                .iter()
+                .flat_map(|c| {
+                    let (w, b) = c.export_params();
+                    [w, b]
+                })
+                .map(|v| v.iter().map(|f| f.to_bits()).collect())
+                .collect()
+        };
+        let mut baseline = NnS::new(4, 5);
+        let base_hist = train(
+            &mut baseline,
+            &samples,
+            &TrainConfig {
+                threads: 1,
+                ..TrainConfig::default()
+            },
+        );
+        let base_bits = weight_bits(&baseline);
+        for threads in [2, 3, 8] {
+            let mut model = NnS::new(4, 5);
+            let hist = train(
+                &mut model,
+                &samples,
+                &TrainConfig {
+                    threads,
+                    ..TrainConfig::default()
+                },
+            );
+            assert_eq!(hist, base_hist, "loss history differs at {threads} threads");
+            assert_eq!(
+                weight_bits(&model),
+                base_bits,
+                "trained weights differ at {threads} threads"
+            );
+        }
     }
 
     #[test]

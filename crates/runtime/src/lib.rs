@@ -1,0 +1,258 @@
+//! # vrd-runtime — the workspace's shared parallel runtime
+//!
+//! Hosts the scoped-thread primitives that used to live privately in the
+//! bench harness, so every layer (NN kernels, trainer, experiment harness)
+//! schedules work the same way:
+//!
+//! * [`parallel_map`] — order-preserving map over a slice on all cores;
+//! * [`parallel_for_each`] — consume a vec of independent work items (e.g.
+//!   disjoint `&mut` output slices) across cores;
+//! * [`BufferPool`] — reusable `f32` scratch buffers, so per-frame inference
+//!   stops paying an allocation per intermediate tensor.
+//!
+//! Everything here is **deterministic by construction**: work items are
+//! independent, outputs go to pre-assigned slots, and no reduction order
+//! depends on the thread count. Callers that need a specific thread count
+//! (tests pinning determinism, benchmarks) use the `_with` variants; the
+//! plain variants use [`max_threads`], which honours the `VRD_THREADS`
+//! environment variable before falling back to the hardware parallelism.
+
+use std::sync::Mutex;
+use std::thread;
+
+/// The number of worker threads the plain `parallel_*` entry points use:
+/// the `VRD_THREADS` environment variable if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`].
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("VRD_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` over the items on all available cores, preserving order.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with(items, max_threads(), f)
+}
+
+/// [`parallel_map`] with an explicit worker-thread count.
+pub fn parallel_map_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(items.len());
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    thread::scope(|s| {
+        for (slot_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            s.spawn(move || {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot is filled by its worker"))
+        .collect()
+}
+
+/// Consumes independent work items across all available cores.
+///
+/// Unlike [`parallel_map`] the items are moved into the workers, which lets
+/// callers hand out disjoint `&mut` slices (e.g. one output plane per item)
+/// without interior mutability.
+pub fn parallel_for_each<I, F>(items: Vec<I>, f: F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    parallel_for_each_with(items, max_threads(), f)
+}
+
+/// [`parallel_for_each`] with an explicit worker-thread count.
+pub fn parallel_for_each_with<I, F>(mut items: Vec<I>, threads: usize, f: F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    if items.is_empty() {
+        return;
+    }
+    let threads = threads.max(1).min(items.len());
+    if threads == 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    thread::scope(|s| {
+        while !items.is_empty() {
+            let take = chunk.min(items.len());
+            let group: Vec<I> = items.drain(..take).collect();
+            s.spawn(move || {
+                for item in group {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// A pool of reusable `f32` scratch buffers.
+///
+/// `take` hands out a zero-filled buffer of the requested length (reusing a
+/// retired allocation when one is available); dropping the returned
+/// [`PooledBuf`] recycles it. The pool holds at most a fixed number of
+/// retired buffers so long-running processes do not accumulate memory.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Mutex<Vec<Vec<f32>>>,
+}
+
+/// Retired buffers kept per pool.
+const POOL_CAP: usize = 16;
+
+impl BufferPool {
+    /// An empty pool (usable in `static` position).
+    pub const fn new() -> Self {
+        Self {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A zero-filled scratch buffer of length `len`.
+    pub fn take(&self, len: usize) -> PooledBuf<'_> {
+        let mut buf = self
+            .free
+            .lock()
+            .expect("buffer pool lock is never poisoned")
+            .pop()
+            .unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0.0);
+        PooledBuf { buf, pool: self }
+    }
+
+    fn recycle(&self, buf: Vec<f32>) {
+        let mut free = self
+            .free
+            .lock()
+            .expect("buffer pool lock is never poisoned");
+        if free.len() < POOL_CAP {
+            free.push(buf);
+        }
+    }
+}
+
+/// A scratch buffer borrowed from a [`BufferPool`]; recycled on drop.
+#[derive(Debug)]
+pub struct PooledBuf<'p> {
+    buf: Vec<f32>,
+    pool: &'p BufferPool,
+}
+
+impl std::ops::Deref for PooledBuf<'_> {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf<'_> {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf<'_> {
+    fn drop(&mut self) {
+        self.pool.recycle(std::mem::take(&mut self.buf));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u32> = (0..37).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..37).map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_is_thread_count_invariant() {
+        let items: Vec<u64> = (0..101).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            assert_eq!(parallel_map_with(&items, threads, |&x| x * x), expect);
+        }
+    }
+
+    #[test]
+    fn parallel_for_each_writes_disjoint_slices() {
+        let mut data = vec![0u32; 64];
+        for threads in [1, 3, 7] {
+            let work: Vec<(usize, &mut [u32])> = data.chunks_mut(16).enumerate().collect();
+            parallel_for_each_with(work, threads, |(i, chunk)| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = (i * 100 + j) as u32;
+                }
+            });
+            for (i, chunk) in data.chunks(16).enumerate() {
+                for (j, &v) in chunk.iter().enumerate() {
+                    assert_eq!(v, (i * 100 + j) as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_pool_recycles_allocations() {
+        let pool = BufferPool::new();
+        let ptr = {
+            let mut a = pool.take(1024);
+            a[0] = 5.0;
+            a.as_ptr()
+        };
+        // The recycled allocation is reused and comes back zeroed.
+        let b = pool.take(1024);
+        assert_eq!(b.as_ptr(), ptr);
+        assert!(b.iter().all(|&v| v == 0.0));
+        let c = pool.take(8);
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -11,12 +11,11 @@
 
 use crate::config::AgentConfig;
 use crate::dram::Dram;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use vrd_codec::MvRecord;
 
 /// Outcome of reconstructing one B-frame.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ReconOutcome {
     /// Completion time (ns, absolute simulation time).
     pub finish_ns: f64,
@@ -119,7 +118,11 @@ pub fn reconstruct(
     // Demux writes into tmp_B, then the drain readout to DRAM.
     let tmp_b_accesses = 2 * refs.len() as u64 + mvs.len() as u64;
     let writeback_bytes = (width * height) / 4; // 2 bits/pixel
-    finish = dram.request(0x8000_0000, writeback_bytes, finish.max(start_ns + agent_ns));
+    finish = dram.request(
+        0x8000_0000,
+        writeback_bytes,
+        finish.max(start_ns + agent_ns),
+    );
 
     ReconOutcome {
         finish_ns: finish,
@@ -130,7 +133,7 @@ pub fn reconstruct(
 }
 
 /// Hardware budget of the agent unit (Table II's cost summary).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AgentFootprint {
     /// Total `tmp_B` SRAM in bytes.
     pub tmp_b_bytes: usize,
@@ -249,7 +252,14 @@ mod tests {
         // table needs two windows, re-fetching shared bands; a table large
         // enough for one window does not.
         let mvs: Vec<MvRecord> = (0..480)
-            .map(|i| mv(((i % 20) * 8, (i / 20) * 8 % 96), 0, (64, (i % 6) as i32 * 8), false))
+            .map(|i| {
+                mv(
+                    ((i % 20) * 8, (i / 20) * 8 % 96),
+                    0,
+                    (64, (i % 6) as i32 * 8),
+                    false,
+                )
+            })
             .collect();
         let run_with = |entries: usize| {
             let mut dram = Dram::new(DramConfig::default());

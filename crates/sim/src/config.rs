@@ -6,10 +6,8 @@
 //! setup: Ascend-310-class NPU, 600 MHz agent unit, 300 MHz decoder, DDR3
 //! global memory.
 
-use serde::{Deserialize, Serialize};
-
 /// NPU behavioural timing model (Table II: Ascend 310).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NpuConfig {
     /// Peak INT8 throughput in ops/second (16 TOPS).
     pub peak_ops_per_s: f64,
@@ -35,7 +33,7 @@ impl Default for NpuConfig {
 }
 
 /// Video decoder timing model (300 MHz, §V-B).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecoderConfig {
     /// Decoder clock in Hz.
     pub freq_hz: f64,
@@ -62,7 +60,7 @@ impl Default for DecoderConfig {
 }
 
 /// The VR-DANN agent unit (Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AgentConfig {
     /// Agent clock in Hz (600 MHz).
     pub freq_hz: f64,
@@ -100,7 +98,7 @@ impl Default for AgentConfig {
 }
 
 /// DDR3-like global memory timing (the DRAMSim stand-in).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
     /// Burst granularity in bytes (64 B = BL8 × 64-bit bus).
     pub burst_bytes: usize,
@@ -137,7 +135,7 @@ impl Default for DramConfig {
 }
 
 /// Per-event energy and software-fallback costs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostConfig {
     /// NPU energy per operation in picojoules (Ascend-310 class: 16 TOPS at
     /// ~8 W ≈ 0.5 pJ/op).
@@ -183,7 +181,7 @@ impl Default for CostConfig {
 }
 
 /// Complete simulator configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SimConfig {
     /// NPU model.
     pub npu: NpuConfig,

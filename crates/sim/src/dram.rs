@@ -8,10 +8,9 @@
 //! block fetches thrash it.
 
 use crate::config::DramConfig;
-use serde::{Deserialize, Serialize};
 
 /// Cumulative access statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DramStats {
     /// Bursts that hit an open row.
     pub row_hits: u64,

@@ -1,11 +1,10 @@
 //! Simulation output: timing, energy and DRAM-traffic breakdowns.
 
 use crate::dram::DramStats;
-use serde::{Deserialize, Serialize};
 use vr_dann::SchemeKind;
 
 /// DRAM traffic by category (the Fig. 14 breakdown).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TrafficBreakdown {
     /// Network weight streaming.
     pub weights: u64,
@@ -37,7 +36,7 @@ impl TrafficBreakdown {
 }
 
 /// Energy by component, in millijoules.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// NPU compute energy.
     pub npu_mj: f64,
@@ -56,13 +55,12 @@ pub struct EnergyBreakdown {
 impl EnergyBreakdown {
     /// Total energy in millijoules.
     pub fn total_mj(&self) -> f64 {
-        self.npu_mj + self.dram_mj + self.decoder_mj + self.agent_mj + self.cpu_mj
-            + self.static_mj
+        self.npu_mj + self.dram_mj + self.decoder_mj + self.agent_mj + self.cpu_mj + self.static_mj
     }
 }
 
 /// Complete result of simulating one trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// The scheme simulated.
     pub scheme: SchemeKind,

@@ -19,12 +19,11 @@ use crate::dram::Dram;
 use crate::report::{EnergyBreakdown, SimReport, TrafficBreakdown};
 use crate::timeline::{Lane, SpanKind, Timeline};
 use crate::traffic::frame_traffic;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use vr_dann::{ComputeKind, SchemeTrace, TraceFrame};
 
 /// Options of the parallel architecture (the ablation knobs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelOptions {
     /// Motion-vector coalescing in the agent unit (§IV-C). Off = every
     /// block fetched independently.
@@ -47,7 +46,7 @@ impl Default for ParallelOptions {
 }
 
 /// How to execute a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ExecMode {
     /// Straightforward in-order execution (all baselines).
     InOrder,
@@ -123,8 +122,13 @@ impl<'a> Machine<'a> {
             Model::None => unreachable!(),
         };
         if self.record {
-            self.timeline
-                .record(Lane::Npu, SpanKind::Switch, self.t_npu, self.t_npu + ns, None);
+            self.timeline.record(
+                Lane::Npu,
+                SpanKind::Switch,
+                self.t_npu,
+                self.t_npu + ns,
+                None,
+            );
         }
         self.t_npu += ns;
         self.switch_ns += ns;
@@ -206,11 +210,7 @@ fn simulate_impl(
     record: bool,
 ) -> (SimReport, Timeline) {
     let mut machine = Machine::new(cfg, record);
-    let (ready, decoder_cycles) = decode_ready(
-        trace,
-        cfg,
-        record.then_some(&mut machine.timeline),
-    );
+    let (ready, decoder_cycles) = decode_ready(trace, cfg, record.then_some(&mut machine.timeline));
     let mut dram = Dram::new(cfg.dram);
     let mut traffic = TrafficBreakdown::default();
     let mut tmp_b_accesses = 0u64;
@@ -252,10 +252,7 @@ fn simulate_impl(
             }
         }
         ExecMode::VrDannParallel(opts) => {
-            let tmp_b = opts
-                .tmp_b_buffers
-                .unwrap_or(cfg.agent.tmp_b_buffers)
-                .max(1);
+            let tmp_b = opts.tmp_b_buffers.unwrap_or(cfg.agent.tmp_b_buffers).max(1);
             // NPU finish time of each processed anchor (for recon deps).
             let mut anchor_done: BTreeMap<u32, f64> = BTreeMap::new();
             let mut agent_free = 0.0f64;
@@ -264,65 +261,61 @@ fn simulate_impl(
             // Queued B-frames: (trace index).
             let mut b_q: Vec<usize> = Vec::new();
 
-            let drain =
-                |b_q: &mut Vec<usize>,
-                 machine: &mut Machine,
-                 agent_free: &mut f64,
-                 consumed: &mut VecDeque<f64>,
-                 dram: &mut Dram,
-                 anchor_done: &BTreeMap<u32, f64>,
-                 traffic: &mut TrafficBreakdown,
-                 tmp_b_accesses: &mut u64| {
-                    for &i in b_q.iter() {
-                        let f: &TraceFrame = &trace.frames[i];
-                        let ComputeKind::NnSRefine { ops, mvs } = &f.kind else {
-                            unreachable!("b_Q only holds B-frames");
-                        };
-                        let refs_done = mvs
-                            .iter()
-                            .flat_map(|m| {
-                                std::iter::once(m.ref0.frame)
-                                    .chain(m.ref1.map(|r| r.frame))
-                            })
-                            .map(|fr| anchor_done.get(&fr).copied().unwrap_or(0.0))
-                            .fold(0.0f64, f64::max);
-                        let gate = if consumed.len() >= tmp_b {
-                            consumed[consumed.len() - tmp_b]
-                        } else {
-                            0.0
-                        };
-                        let start = ready[i].max(refs_done).max(*agent_free).max(gate);
-                        let outcome = agent::reconstruct(
-                            mvs,
-                            trace.width,
-                            trace.height,
-                            trace.mb_size,
-                            opts.coalesce,
-                            &cfg.agent,
-                            dram,
+            let drain = |b_q: &mut Vec<usize>,
+                         machine: &mut Machine,
+                         agent_free: &mut f64,
+                         consumed: &mut VecDeque<f64>,
+                         dram: &mut Dram,
+                         anchor_done: &BTreeMap<u32, f64>,
+                         traffic: &mut TrafficBreakdown,
+                         tmp_b_accesses: &mut u64| {
+                for &i in b_q.iter() {
+                    let f: &TraceFrame = &trace.frames[i];
+                    let ComputeKind::NnSRefine { ops, mvs } = &f.kind else {
+                        unreachable!("b_Q only holds B-frames");
+                    };
+                    let refs_done = mvs
+                        .iter()
+                        .flat_map(|m| std::iter::once(m.ref0.frame).chain(m.ref1.map(|r| r.frame)))
+                        .map(|fr| anchor_done.get(&fr).copied().unwrap_or(0.0))
+                        .fold(0.0f64, f64::max);
+                    let gate = if consumed.len() >= tmp_b {
+                        consumed[consumed.len() - tmp_b]
+                    } else {
+                        0.0
+                    };
+                    let start = ready[i].max(refs_done).max(*agent_free).max(gate);
+                    let outcome = agent::reconstruct(
+                        mvs,
+                        trace.width,
+                        trace.height,
+                        trace.mb_size,
+                        opts.coalesce,
+                        &cfg.agent,
+                        dram,
+                        start,
+                    );
+                    *agent_free = outcome.finish_ns;
+                    traffic.seg += outcome.seg_bytes;
+                    *tmp_b_accesses += outcome.tmp_b_accesses;
+                    if machine.record {
+                        machine.timeline.record(
+                            Lane::Agent,
+                            SpanKind::Recon,
                             start,
+                            outcome.finish_ns,
+                            Some(f.display),
                         );
-                        *agent_free = outcome.finish_ns;
-                        traffic.seg += outcome.seg_bytes;
-                        *tmp_b_accesses += outcome.tmp_b_accesses;
-                        if machine.record {
-                            machine.timeline.record(
-                                Lane::Agent,
-                                SpanKind::Recon,
-                                start,
-                                outcome.finish_ns,
-                                Some(f.display),
-                            );
-                        }
-
-                        machine.ensure_model(Model::Small);
-                        let stall = (outcome.finish_ns - machine.t_npu).max(0.0);
-                        machine.recon_stall_ns += stall;
-                        machine.run_ops(*ops, outcome.finish_ns, SpanKind::NnS, Some(f.display));
-                        consumed.push_back(machine.t_npu);
                     }
-                    b_q.clear();
-                };
+
+                    machine.ensure_model(Model::Small);
+                    let stall = (outcome.finish_ns - machine.t_npu).max(0.0);
+                    machine.recon_stall_ns += stall;
+                    machine.run_ops(*ops, outcome.finish_ns, SpanKind::NnS, Some(f.display));
+                    consumed.push_back(machine.t_npu);
+                }
+                b_q.clear();
+            };
 
             for (i, f) in trace.frames.iter().enumerate() {
                 match &f.kind {
@@ -415,7 +408,7 @@ mod tests {
     fn vr_trace() -> (SchemeTrace, SchemeTrace) {
         let cfg = SuiteConfig::tiny();
         let train = davis_train_suite(&cfg, 2);
-        let mut model = VrDann::train(
+        let model = VrDann::train(
             &train,
             TrainTask::Segmentation,
             VrDannConfig {
@@ -437,7 +430,11 @@ mod tests {
         let cfg = SimConfig::default();
         let r_favos = simulate(&favos, ExecMode::InOrder, &cfg);
         let r_serial = simulate(&vr, ExecMode::VrDannSerial, &cfg);
-        let r_par = simulate(&vr, ExecMode::VrDannParallel(ParallelOptions::default()), &cfg);
+        let r_par = simulate(
+            &vr,
+            ExecMode::VrDannParallel(ParallelOptions::default()),
+            &cfg,
+        );
         assert!(
             r_par.total_ns < r_serial.total_ns,
             "parallel {} >= serial {}",
@@ -460,7 +457,11 @@ mod tests {
     fn coalescing_reduces_recon_stall_and_traffic() {
         let (vr, _) = vr_trace();
         let cfg = SimConfig::default();
-        let with = simulate(&vr, ExecMode::VrDannParallel(ParallelOptions::default()), &cfg);
+        let with = simulate(
+            &vr,
+            ExecMode::VrDannParallel(ParallelOptions::default()),
+            &cfg,
+        );
         let without = simulate(
             &vr,
             ExecMode::VrDannParallel(ParallelOptions {
@@ -479,7 +480,11 @@ mod tests {
     fn lagged_switching_cuts_switches() {
         let (vr, _) = vr_trace();
         let cfg = SimConfig::default();
-        let lagged = simulate(&vr, ExecMode::VrDannParallel(ParallelOptions::default()), &cfg);
+        let lagged = simulate(
+            &vr,
+            ExecMode::VrDannParallel(ParallelOptions::default()),
+            &cfg,
+        );
         let strict = simulate(
             &vr,
             ExecMode::VrDannParallel(ParallelOptions {
@@ -496,7 +501,11 @@ mod tests {
     fn b_q_occupancy_is_tracked_and_bounded() {
         let (vr, _) = vr_trace();
         let cfg = SimConfig::default();
-        let r = simulate(&vr, ExecMode::VrDannParallel(ParallelOptions::default()), &cfg);
+        let r = simulate(
+            &vr,
+            ExecMode::VrDannParallel(ParallelOptions::default()),
+            &cfg,
+        );
         assert!(r.max_b_q_occupancy > 0, "no B-frames queued");
         assert!(
             r.max_b_q_occupancy <= cfg.agent.b_q_entries,
@@ -518,10 +527,10 @@ mod tests {
             &cfg,
         );
         // Lane accounting agrees with the report.
-        assert!((tl.lane_busy_ns(crate::Lane::Npu)
-            - (report.npu_busy_ns + report.switch_ns))
-            .abs()
-            < 1.0);
+        assert!(
+            (tl.lane_busy_ns(crate::Lane::Npu) - (report.npu_busy_ns + report.switch_ns)).abs()
+                < 1.0
+        );
         assert!(tl.end_ns() <= report.total_ns + 1.0);
         // The agent lane is busy (hardware reconstruction happened)...
         assert!(tl.lane_busy_ns(crate::Lane::Agent) > 0.0);
@@ -536,7 +545,10 @@ mod tests {
             .spans
             .iter()
             .filter(|s| s.lane == crate::Lane::Agent)
-            .any(|a| npu.iter().any(|n| a.start_ns < n.end_ns && n.start_ns < a.end_ns));
+            .any(|a| {
+                npu.iter()
+                    .any(|n| a.start_ns < n.end_ns && n.start_ns < a.end_ns)
+            });
         assert!(overlapping, "no reconstruction overlapped NPU compute");
         // Serial mode shows CPU-lane work instead.
         let (_, tl_serial) = crate::sched::simulate_traced(&vr, ExecMode::VrDannSerial, &cfg);
@@ -544,7 +556,7 @@ mod tests {
         assert_eq!(tl_serial.lane_busy_ns(crate::Lane::Agent), 0.0);
         // Untraced runs record nothing.
         let plain = simulate(&vr, ExecMode::VrDannSerial, &cfg);
-        assert_eq!(plain.cpu_recon_ns > 0.0, true);
+        assert!(plain.cpu_recon_ns > 0.0);
     }
 
     #[test]

@@ -6,10 +6,8 @@
 //! glance: FAVOS's wall of NN-L, VR-DANN-serial's switch/reconstruction
 //! bubbles, and VR-DANN-parallel's reconstruction hidden under NPU compute.
 
-use serde::{Deserialize, Serialize};
-
 /// The hardware unit a span occupies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Lane {
     /// The video decoder.
     Decoder,
@@ -34,7 +32,7 @@ impl Lane {
 }
 
 /// What kind of work a span represents (sets the Gantt glyph).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpanKind {
     /// Full pixel decode of a frame.
     DecodeFull,
@@ -68,7 +66,7 @@ impl SpanKind {
 }
 
 /// One busy interval of one unit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Span {
     /// Which unit.
     pub lane: Lane,
@@ -83,7 +81,7 @@ pub struct Span {
 }
 
 /// A recorded execution timeline.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Timeline {
     /// All recorded spans, in recording order.
     pub spans: Vec<Span>,
@@ -91,7 +89,14 @@ pub struct Timeline {
 
 impl Timeline {
     /// Records a span (zero-length spans are dropped).
-    pub fn record(&mut self, lane: Lane, kind: SpanKind, start_ns: f64, end_ns: f64, frame: Option<u32>) {
+    pub fn record(
+        &mut self,
+        lane: Lane,
+        kind: SpanKind,
+        start_ns: f64,
+        end_ns: f64,
+        frame: Option<u32>,
+    ) {
         if end_ns > start_ns {
             self.spans.push(Span {
                 lane,
@@ -134,14 +139,21 @@ impl Timeline {
                 any = true;
                 let a = ((s.start_ns / total) * width as f64).floor() as usize;
                 let b = ((s.end_ns / total) * width as f64).ceil() as usize;
-                for cell in row.iter_mut().take(b.clamp(a + 1, width)).skip(a.min(width - 1)) {
+                for cell in row
+                    .iter_mut()
+                    .take(b.clamp(a + 1, width))
+                    .skip(a.min(width - 1))
+                {
                     *cell = s.kind.glyph();
                 }
             }
             if any || lane == Lane::Npu || lane == Lane::Decoder {
                 out.push_str(&format!("{:>7} |", lane.name()));
                 out.extend(row);
-                out.push_str(&format!("| {:6.2} ms busy\n", self.lane_busy_ns(lane) / 1e6));
+                out.push_str(&format!(
+                    "| {:6.2} ms busy\n",
+                    self.lane_busy_ns(lane) / 1e6
+                ));
             }
         }
         out.push_str(&format!(

@@ -76,12 +76,7 @@ mod tests {
     #[test]
     fn nnl_frame_dominated_by_weights_and_activations() {
         let cost = CostConfig::default();
-        let t = frame_traffic(
-            &frame(ComputeKind::NnL { ops: 1 }, true),
-            854,
-            480,
-            &cost,
-        );
+        let t = frame_traffic(&frame(ComputeKind::NnL { ops: 1 }, true), 854, 480, &cost);
         let px = 854 * 480;
         assert_eq!(t.weights, (39.0 * px as f64) as u64);
         assert!(t.activations > t.weights); // 60 B/px spill + raw frames
@@ -92,12 +87,7 @@ mod tests {
     #[test]
     fn b_frame_traffic_is_tiny_by_comparison() {
         let cost = CostConfig::default();
-        let nnl = frame_traffic(
-            &frame(ComputeKind::NnL { ops: 1 }, true),
-            854,
-            480,
-            &cost,
-        );
+        let nnl = frame_traffic(&frame(ComputeKind::NnL { ops: 1 }, true), 854, 480, &cost);
         let b = frame_traffic(
             &frame(
                 ComputeKind::NnSRefine {

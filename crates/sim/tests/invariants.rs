@@ -9,7 +9,7 @@ use vrd_video::davis::{davis_train_suite, davis_val_suite, SuiteConfig};
 
 fn reports_for_suite() -> Vec<(String, f64, SimReport, SimReport, SimReport)> {
     let cfg = SuiteConfig::tiny();
-    let mut model = VrDann::train(
+    let model = VrDann::train(
         &davis_train_suite(&cfg, 2),
         TrainTask::Segmentation,
         VrDannConfig {
@@ -91,7 +91,14 @@ fn accounting_is_internally_consistent() {
             assert!((fps - r.fps).abs() < 1e-6, "{name}: fps mismatch");
             // Energy components are non-negative and sum to the total.
             let e = &r.energy;
-            for part in [e.npu_mj, e.dram_mj, e.decoder_mj, e.agent_mj, e.cpu_mj, e.static_mj] {
+            for part in [
+                e.npu_mj,
+                e.dram_mj,
+                e.decoder_mj,
+                e.agent_mj,
+                e.cpu_mj,
+                e.static_mj,
+            ] {
                 assert!(part >= 0.0, "{name}: negative energy component");
             }
             assert!(

@@ -8,7 +8,7 @@ use vrd_video::davis::{davis_train_suite, davis_val_suite, SuiteConfig};
 fn fig13_performance_and_energy_ratios() {
     let cfg = SuiteConfig::default();
     let train = davis_train_suite(&cfg, 4);
-    let mut model = VrDann::train(&train, TrainTask::Segmentation, VrDannConfig::default()).unwrap();
+    let model = VrDann::train(&train, TrainTask::Segmentation, VrDannConfig::default()).unwrap();
     let sim = SimConfig::default();
     let suite = davis_val_suite(&cfg);
     let (mut po, mut pf, mut pd, mut ps, mut eo, mut ef, mut ed, mut es) =
@@ -18,24 +18,57 @@ fn fig13_performance_and_energy_ratios() {
         let encoded = model.encode(seq).unwrap();
         let favos = simulate(&run_favos(seq, &encoded, 1).trace, ExecMode::InOrder, &sim);
         let osvos = simulate(&run_osvos(seq, &encoded, 1).trace, ExecMode::InOrder, &sim);
-        let dff = simulate(&run_dff(seq, &encoded, DFF_KEY_INTERVAL, 1).trace, ExecMode::InOrder, &sim);
+        let dff = simulate(
+            &run_dff(seq, &encoded, DFF_KEY_INTERVAL, 1).trace,
+            ExecMode::InOrder,
+            &sim,
+        );
         let vr = model.run_segmentation(seq, &encoded).unwrap();
         let serial = simulate(&vr.trace, ExecMode::VrDannSerial, &sim);
-        let par = simulate(&vr.trace, ExecMode::VrDannParallel(ParallelOptions::default()), &sim);
-        po += osvos.total_ns / par.total_ns; pf += favos.total_ns / par.total_ns;
-        pd += dff.total_ns / par.total_ns; ps += serial.total_ns / par.total_ns;
+        let par = simulate(
+            &vr.trace,
+            ExecMode::VrDannParallel(ParallelOptions::default()),
+            &sim,
+        );
+        po += osvos.total_ns / par.total_ns;
+        pf += favos.total_ns / par.total_ns;
+        pd += dff.total_ns / par.total_ns;
+        ps += serial.total_ns / par.total_ns;
         eo += osvos.energy.total_mj() / par.energy.total_mj();
         ef += favos.energy.total_mj() / par.energy.total_mj();
         ed += dff.energy.total_mj() / par.energy.total_mj();
         es += serial.energy.total_mj() / par.energy.total_mj();
     }
-    println!("perf  vs osvos {:.2}x favos {:.2}x dff {:.2}x serial {:.2}x", po/n, pf/n, pd/n, ps/n);
-    println!("energy vs osvos {:.2}x favos {:.2}x dff {:.2}x serial {:.2}x", eo/n, ef/n, ed/n, es/n);
+    println!(
+        "perf  vs osvos {:.2}x favos {:.2}x dff {:.2}x serial {:.2}x",
+        po / n,
+        pf / n,
+        pd / n,
+        ps / n
+    );
+    println!(
+        "energy vs osvos {:.2}x favos {:.2}x dff {:.2}x serial {:.2}x",
+        eo / n,
+        ef / n,
+        ed / n,
+        es / n
+    );
     // Paper: 5.7x / 2.9x / 2.2x / 1.5x perf; 4.3x / 2.1x / 1.7x / 1.1x energy.
-    assert!(pf/n > 1.8 && pf/n < 4.0, "favos perf ratio {:.2}", pf/n);
-    assert!(po/n > 1.5 * pf/n * 0.9, "osvos should be ~2x favos ratio");
-    assert!(pd/n > 1.2 && pd/n < pf/n, "dff ratio {:.2}", pd/n);
-    assert!(ps/n > 1.2 && ps/n < 2.2, "serial ratio {:.2}", ps/n);
-    assert!(ef/n > 1.5, "favos energy ratio {:.2}", ef/n);
-    assert!(ed/n > 1.2 && ed/n < ef/n, "dff energy ratio {:.2}", ed/n);
+    assert!(
+        pf / n > 1.8 && pf / n < 4.0,
+        "favos perf ratio {:.2}",
+        pf / n
+    );
+    assert!(
+        po / n > 1.5 * pf / n * 0.9,
+        "osvos should be ~2x favos ratio"
+    );
+    assert!(pd / n > 1.2 && pd / n < pf / n, "dff ratio {:.2}", pd / n);
+    assert!(ps / n > 1.2 && ps / n < 2.2, "serial ratio {:.2}", ps / n);
+    assert!(ef / n > 1.5, "favos energy ratio {:.2}", ef / n);
+    assert!(
+        ed / n > 1.2 && ed / n < ef / n,
+        "dff energy ratio {:.2}",
+        ed / n
+    );
 }

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seq = davis_sequence(&name, &cfg)?;
     fs::create_dir_all(&out_dir)?;
     for (t, (frame, mask)) in seq.frames.iter().zip(&seq.gt_masks).enumerate() {
-        fs::write(out_dir.join(format!("{t:03}_frame.pgm")), frame_to_pgm(frame))?;
+        fs::write(
+            out_dir.join(format!("{t:03}_frame.pgm")),
+            frame_to_pgm(frame),
+        )?;
         fs::write(out_dir.join(format!("{t:03}_mask.pgm")), mask_to_pgm(mask))?;
         fs::write(
             out_dir.join(format!("{t:03}_overlay.pgm")),

@@ -13,10 +13,9 @@ use crate::object::{Deformation, SceneObject, Shape, Trajectory};
 use crate::scene::Scene;
 use crate::sequence::Sequence;
 use crate::texture::Texture;
-use serde::{Deserialize, Serialize};
 
 /// Shared knobs for suite generation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SuiteConfig {
     /// Frame width in pixels (must be a multiple of 16 for both codec
     /// profiles).
@@ -99,26 +98,210 @@ struct Spec {
 /// The 20 DAVIS-2016 validation sequence profiles plotted in the paper's
 /// Fig. 9, ordered as in the dataset.
 const DAVIS_VAL: &[Spec] = &[
-    Spec { name: "blackswan", rel_size: 0.26, speed: 0.6, traj: Traj::Sin(0.02, 24.0), deform: Deformation::None, pan: 0.1, boxy: false },
-    Spec { name: "bmx-trees", rel_size: 0.17, speed: 2.6, traj: Traj::Bounce, deform: Deformation::PulseSpin { amp: 0.18, period: 12.0, omega: 0.08 }, pan: 0.4, boxy: false },
-    Spec { name: "breakdance", rel_size: 0.23, speed: 1.8, traj: Traj::Bounce, deform: Deformation::PulseSpin { amp: 0.28, period: 10.0, omega: 0.12 }, pan: 0.0, boxy: false },
-    Spec { name: "camel", rel_size: 0.30, speed: 0.5, traj: Traj::Linear, deform: Deformation::None, pan: 0.1, boxy: false },
-    Spec { name: "car-roundabout", rel_size: 0.21, speed: 1.6, traj: Traj::Circular, deform: Deformation::None, pan: 0.0, boxy: true },
-    Spec { name: "car-shadow", rel_size: 0.21, speed: 1.4, traj: Traj::Linear, deform: Deformation::None, pan: 0.2, boxy: true },
-    Spec { name: "cows", rel_size: 0.33, speed: 0.4, traj: Traj::Sin(0.015, 30.0), deform: Deformation::None, pan: 0.0, boxy: false },
-    Spec { name: "dance-twirl", rel_size: 0.23, speed: 1.5, traj: Traj::Bounce, deform: Deformation::Spin { omega: 0.1 }, pan: 0.0, boxy: false },
-    Spec { name: "dog", rel_size: 0.21, speed: 1.2, traj: Traj::Sin(0.04, 14.0), deform: Deformation::Pulse { amp: 0.1, period: 12.0 }, pan: 0.1, boxy: false },
-    Spec { name: "drift-chicane", rel_size: 0.17, speed: 2.8, traj: Traj::Sin(0.08, 18.0), deform: Deformation::None, pan: 0.3, boxy: true },
-    Spec { name: "drift-straight", rel_size: 0.17, speed: 3.0, traj: Traj::Linear, deform: Deformation::None, pan: 0.3, boxy: true },
-    Spec { name: "goat", rel_size: 0.25, speed: 0.7, traj: Traj::Linear, deform: Deformation::None, pan: 0.1, boxy: false },
-    Spec { name: "horsejump-high", rel_size: 0.21, speed: 2.2, traj: Traj::Sin(0.1, 16.0), deform: Deformation::Pulse { amp: 0.12, period: 16.0 }, pan: 0.2, boxy: false },
-    Spec { name: "kite-surf", rel_size: 0.13, speed: 1.6, traj: Traj::Sin(0.05, 12.0), deform: Deformation::None, pan: 0.2, boxy: false },
-    Spec { name: "libby", rel_size: 0.12, speed: 3.3, traj: Traj::Bounce, deform: Deformation::Pulse { amp: 0.12, period: 8.0 }, pan: 0.1, boxy: false },
-    Spec { name: "motocross-jump", rel_size: 0.19, speed: 2.9, traj: Traj::Sin(0.12, 14.0), deform: Deformation::PulseSpin { amp: 0.14, period: 12.0, omega: 0.06 }, pan: 0.3, boxy: false },
-    Spec { name: "paragliding-launch", rel_size: 0.13, speed: 0.8, traj: Traj::Linear, deform: Deformation::None, pan: 0.1, boxy: false },
-    Spec { name: "parkour", rel_size: 0.15, speed: 3.6, traj: Traj::Bounce, deform: Deformation::Pulse { amp: 0.15, period: 6.0 }, pan: 0.3, boxy: false },
-    Spec { name: "scooter-black", rel_size: 0.19, speed: 1.5, traj: Traj::Linear, deform: Deformation::None, pan: 0.2, boxy: true },
-    Spec { name: "soapbox", rel_size: 0.21, speed: 1.9, traj: Traj::Sin(0.05, 20.0), deform: Deformation::None, pan: 0.2, boxy: true },
+    Spec {
+        name: "blackswan",
+        rel_size: 0.26,
+        speed: 0.6,
+        traj: Traj::Sin(0.02, 24.0),
+        deform: Deformation::None,
+        pan: 0.1,
+        boxy: false,
+    },
+    Spec {
+        name: "bmx-trees",
+        rel_size: 0.17,
+        speed: 2.6,
+        traj: Traj::Bounce,
+        deform: Deformation::PulseSpin {
+            amp: 0.18,
+            period: 12.0,
+            omega: 0.08,
+        },
+        pan: 0.4,
+        boxy: false,
+    },
+    Spec {
+        name: "breakdance",
+        rel_size: 0.23,
+        speed: 1.8,
+        traj: Traj::Bounce,
+        deform: Deformation::PulseSpin {
+            amp: 0.28,
+            period: 10.0,
+            omega: 0.12,
+        },
+        pan: 0.0,
+        boxy: false,
+    },
+    Spec {
+        name: "camel",
+        rel_size: 0.30,
+        speed: 0.5,
+        traj: Traj::Linear,
+        deform: Deformation::None,
+        pan: 0.1,
+        boxy: false,
+    },
+    Spec {
+        name: "car-roundabout",
+        rel_size: 0.21,
+        speed: 1.6,
+        traj: Traj::Circular,
+        deform: Deformation::None,
+        pan: 0.0,
+        boxy: true,
+    },
+    Spec {
+        name: "car-shadow",
+        rel_size: 0.21,
+        speed: 1.4,
+        traj: Traj::Linear,
+        deform: Deformation::None,
+        pan: 0.2,
+        boxy: true,
+    },
+    Spec {
+        name: "cows",
+        rel_size: 0.33,
+        speed: 0.4,
+        traj: Traj::Sin(0.015, 30.0),
+        deform: Deformation::None,
+        pan: 0.0,
+        boxy: false,
+    },
+    Spec {
+        name: "dance-twirl",
+        rel_size: 0.23,
+        speed: 1.5,
+        traj: Traj::Bounce,
+        deform: Deformation::Spin { omega: 0.1 },
+        pan: 0.0,
+        boxy: false,
+    },
+    Spec {
+        name: "dog",
+        rel_size: 0.21,
+        speed: 1.2,
+        traj: Traj::Sin(0.04, 14.0),
+        deform: Deformation::Pulse {
+            amp: 0.1,
+            period: 12.0,
+        },
+        pan: 0.1,
+        boxy: false,
+    },
+    Spec {
+        name: "drift-chicane",
+        rel_size: 0.17,
+        speed: 2.8,
+        traj: Traj::Sin(0.08, 18.0),
+        deform: Deformation::None,
+        pan: 0.3,
+        boxy: true,
+    },
+    Spec {
+        name: "drift-straight",
+        rel_size: 0.17,
+        speed: 3.0,
+        traj: Traj::Linear,
+        deform: Deformation::None,
+        pan: 0.3,
+        boxy: true,
+    },
+    Spec {
+        name: "goat",
+        rel_size: 0.25,
+        speed: 0.7,
+        traj: Traj::Linear,
+        deform: Deformation::None,
+        pan: 0.1,
+        boxy: false,
+    },
+    Spec {
+        name: "horsejump-high",
+        rel_size: 0.21,
+        speed: 2.2,
+        traj: Traj::Sin(0.1, 16.0),
+        deform: Deformation::Pulse {
+            amp: 0.12,
+            period: 16.0,
+        },
+        pan: 0.2,
+        boxy: false,
+    },
+    Spec {
+        name: "kite-surf",
+        rel_size: 0.13,
+        speed: 1.6,
+        traj: Traj::Sin(0.05, 12.0),
+        deform: Deformation::None,
+        pan: 0.2,
+        boxy: false,
+    },
+    Spec {
+        name: "libby",
+        rel_size: 0.12,
+        speed: 3.3,
+        traj: Traj::Bounce,
+        deform: Deformation::Pulse {
+            amp: 0.12,
+            period: 8.0,
+        },
+        pan: 0.1,
+        boxy: false,
+    },
+    Spec {
+        name: "motocross-jump",
+        rel_size: 0.19,
+        speed: 2.9,
+        traj: Traj::Sin(0.12, 14.0),
+        deform: Deformation::PulseSpin {
+            amp: 0.14,
+            period: 12.0,
+            omega: 0.06,
+        },
+        pan: 0.3,
+        boxy: false,
+    },
+    Spec {
+        name: "paragliding-launch",
+        rel_size: 0.13,
+        speed: 0.8,
+        traj: Traj::Linear,
+        deform: Deformation::None,
+        pan: 0.1,
+        boxy: false,
+    },
+    Spec {
+        name: "parkour",
+        rel_size: 0.15,
+        speed: 3.6,
+        traj: Traj::Bounce,
+        deform: Deformation::Pulse {
+            amp: 0.15,
+            period: 6.0,
+        },
+        pan: 0.3,
+        boxy: false,
+    },
+    Spec {
+        name: "scooter-black",
+        rel_size: 0.19,
+        speed: 1.5,
+        traj: Traj::Linear,
+        deform: Deformation::None,
+        pan: 0.2,
+        boxy: true,
+    },
+    Spec {
+        name: "soapbox",
+        rel_size: 0.21,
+        speed: 1.9,
+        traj: Traj::Sin(0.05, 20.0),
+        deform: Deformation::None,
+        pan: 0.2,
+        boxy: true,
+    },
 ];
 
 /// The names of the 20 validation sequences in suite order.
@@ -133,7 +316,11 @@ fn build_scene(spec: &Spec, cfg: &SuiteConfig, salt: u64) -> Scene {
     let seed = cfg
         .seed
         .wrapping_mul(0x9e37_79b9)
-        .wrapping_add(crate::texture::hash2(spec.name.len() as i64, salt as i64, cfg.seed));
+        .wrapping_add(crate::texture::hash2(
+            spec.name.len() as i64,
+            salt as i64,
+            cfg.seed,
+        ));
     let size = spec.rel_size * h;
     let speed = spec.speed * sx;
 
@@ -185,9 +372,12 @@ fn build_scene(spec: &Spec, cfg: &SuiteConfig, salt: u64) -> Scene {
     // For sinusoids the horizontal drift can still escape; wrap it in a
     // bounce on x by reusing Bounce when the drift would leave the frame.
     let trajectory = match trajectory {
-        Trajectory::Sinusoid { start, vel, amp, period }
-            if vel.dx.abs() * cfg.frames as f32 > w - 2.0 * margin =>
-        {
+        Trajectory::Sinusoid {
+            start,
+            vel,
+            amp,
+            period,
+        } if vel.dx.abs() * cfg.frames as f32 > w - 2.0 * margin => {
             // Too fast to stay on screen: bounce instead, keeping the
             // vertical oscillation approximated by a diagonal velocity.
             Trajectory::Bounce {
@@ -320,11 +510,7 @@ mod tests {
         for seq in &a {
             assert_eq!(seq.len(), cfg.frames);
             // Object must be visible in most frames.
-            let visible = seq
-                .gt_masks
-                .iter()
-                .filter(|m| m.count_ones() > 10)
-                .count();
+            let visible = seq.gt_masks.iter().filter(|m| m.count_ones() > 10).count();
             assert!(
                 visible >= cfg.frames * 3 / 4,
                 "{} visible in only {visible}/{} frames",

@@ -8,13 +8,12 @@
 //! DRAM-traffic comparison.
 
 use crate::geom::Rect;
-use serde::{Deserialize, Serialize};
 
 /// Bytes per raw decoded pixel assumed by the traffic model (24-bit colour).
 pub const BYTES_PER_RAW_PIXEL: usize = 3;
 
 /// A single-channel 8-bit raster.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     width: usize,
     height: usize,
@@ -120,7 +119,7 @@ impl Frame {
 /// I/P frame, and the VR-DANN pipeline produces one per B-frame after
 /// refinement. Each pixel conceptually costs **one bit** in the paper's
 /// traffic model (see `vrd-sim`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegMask {
     width: usize,
     height: usize,
@@ -147,10 +146,7 @@ impl SegMask {
     /// Panics on size mismatch or if any value is not 0 or 1.
     pub fn from_vec(width: usize, height: usize, data: Vec<u8>) -> Self {
         assert_eq!(data.len(), width * height, "mask buffer size mismatch");
-        assert!(
-            data.iter().all(|&v| v <= 1),
-            "mask values must be 0 or 1"
-        );
+        assert!(data.iter().all(|&v| v <= 1), "mask values must be 0 or 1");
         Self {
             width,
             height,
@@ -245,9 +241,7 @@ impl SegMask {
 ///
 /// The hardware stores 2 bits per pixel (§IV-D of the paper): `00` black,
 /// `01`/`10` gray (the two reference blocks disagreed), `11` white.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum Seg2 {
     /// Background in every contributing reference block (`00`).
@@ -298,7 +292,7 @@ impl std::fmt::Display for Seg2 {
 
 /// A 2-bit-per-pixel reconstructed segmentation plane (the contents of a
 /// `tmp_B` buffer after reconstruction).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Seg2Plane {
     width: usize,
     height: usize,

@@ -4,10 +4,8 @@
 //! vectors and axis-aligned rectangles are passed around by value throughout
 //! the codec, the recognition pipelines and the detection metrics.
 
-use serde::{Deserialize, Serialize};
-
 /// A position in continuous frame coordinates (x grows right, y grows down).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// Horizontal coordinate in pixels.
     pub x: f32,
@@ -33,7 +31,7 @@ impl Point {
 }
 
 /// A displacement in continuous frame coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec2 {
     /// Horizontal displacement in pixels.
     pub dx: f32,
@@ -73,7 +71,7 @@ impl std::ops::Add for Vec2 {
 /// Rectangles are the unit of currency for the detection task: ground-truth
 /// boxes, Euphrates' propagated boxes and VR-DANN's reconstructed boxes are
 /// all `Rect`s compared with [`Rect::iou`].
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Rect {
     /// Left edge (inclusive).
     pub x0: i32,
@@ -188,7 +186,7 @@ impl Rect {
 
 /// A scored detection box, the output unit of every detection pipeline and
 /// the input unit of the mAP metric.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Detection {
     /// The detected bounding box.
     pub rect: Rect,

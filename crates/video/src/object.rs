@@ -6,10 +6,9 @@
 
 use crate::geom::{Point, Rect, Vec2};
 use crate::texture::Texture;
-use serde::{Deserialize, Serialize};
 
 /// Object silhouette in object-local coordinates (origin at the centre).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Shape {
     /// Axis-aligned ellipse with the given radii.
     Ellipse {
@@ -49,7 +48,11 @@ impl Shape {
                 (x / rx).powi(2) + (y / ry).powi(2) <= 1.0
             }
             Shape::Box { hw, hh } => x.abs() <= hw && y.abs() <= hh,
-            Shape::Blob { r0, lobes, lobe_amp } => {
+            Shape::Blob {
+                r0,
+                lobes,
+                lobe_amp,
+            } => {
                 let r = (x * x + y * y).sqrt();
                 let theta = y.atan2(x);
                 let bound = r0 * (1.0 + lobe_amp * (lobes as f32 * theta).sin());
@@ -69,7 +72,7 @@ impl Shape {
 }
 
 /// Motion of the object centre as a function of the frame index.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Trajectory {
     /// Constant-velocity motion.
     Linear {
@@ -190,7 +193,7 @@ impl Trajectory {
 /// block cannot represent a silhouette that changed shape, so sequences with
 /// strong deformation (`breakdance`, `bmx-trees`, `motocross-jump` in the
 /// paper) lose accuracy under reconstruction and rely on NN-S.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Deformation {
     /// Rigid object.
     None,
@@ -246,7 +249,7 @@ impl Deformation {
 }
 
 /// One foreground object in a scene.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SceneObject {
     /// Silhouette in object-local coordinates.
     pub shape: Shape,

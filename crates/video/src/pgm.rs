@@ -33,7 +33,11 @@ pub fn frame_to_pgm(frame: &Frame) -> Vec<u8> {
 /// Serialises a mask as a binary PGM (foreground white).
 pub fn mask_to_pgm(mask: &SegMask) -> Vec<u8> {
     let mut out = format!("P5\n{} {}\n255\n", mask.width(), mask.height()).into_bytes();
-    out.extend(mask.as_slice().iter().map(|&v| if v == 1 { 255 } else { 0 }));
+    out.extend(
+        mask.as_slice()
+            .iter()
+            .map(|&v| if v == 1 { 255 } else { 0 }),
+    );
     out
 }
 

@@ -10,10 +10,9 @@ use crate::frame::{Frame, SegMask};
 use crate::geom::{Rect, Vec2};
 use crate::object::SceneObject;
 use crate::texture::Texture;
-use serde::{Deserialize, Serialize};
 
 /// A complete synthetic scene.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scene {
     width: usize,
     height: usize,
@@ -299,24 +298,31 @@ mod tests {
         let s = test_scene();
         assert!((s.mean_object_speed(16) - 1.5).abs() < 0.05);
         assert_eq!(s.deformation_intensity(), 0.0);
-        let d = Scene::new(32, 32, Texture::Noise { level: 90, amp: 8.0 }, 1).with_object(
-            SceneObject {
-                shape: Shape::Ellipse { rx: 5.0, ry: 5.0 },
-                trajectory: Trajectory::Linear {
-                    start: Point::new(16.0, 16.0),
-                    vel: Vec2::new(0.0, 0.0),
-                },
-                deformation: Deformation::Pulse {
-                    amp: 0.4,
-                    period: 6.0,
-                },
-                texture: Texture::Noise {
-                    level: 200,
-                    amp: 5.0,
-                },
-                seed: 9,
+        let d = Scene::new(
+            32,
+            32,
+            Texture::Noise {
+                level: 90,
+                amp: 8.0,
             },
-        );
+            1,
+        )
+        .with_object(SceneObject {
+            shape: Shape::Ellipse { rx: 5.0, ry: 5.0 },
+            trajectory: Trajectory::Linear {
+                start: Point::new(16.0, 16.0),
+                vel: Vec2::new(0.0, 0.0),
+            },
+            deformation: Deformation::Pulse {
+                amp: 0.4,
+                period: 6.0,
+            },
+            texture: Texture::Noise {
+                level: 200,
+                amp: 5.0,
+            },
+            seed: 9,
+        });
         assert!((d.deformation_intensity() - 0.4).abs() < 1e-6);
     }
 }

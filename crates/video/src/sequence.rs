@@ -8,10 +8,9 @@
 use crate::frame::{Frame, SegMask};
 use crate::geom::Rect;
 use crate::scene::Scene;
-use serde::{Deserialize, Serialize};
 
 /// The paper's object-speed grouping for detection accuracy (Fig. 11).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SpeedClass {
     /// Slowly moving objects (VR-DANN degrades mAP by only ~0.5%).
     Slow,
@@ -47,7 +46,7 @@ impl std::fmt::Display for SpeedClass {
 }
 
 /// A rendered video sequence plus per-frame ground truth.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sequence {
     /// Sequence name (DAVIS-style, e.g. `"cows"`).
     pub name: String,

@@ -6,8 +6,6 @@
 //! image assets. All of them are pure functions of `(x, y, seed)` so a scene
 //! rendered twice is bit-identical.
 
-use serde::{Deserialize, Serialize};
-
 /// A 2D integer hash with decent avalanche behaviour (xorshift-multiply).
 ///
 /// Deterministic across platforms; used as the noise source for every
@@ -52,7 +50,7 @@ pub fn value_noise(x: f32, y: f32, scale: f32, seed: u64) -> f32 {
 }
 
 /// A procedural texture assignable to a background or an object.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Texture {
     /// Constant `level` plus `amp`-scaled white noise.
     Noise {

@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let cfg = SuiteConfig::default();
     eprintln!("training NN-S ...");
-    let mut model = VrDann::train(
+    let model = VrDann::train(
         &davis_train_suite(&cfg, 4),
         TrainTask::Segmentation,
         VrDannConfig::default(),

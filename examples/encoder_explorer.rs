@@ -17,7 +17,7 @@ fn evaluate(
     seq: &vrd_video::Sequence,
     train: &[vrd_video::Sequence],
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let mut model = VrDann::train(
+    let model = VrDann::train(
         train,
         TrainTask::Segmentation,
         VrDannConfig {

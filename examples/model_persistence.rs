@@ -14,7 +14,7 @@ use vrd_video::davis::{davis_sequence, davis_train_suite, SuiteConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = SuiteConfig::default();
     println!("training NN-S ...");
-    let mut trained = VrDann::train(
+    let trained = VrDann::train(
         &davis_train_suite(&cfg, 3),
         TrainTask::Segmentation,
         VrDannConfig::default(),
@@ -27,12 +27,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trained.nns().n_params()
     );
 
-    let mut deployed = VrDann::from_parts(*trained.config(), &artefact)?;
+    let deployed = VrDann::from_parts(*trained.config(), &artefact)?;
     let seq = davis_sequence("goat", &cfg)?;
     let encoded = trained.encode(&seq)?;
     let a = trained.run_segmentation(&seq, &encoded)?;
     let b = deployed.run_segmentation(&seq, &encoded)?;
-    assert_eq!(a.masks, b.masks, "deployed model must match the trained one");
+    assert_eq!(
+        a.masks, b.masks,
+        "deployed model must match the trained one"
+    );
     println!(
         "deployed pipeline reproduces the trained pipeline exactly on '{}' ({} frames)",
         seq.name,

@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== 1. Train NN-S (3-layer refinement network, 2 epochs) ==");
     let train_seqs = davis_train_suite(&cfg, 4);
-    let mut model = VrDann::train(&train_seqs, TrainTask::Segmentation, VrDannConfig::default())?;
+    let model = VrDann::train(
+        &train_seqs,
+        TrainTask::Segmentation,
+        VrDannConfig::default(),
+    )?;
     println!(
         "   NN-S has {} parameters (NN-L equivalents have millions)",
         model.nns().n_params()

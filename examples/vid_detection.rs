@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: cfg.seed ^ 0xdead,
         ..cfg
     };
-    let mut model = VrDann::train(
+    let model = VrDann::train(
         &vid_val_suite(&train_cfg, 2),
         TrainTask::Detection,
         VrDannConfig::default(),

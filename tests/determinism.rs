@@ -23,16 +23,20 @@ fn build_model() -> VrDann {
 #[test]
 fn bitstreams_are_bit_stable() {
     let seq = davis_sequence("dog", &SuiteConfig::tiny()).unwrap();
-    let a = Encoder::new(CodecConfig::default()).encode(&seq.frames).unwrap();
-    let b = Encoder::new(CodecConfig::default()).encode(&seq.frames).unwrap();
+    let a = Encoder::new(CodecConfig::default())
+        .encode(&seq.frames)
+        .unwrap();
+    let b = Encoder::new(CodecConfig::default())
+        .encode(&seq.frames)
+        .unwrap();
     assert_eq!(a.bitstream, b.bitstream);
     assert_eq!(a.stats, b.stats);
 }
 
 #[test]
 fn independently_trained_pipelines_agree_everywhere() {
-    let mut m1 = build_model();
-    let mut m2 = build_model();
+    let m1 = build_model();
+    let m2 = build_model();
     // Same seeds -> identical weights -> identical exported artefacts.
     assert_eq!(m1.export_nns(), m2.export_nns());
 

@@ -34,7 +34,7 @@ fn trained_model(task: TrainTask) -> (VrDann, SuiteConfig) {
 
 #[test]
 fn segmentation_stack_end_to_end() {
-    let (mut model, cfg) = trained_model(TrainTask::Segmentation);
+    let (model, cfg) = trained_model(TrainTask::Segmentation);
     let seq = davis_sequence("cows", &cfg).unwrap();
     let encoded = model.encode(&seq).unwrap();
     let vr = model.run_segmentation(&seq, &encoded).unwrap();
@@ -77,7 +77,7 @@ fn segmentation_stack_end_to_end() {
 
 #[test]
 fn all_segmentation_schemes_run_on_the_same_bitstream() {
-    let (mut model, cfg) = trained_model(TrainTask::Segmentation);
+    let (model, cfg) = trained_model(TrainTask::Segmentation);
     let seq = davis_sequence("libby", &cfg).unwrap();
     let encoded = model.encode(&seq).unwrap();
     let vr = model.run_segmentation(&seq, &encoded).unwrap();
@@ -98,7 +98,7 @@ fn all_segmentation_schemes_run_on_the_same_bitstream() {
 
 #[test]
 fn detection_stack_end_to_end() {
-    let (mut model, cfg) = trained_model(TrainTask::Detection);
+    let (model, cfg) = trained_model(TrainTask::Detection);
     let suite = vid_val_suite(&cfg, 1);
     for seq in &suite {
         let encoded = model.encode(seq).unwrap();
@@ -143,7 +143,7 @@ fn codec_sweeps_run_through_the_full_stack() {
             ..CodecConfig::default()
         },
     ] {
-        let mut model = VrDann::train(
+        let model = VrDann::train(
             &train,
             TrainTask::Segmentation,
             VrDannConfig {
@@ -267,7 +267,7 @@ fn pipeline_survives_object_occlusion() {
     let max = *areas.iter().max().unwrap();
     assert!(min < max, "occlusion should change the visible area");
 
-    let (mut model, _) = trained_model(TrainTask::Segmentation);
+    let (model, _) = trained_model(TrainTask::Segmentation);
     let encoded = model.encode(&seq).unwrap();
     let run = model.run_segmentation(&seq, &encoded).unwrap();
     let iou = score_sequence(&run.masks, &seq.gt_masks).iou;

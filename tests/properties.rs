@@ -10,8 +10,7 @@ use vrd_metrics::{average_precision, FrameDetections, PixelCounts};
 use vrd_video::{Detection, Frame, Rect, Seg2, SegMask};
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    (0i32..40, 0i32..40, 1i32..24, 1i32..24)
-        .prop_map(|(x, y, w, h)| Rect::from_size(x, y, w, h))
+    (0i32..40, 0i32..40, 1i32..24, 1i32..24).prop_map(|(x, y, w, h)| Rect::from_size(x, y, w, h))
 }
 
 proptest! {

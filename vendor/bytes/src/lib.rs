@@ -1,0 +1,255 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`] (cheaply cloneable, shared, with a read cursor),
+//! [`BytesMut`] (growable write buffer) and the minimal [`Buf`]/[`BufMut`]
+//! traits the codec's bitstream layer relies on.
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable byte buffer with a read cursor.
+///
+/// Cloning shares the underlying allocation; advancing the cursor via
+/// [`Buf`] only moves this handle's view.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    pos: usize,
+    end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::from(Vec::new())
+    }
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A buffer viewing a static byte string.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self::from(data.to_vec())
+    }
+
+    /// Remaining length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.pos
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the remaining bytes into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// The remaining bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..self.end]
+    }
+
+    /// A sub-view of the remaining bytes, sharing the allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds of the remaining bytes.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(start <= end && end <= self.len(), "slice out of bounds");
+        Self {
+            data: Arc::clone(&self.data),
+            pos: self.pos + start,
+            end: self.pos + end,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Self {
+            data: Arc::new(data),
+            pos: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Self::from(data.to_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// A growable byte buffer for writers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Sequential byte reading.
+pub trait Buf {
+    /// Bytes not yet consumed.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Skips `n` bytes.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    /// Panics if no bytes remain.
+    fn get_u8(&mut self) -> u8;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        self.pos += n;
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "read past end of buffer");
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+}
+
+/// Sequential byte writing.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_roundtrip() {
+        let mut w = BytesMut::new();
+        for v in 0..10u8 {
+            w.put_u8(v);
+        }
+        assert_eq!(w.len(), 10);
+        let mut b = w.freeze();
+        let copy = b.clone();
+        for v in 0..10u8 {
+            assert!(b.has_remaining());
+            assert_eq!(b.get_u8(), v);
+        }
+        assert!(!b.has_remaining());
+        // The clone's cursor is independent.
+        assert_eq!(copy.remaining(), 10);
+        assert_eq!(copy.to_vec(), (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn equality_ignores_consumed_prefix() {
+        let mut a = Bytes::from(vec![1u8, 2, 3]);
+        let b = Bytes::from(vec![2u8, 3]);
+        assert_ne!(a, b);
+        a.advance(1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn slice_shares_and_bounds() {
+        let b = Bytes::from_static(b"hello world");
+        let hello = b.slice(0..5);
+        assert_eq!(hello.as_slice(), b"hello");
+        let world = b.slice(6..);
+        assert_eq!(world.as_slice(), b"world");
+        assert_eq!(b.slice(..).len(), 11);
+        // Slicing is relative to the remaining view.
+        let mut c = b.clone();
+        c.advance(6);
+        assert_eq!(c.slice(0..5), world);
+    }
+}

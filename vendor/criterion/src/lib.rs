@@ -1,0 +1,131 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the `criterion_group!`/`criterion_main!`/[`Criterion`] surface
+//! the workspace's benches use, backed by a simple wall-clock harness: a
+//! warm-up iteration followed by `sample_size` timed samples, reporting the
+//! minimum/mean/max per-iteration time. No statistics engine, no plotting —
+//! but the targets compile, run and print comparable numbers offline.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The bench harness: collects named targets and runs them.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per target.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be non-zero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times one closure-driven benchmark and prints its summary line.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let mut times = b.samples;
+        if times.is_empty() {
+            println!("{id:50} (no samples)");
+            return self;
+        }
+        times.sort_unstable();
+        let mean: Duration = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{id:50} min {:>12.3?}  mean {:>12.3?}  max {:>12.3?}  ({} samples)",
+            times[0],
+            mean,
+            times[times.len() - 1],
+            times.len()
+        );
+        self
+    }
+
+    /// Runs the configured groups (used by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once to warm up, then `sample_size` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a bench group: a function running each target against a shared
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("self/smoke", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = target
+    }
+
+    #[test]
+    fn harness_runs_targets() {
+        benches();
+    }
+}
