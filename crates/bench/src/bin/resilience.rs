@@ -1,0 +1,40 @@
+//! Resilience sweep: accuracy vs injected loss rate.
+//!
+//! Prints the degradation-curve table and writes `results_resilience.txt`
+//! plus machine-readable `results_resilience.json`. Pass `--quick` for the
+//! reduced scale; `--smoke` sweeps a single loss rate (the CI smoke check).
+
+use vrd_bench::{resilience, Context, Scale};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ctx = Context::new(Scale::from_args());
+    let sweep = if smoke {
+        resilience::run_rates(&ctx, &[resilience::SMOKE_RATE])
+    } else {
+        resilience::run(&ctx)
+    };
+    let text = sweep.render();
+    println!("{text}");
+    if let Err(e) = std::fs::write("results_resilience.txt", &text) {
+        eprintln!("could not write results_resilience.txt: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write("results_resilience.json", sweep.to_json()) {
+        eprintln!("could not write results_resilience.json: {e}");
+        std::process::exit(1);
+    }
+    if smoke {
+        // The smoke row must show planted faults that were concealed, not a
+        // silently clean pass.
+        let row = &sweep.rows[0];
+        let concealed = row.seg_bmv.concealment.total();
+        if row.seg_bmv.fault_events == 0 || concealed == 0 {
+            eprintln!(
+                "smoke check planted {} faults but concealed {concealed}",
+                row.seg_bmv.fault_events
+            );
+            std::process::exit(1);
+        }
+    }
+}

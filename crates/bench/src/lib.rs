@@ -22,6 +22,7 @@
 //! | [`ablation`] | extra: design-choice ablations |
 //! | [`sensitivity`] | extra: platform sensitivity (NPU/DRAM/decoder) |
 //! | [`nns_width`] | extra: NN-S width design-space sweep |
+//! | [`resilience`] | extra: accuracy vs injected bitstream loss |
 //!
 //! Binaries (`cargo run --release --bin fig10`, …) print the tables;
 //! `--quick` switches to the reduced scale.
@@ -40,6 +41,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod nns_width;
+pub mod resilience;
 pub mod sensitivity;
 pub mod table;
 pub mod table02;

@@ -113,7 +113,9 @@ impl Reader {
     /// Returns [`CodecError::Bitstream`] at end of stream.
     pub fn get_u8(&mut self) -> Result<u8> {
         if !self.buf.has_remaining() {
-            return Err(CodecError::Bitstream("unexpected end of stream".into()));
+            return Err(CodecError::Bitstream(
+                "unexpected end of stream (0 bytes remaining)".into(),
+            ));
         }
         Ok(self.buf.get_u8())
     }
@@ -122,7 +124,8 @@ impl Reader {
     ///
     /// # Errors
     /// Returns [`CodecError::Bitstream`] on truncation or a varint longer
-    /// than 10 bytes.
+    /// than 10 bytes; messages carry the remaining-byte count so corrupt
+    /// streams can be located.
     pub fn get_varint(&mut self) -> Result<u64> {
         let mut v = 0u64;
         for shift in (0..64).step_by(7) {
@@ -132,7 +135,29 @@ impl Reader {
                 return Ok(v);
             }
         }
-        Err(CodecError::Bitstream("varint too long".into()))
+        Err(CodecError::Bitstream(format!(
+            "varint longer than 10 bytes ({} bytes remaining)",
+            self.remaining()
+        )))
+    }
+
+    /// Reads a varint that must fit in `max` (counts, dimensions, indices).
+    ///
+    /// An out-of-range value is reported as an error with remaining-byte
+    /// context — it is never silently clamped.
+    ///
+    /// # Errors
+    /// Returns [`CodecError::Bitstream`] on truncation or when the decoded
+    /// value exceeds `max`.
+    pub fn get_varint_bounded(&mut self, max: u64, what: &str) -> Result<u64> {
+        let v = self.get_varint()?;
+        if v > max {
+            return Err(CodecError::Bitstream(format!(
+                "{what} {v} exceeds limit {max} ({} bytes remaining)",
+                self.remaining()
+            )));
+        }
+        Ok(v)
     }
 
     /// Reads a signed (zigzag) varint.
@@ -144,34 +169,55 @@ impl Reader {
         Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
     }
 
+    /// Validates a residual pair count against the block size and the bytes
+    /// actually left in the stream (each pair needs at least two bytes), so
+    /// a corrupt count fails immediately with context instead of spinning
+    /// through the rest of the stream.
+    fn check_pairs(&self, pairs: u64, len: usize) -> Result<usize> {
+        let remaining = self.remaining() as u64;
+        if pairs > len as u64 || pairs * 2 > remaining {
+            return Err(CodecError::Bitstream(format!(
+                "residual pair count {pairs} impossible for block of {len} \
+                 ({remaining} bytes remaining)"
+            )));
+        }
+        Ok(pairs as usize)
+    }
+
     /// Reads a residual block of exactly `len` coefficients.
     ///
     /// # Errors
-    /// Returns [`CodecError::Bitstream`] if the coded runs overflow `len`.
+    /// Returns [`CodecError::Bitstream`] if the coded runs overflow `len` or
+    /// the pair count cannot fit the remaining bytes.
     pub fn get_residual(&mut self, len: usize) -> Result<Vec<i16>> {
         let mut out = vec![0i16; len];
-        let pairs = self.get_varint()? as usize;
+        let pairs = self.get_varint()?;
+        let pairs = self.check_pairs(pairs, len)?;
         let mut idx = 0usize;
         for _ in 0..pairs {
             let run = self.get_varint()? as usize;
             let val = self.get_svarint()?;
-            idx = idx
-                .checked_add(run)
-                .filter(|&i| i < len)
-                .ok_or_else(|| CodecError::Bitstream("residual run overflow".into()))?;
+            idx = idx.checked_add(run).filter(|&i| i < len).ok_or_else(|| {
+                CodecError::Bitstream(format!(
+                    "residual run overflow past {len} ({} bytes remaining)",
+                    self.remaining()
+                ))
+            })?;
             out[idx] = val as i16;
             idx += 1;
         }
         Ok(out)
     }
 
-    /// Skips a residual block without materialising it (recognition mode
-    /// skips B-frame residuals).
+    /// Skips a residual block of a `len`-coefficient block without
+    /// materialising it (recognition mode skips B-frame residuals).
     ///
     /// # Errors
-    /// Returns [`CodecError::Bitstream`] on truncation.
-    pub fn skip_residual(&mut self) -> Result<()> {
-        let pairs = self.get_varint()? as usize;
+    /// Returns [`CodecError::Bitstream`] on truncation or an impossible
+    /// pair count.
+    pub fn skip_residual(&mut self, len: usize) -> Result<()> {
+        let pairs = self.get_varint()?;
+        let pairs = self.check_pairs(pairs, len)?;
         for _ in 0..pairs {
             self.get_varint()?;
             self.get_svarint()?;
@@ -247,8 +293,46 @@ mod tests {
         w.put_residual(&vals);
         w.put_u8(0xAB);
         let mut r = Reader::new(w.into_bytes());
-        r.skip_residual().unwrap();
+        r.skip_residual(64).unwrap();
         assert_eq!(r.get_u8().unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn bounded_varint_rejects_out_of_range_with_context() {
+        let mut w = Writer::new();
+        w.put_varint(5000);
+        w.put_u8(0);
+        let mut r = Reader::new(w.into_bytes());
+        let err = r.get_varint_bounded(4096, "frame width").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("frame width 5000"), "{msg}");
+        assert!(msg.contains("exceeds limit 4096"), "{msg}");
+        assert!(msg.contains("1 bytes remaining"), "{msg}");
+        // In-range values pass through untouched (no clamping).
+        let mut w = Writer::new();
+        w.put_varint(4096);
+        let mut r = Reader::new(w.into_bytes());
+        assert_eq!(r.get_varint_bounded(4096, "frame width").unwrap(), 4096);
+    }
+
+    #[test]
+    fn impossible_residual_pair_count_errors_with_remaining_bytes() {
+        // Claim 1000 pairs into a 64-coefficient block: rejected up front.
+        let mut w = Writer::new();
+        w.put_varint(1000);
+        let mut r = Reader::new(w.into_bytes());
+        let err = r.get_residual(64).unwrap_err();
+        assert!(err.to_string().contains("pair count 1000"), "{err}");
+        // Claim more pairs than the remaining bytes can hold: also rejected,
+        // for both the materialising and the skipping reader.
+        let mut w = Writer::new();
+        w.put_varint(30); // 30 pairs need >= 60 bytes; only 2 follow
+        w.put_u8(0);
+        w.put_u8(0);
+        let bytes = w.into_bytes();
+        let err = Reader::new(bytes.clone()).get_residual(64).unwrap_err();
+        assert!(err.to_string().contains("bytes remaining"), "{err}");
+        assert!(Reader::new(bytes).skip_residual(64).is_err());
     }
 
     #[test]

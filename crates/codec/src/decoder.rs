@@ -123,7 +123,23 @@ impl Decoder {
         Self
     }
 
+    /// Largest frame edge the decoder accepts. A corrupt header must fail
+    /// here, with context, instead of driving a multi-gigabyte allocation.
+    pub const MAX_DIMENSION: u64 = 1 << 14;
+
+    /// Largest frame count the decoder accepts when the header arrives
+    /// without its payload (packetized transport), where the tighter
+    /// bytes-remaining bound cannot apply.
+    pub const MAX_FRAMES: u64 = 1 << 20;
+
     fn read_header(r: &mut Reader) -> Result<Header> {
+        Self::read_header_capped(r, None)
+    }
+
+    /// Reads the stream header. `frames_cap` overrides the frame-count
+    /// bound; `None` uses the contiguous-stream rule (every frame costs at
+    /// least two bytes of what remains in this buffer).
+    fn read_header_capped(r: &mut Reader, frames_cap: Option<u64>) -> Result<Header> {
         for expected in MAGIC {
             if r.get_u8()? != expected {
                 return Err(CodecError::Bitstream("bad magic".into()));
@@ -135,9 +151,13 @@ impl Decoder {
                 "unsupported version {version}"
             )));
         }
-        let width = r.get_varint()? as usize;
-        let height = r.get_varint()? as usize;
-        let n_frames = r.get_varint()? as usize;
+        let width = r.get_varint_bounded(Self::MAX_DIMENSION, "frame width")? as usize;
+        let height = r.get_varint_bounded(Self::MAX_DIMENSION, "frame height")? as usize;
+        // Every frame costs at least two bytes (type + display index), so a
+        // frame count beyond that is structurally impossible in a
+        // contiguous stream.
+        let cap = frames_cap.unwrap_or(r.remaining() as u64 / 2);
+        let n_frames = r.get_varint_bounded(cap, "frame count")? as usize;
         let standard = match r.get_u8()? {
             0 => Standard::H264,
             1 => Standard::H265,
@@ -294,6 +314,69 @@ impl Decoder {
         }
     }
 
+    /// Parses one B-frame's block records into `info`, raster order.
+    ///
+    /// Fills `info` incrementally so a caller that tolerates corruption can
+    /// keep the records parsed before the error (`info` is always left in a
+    /// consistent state: every pushed record was fully read and validated).
+    fn read_b_frame_blocks(
+        r: &mut Reader,
+        hdr: &Header,
+        mb: usize,
+        info: &mut BFrameInfo,
+        refs_used: &mut BTreeSet<u32>,
+    ) -> Result<()> {
+        let read_ref = |r: &mut Reader, bx: usize, by: usize| -> Result<RefMv> {
+            let rf = r.get_varint_bounded(hdr.n_frames.saturating_sub(1) as u64, "reference")?;
+            let dx = r.get_svarint()? as i32;
+            let dy = r.get_svarint()? as i32;
+            Ok(RefMv {
+                frame: rf as u32,
+                src_x: bx as i32 + dx,
+                src_y: by as i32 + dy,
+            })
+        };
+        for by in (0..hdr.height).step_by(mb) {
+            for bx in (0..hdr.width).step_by(mb) {
+                match r.get_u8()? {
+                    0 => {
+                        r.get_u8()?; // intra mode id, unused here
+                        r.skip_residual(mb * mb)?;
+                        info.intra_blocks.push((bx as u32, by as u32));
+                    }
+                    1 => {
+                        let ref0 = read_ref(r, bx, by)?;
+                        r.skip_residual(mb * mb)?;
+                        refs_used.insert(ref0.frame);
+                        info.mvs.push(MvRecord {
+                            dst_x: bx as u32,
+                            dst_y: by as u32,
+                            ref0,
+                            ref1: None,
+                        });
+                    }
+                    2 => {
+                        let ref0 = read_ref(r, bx, by)?;
+                        let ref1 = read_ref(r, bx, by)?;
+                        r.skip_residual(mb * mb)?;
+                        refs_used.insert(ref0.frame);
+                        refs_used.insert(ref1.frame);
+                        info.mvs.push(MvRecord {
+                            dst_x: bx as u32,
+                            dst_y: by as u32,
+                            ref0,
+                            ref1: Some(ref1),
+                        });
+                    }
+                    m => {
+                        return Err(CodecError::Bitstream(format!("unknown block mode {m}")));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Parses the stream without reconstructing any pixels, summarising
     /// each frame (the `vrdstat` inspector's engine).
     ///
@@ -348,7 +431,7 @@ impl Decoder {
                             return Err(CodecError::Bitstream(format!("unknown block mode {m}")));
                         }
                     }
-                    r.skip_residual()?;
+                    r.skip_residual(mb * mb)?;
                 }
             }
             summary.bytes = before - r.remaining();
@@ -416,62 +499,7 @@ impl Decoder {
                     mvs: Vec::new(),
                     intra_blocks: Vec::new(),
                 };
-                for by in (0..hdr.height).step_by(mb) {
-                    for bx in (0..hdr.width).step_by(mb) {
-                        match r.get_u8()? {
-                            0 => {
-                                r.get_u8()?; // intra mode id, unused here
-                                info.intra_blocks.push((bx as u32, by as u32));
-                            }
-                            1 => {
-                                let rf = r.get_varint()? as u32;
-                                let dx = r.get_svarint()? as i32;
-                                let dy = r.get_svarint()? as i32;
-                                refs_used.insert(rf);
-                                info.mvs.push(MvRecord {
-                                    dst_x: bx as u32,
-                                    dst_y: by as u32,
-                                    ref0: RefMv {
-                                        frame: rf,
-                                        src_x: bx as i32 + dx,
-                                        src_y: by as i32 + dy,
-                                    },
-                                    ref1: None,
-                                });
-                            }
-                            2 => {
-                                let rf0 = r.get_varint()? as u32;
-                                let dx0 = r.get_svarint()? as i32;
-                                let dy0 = r.get_svarint()? as i32;
-                                let rf1 = r.get_varint()? as u32;
-                                let dx1 = r.get_svarint()? as i32;
-                                let dy1 = r.get_svarint()? as i32;
-                                refs_used.insert(rf0);
-                                refs_used.insert(rf1);
-                                info.mvs.push(MvRecord {
-                                    dst_x: bx as u32,
-                                    dst_y: by as u32,
-                                    ref0: RefMv {
-                                        frame: rf0,
-                                        src_x: bx as i32 + dx0,
-                                        src_y: by as i32 + dy0,
-                                    },
-                                    ref1: Some(RefMv {
-                                        frame: rf1,
-                                        src_x: bx as i32 + dx1,
-                                        src_y: by as i32 + dy1,
-                                    }),
-                                });
-                            }
-                            m => {
-                                return Err(CodecError::Bitstream(format!(
-                                    "unknown block mode {m}"
-                                )));
-                            }
-                        }
-                        r.skip_residual()?;
-                    }
-                }
+                Self::read_b_frame_blocks(&mut r, &hdr, mb, &mut info, &mut refs_used)?;
                 out.b_frames.push(info);
                 out.b_bytes += before - r.remaining();
             }
@@ -483,6 +511,357 @@ impl Decoder {
             });
         }
         Ok(out)
+    }
+}
+
+/// How one frame of a damaged stream came out of the resilient decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// The frame decoded exactly as from a pristine stream.
+    Ok,
+    /// The frame was damaged but usable data was recovered; the reason says
+    /// what had to be patched.
+    Concealed(ConcealReason),
+    /// Nothing usable was recovered for this frame.
+    Lost,
+}
+
+impl DecodeOutcome {
+    /// Whether any usable data was produced (`Ok` or `Concealed`).
+    pub fn is_usable(&self) -> bool {
+        !matches!(self, DecodeOutcome::Lost)
+    }
+}
+
+/// Why a frame was concealed rather than decoded cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConcealReason {
+    /// Only a prefix of the B-frame's MV records survived; `parsed` of
+    /// `total` blocks were recovered before the payload gave out.
+    PartialMvs {
+        /// Blocks whose records were recovered.
+        parsed: usize,
+        /// Blocks the frame should carry.
+        total: usize,
+    },
+    /// The payload failed its transport checksum but still parsed end to
+    /// end; the records are complete but individually suspect.
+    SuspectPayload,
+    /// An anchor was predicted from a substituted reference (its real
+    /// reference never arrived); pixels are approximate.
+    MissingReference,
+}
+
+/// Per-frame record of a resilient decode, in decode (packet) order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameOutcome {
+    /// Decode-order index (the packet slot).
+    pub decode_idx: u32,
+    /// Frame type, known from transport metadata even for lost payloads.
+    pub ftype: FrameType,
+    /// Display index — `None` when the payload was too damaged to read it
+    /// and no unique slot could be inferred from the surviving frames.
+    pub display: Option<u32>,
+    /// What the decoder managed to recover.
+    pub outcome: DecodeOutcome,
+}
+
+/// Output of [`Decoder::decode_recognition_resilient`]: the recognition
+/// stream of a damaged transport, plus the per-frame damage report.
+#[derive(Debug, Clone)]
+pub struct ResilientStream {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Macro-block size the stream was coded with.
+    pub mb_size: usize,
+    /// Frame count announced by the stream header.
+    pub n_frames: usize,
+    /// Per-frame outcomes in decode order (one per packet).
+    pub outcomes: Vec<FrameOutcome>,
+    /// Reconstructed anchor frames `(display_idx, pixels)`, decode order.
+    /// Contains every anchor whose outcome is usable.
+    pub anchors: Vec<(u32, Frame)>,
+    /// Parsed B-frame MV payloads (complete or salvaged prefixes), decode
+    /// order, display indices resolved where possible.
+    pub b_frames: Vec<BFrameInfo>,
+    /// Payload bytes of surviving anchor packets.
+    pub anchor_bytes: usize,
+    /// Payload bytes of surviving B packets.
+    pub b_bytes: usize,
+}
+
+impl ResilientStream {
+    /// Number of frames per [`DecodeOutcome`] variant as
+    /// `(ok, concealed, lost)`.
+    pub fn outcome_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for o in &self.outcomes {
+            match o.outcome {
+                DecodeOutcome::Ok => c.0 += 1,
+                DecodeOutcome::Concealed(_) => c.1 += 1,
+                DecodeOutcome::Lost => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+impl Decoder {
+    /// Decodes a (possibly damaged) packetized stream in recognition mode,
+    /// resynchronising at frame-packet boundaries.
+    ///
+    /// Damage never aborts the run: each frame independently yields a
+    /// [`DecodeOutcome`]. Anchors with missing references are concealed by
+    /// substituting the nearest decoded anchor; damaged B payloads are
+    /// salvaged up to the first unparseable record. On an uninjected
+    /// stream, the result is identical to [`Decoder::decode_for_recognition`]
+    /// with every outcome [`DecodeOutcome::Ok`].
+    ///
+    /// # Errors
+    /// Returns [`CodecError::Bitstream`] only if the *stream header* is
+    /// unusable — without dimensions nothing can be concealed. Frame-level
+    /// damage is reported per frame, never as an `Err`.
+    pub fn decode_recognition_resilient(
+        &self,
+        stream: &crate::faults::PacketStream,
+    ) -> Result<ResilientStream> {
+        let mut hr = Reader::new(stream.header.clone());
+        let hdr = Self::read_header_capped(&mut hr, Some(Self::MAX_FRAMES))?;
+        let mb = hdr.standard.mb_size();
+        let blocks_per_frame = (hdr.width / mb) * (hdr.height / mb);
+
+        let mut out = ResilientStream {
+            width: hdr.width,
+            height: hdr.height,
+            mb_size: mb,
+            n_frames: hdr.n_frames,
+            outcomes: Vec::with_capacity(stream.packets.len()),
+            anchors: Vec::new(),
+            b_frames: Vec::new(),
+            anchor_bytes: stream.header.len(),
+            b_bytes: 0,
+        };
+        let mut anchor_recon: Vec<Option<Frame>> = vec![None; hdr.n_frames];
+        let mut claimed = BTreeSet::new();
+
+        for packet in &stream.packets {
+            let (display, outcome) = Self::decode_one_packet(
+                packet,
+                &hdr,
+                mb,
+                blocks_per_frame,
+                &mut anchor_recon,
+                &mut claimed,
+                &mut out,
+            );
+            out.outcomes.push(FrameOutcome {
+                decode_idx: packet.decode_idx,
+                ftype: packet.ftype,
+                display,
+                outcome,
+            });
+        }
+
+        // Infer displays for frames whose headers were unreadable: the
+        // display slots no surviving frame claimed, assigned in ascending
+        // order to unknown frames in decode order. (Salvaged payloads always
+        // carry their own display index — only fully lost frames land here.)
+        let mut missing = (0..hdr.n_frames as u32)
+            .filter(|d| !claimed.contains(d))
+            .collect::<Vec<_>>();
+        missing.reverse(); // pop() yields ascending order
+        for o in &mut out.outcomes {
+            if o.display.is_none() {
+                o.display = missing.pop();
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes one packet; returns the display index (if recoverable) and
+    /// the frame's outcome, updating `out` with any salvaged data.
+    #[allow(clippy::too_many_arguments)]
+    fn decode_one_packet(
+        packet: &crate::faults::FramePacket,
+        hdr: &Header,
+        mb: usize,
+        blocks_per_frame: usize,
+        anchor_recon: &mut [Option<Frame>],
+        claimed: &mut BTreeSet<u32>,
+        out: &mut ResilientStream,
+    ) -> (Option<u32>, DecodeOutcome) {
+        if packet.lost {
+            return (None, DecodeOutcome::Lost);
+        }
+        let intact = packet.intact();
+        let mut r = Reader::new(packet.payload.clone());
+
+        // Frame header: type byte + display index. If it is unreadable or
+        // contradicts the transport metadata, nothing in the payload can be
+        // trusted.
+        let parsed = Self::read_frame_header(&mut r, hdr.n_frames);
+        let (ftype, display) = match parsed {
+            Ok(pair) => pair,
+            Err(_) => return (None, DecodeOutcome::Lost),
+        };
+        if ftype != packet.ftype || claimed.contains(&display) {
+            return (None, DecodeOutcome::Lost);
+        }
+
+        if ftype.is_anchor() {
+            if !intact {
+                // Damaged anchor pixels would silently poison NN-L and all
+                // B-frames referencing them; treat the frame as lost.
+                return (Some(display), DecodeOutcome::Lost);
+            }
+            let mut substituted = false;
+            match Self::read_anchor_resilient(&mut r, hdr, mb, anchor_recon, &mut substituted) {
+                Ok(rec) => {
+                    claimed.insert(display);
+                    anchor_recon[display as usize] = Some(rec.clone());
+                    out.anchors.push((display, rec));
+                    out.anchor_bytes += packet.payload.len();
+                    let outcome = if substituted {
+                        DecodeOutcome::Concealed(ConcealReason::MissingReference)
+                    } else {
+                        DecodeOutcome::Ok
+                    };
+                    (Some(display), outcome)
+                }
+                Err(_) => (Some(display), DecodeOutcome::Lost),
+            }
+        } else {
+            let mut info = BFrameInfo {
+                display_idx: display,
+                mvs: Vec::new(),
+                intra_blocks: Vec::new(),
+            };
+            let mut refs_used = BTreeSet::new();
+            let parse = Self::read_b_frame_blocks(&mut r, hdr, mb, &mut info, &mut refs_used);
+            let parsed_blocks = info.mvs.len() + info.intra_blocks.len();
+            let outcome = match (intact, parse) {
+                (true, Ok(())) => DecodeOutcome::Ok,
+                (false, Ok(())) => DecodeOutcome::Concealed(ConcealReason::SuspectPayload),
+                (_, Err(_)) if parsed_blocks > 0 => {
+                    DecodeOutcome::Concealed(ConcealReason::PartialMvs {
+                        parsed: parsed_blocks,
+                        total: blocks_per_frame,
+                    })
+                }
+                (_, Err(_)) => DecodeOutcome::Lost,
+            };
+            if outcome.is_usable() {
+                claimed.insert(display);
+                out.b_bytes += packet.payload.len();
+                out.b_frames.push(info);
+                (Some(display), outcome)
+            } else {
+                (Some(display), outcome)
+            }
+        }
+    }
+
+    /// Reconstructs one anchor frame, substituting the nearest available
+    /// decoded anchor (or flat mid-gray) when a reference never arrived.
+    fn read_anchor_resilient(
+        r: &mut Reader,
+        hdr: &Header,
+        mb: usize,
+        anchor_recon: &[Option<Frame>],
+        substituted: &mut bool,
+    ) -> Result<Frame> {
+        let mut rec = Frame::new(hdr.width, hdr.height);
+        for by in (0..hdr.height).step_by(mb) {
+            for bx in (0..hdr.width).step_by(mb) {
+                let pred = Self::read_prediction_resilient(
+                    r,
+                    anchor_recon,
+                    &rec,
+                    bx,
+                    by,
+                    mb,
+                    hdr.n_frames,
+                    substituted,
+                )?;
+                let resid = r.get_residual(mb * mb)?;
+                let mut block = Vec::with_capacity(mb * mb);
+                for (p, q) in pred.iter().zip(&resid) {
+                    block.push((*p as i32 + *q as i32 * hdr.quant).clamp(0, 255) as u8);
+                }
+                write_block(&mut rec, bx, by, mb, &block);
+            }
+        }
+        Ok(rec)
+    }
+
+    /// [`Decoder::read_prediction`] with concealment: a missing reference
+    /// frame is replaced by the nearest decoded anchor (or flat mid-gray),
+    /// and source coordinates are clamped into the frame.
+    #[allow(clippy::too_many_arguments)]
+    fn read_prediction_resilient(
+        r: &mut Reader,
+        frames: &[Option<Frame>],
+        rec: &Frame,
+        bx: usize,
+        by: usize,
+        mb: usize,
+        n_frames: usize,
+        substituted: &mut bool,
+    ) -> Result<Vec<u8>> {
+        let fetch = |r: &mut Reader| -> Result<(u32, i32, i32)> {
+            let rf = r.get_varint_bounded(n_frames.saturating_sub(1) as u64, "reference")?;
+            let dx = r.get_svarint()? as i32;
+            let dy = r.get_svarint()? as i32;
+            Ok((rf as u32, dx, dy))
+        };
+        let mut grab = |frames: &[Option<Frame>], rf: u32, sx: i32, sy: i32| -> Vec<u8> {
+            let source = frames[rf as usize].as_ref().or_else(|| {
+                // Reference never arrived: conceal from the nearest decoded
+                // anchor by display distance.
+                *substituted = true;
+                frames
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(d, f)| f.as_ref().map(|f| (d, f)))
+                    .min_by_key(|(d, _)| (*d as i64 - rf as i64).unsigned_abs())
+                    .map(|(_, f)| f)
+            });
+            match source {
+                Some(f) => {
+                    let sx = sx.clamp(0, (f.width() - mb) as i32) as usize;
+                    let sy = sy.clamp(0, (f.height() - mb) as i32) as usize;
+                    extract_block(f, sx, sy, mb)
+                }
+                None => {
+                    // No anchor decoded yet at all: flat mid-gray.
+                    *substituted = true;
+                    vec![128u8; mb * mb]
+                }
+            }
+        };
+        match r.get_u8()? {
+            0 => {
+                let mode = r.get_u8()?;
+                Ok(intra::predict(rec, bx, by, mb, mode))
+            }
+            1 => {
+                let (rf, dx, dy) = fetch(r)?;
+                Ok(grab(frames, rf, bx as i32 + dx, by as i32 + dy))
+            }
+            2 => {
+                let (rf0, dx0, dy0) = fetch(r)?;
+                let (rf1, dx1, dy1) = fetch(r)?;
+                let a = grab(frames, rf0, bx as i32 + dx0, by as i32 + dy0);
+                let b = grab(frames, rf1, bx as i32 + dx1, by as i32 + dy1);
+                Ok(average_blocks(&a, &b))
+            }
+            m => Err(CodecError::Corrupt {
+                frame: 0,
+                detail: format!("unknown block mode {m}"),
+            }),
+        }
     }
 }
 
@@ -631,5 +1010,144 @@ mod tests {
         let truncated = ev.bitstream.slice(0..ev.bitstream.len() / 2);
         assert!(dec.decode(&truncated).is_err());
         assert!(dec.decode_for_recognition(&truncated).is_err());
+    }
+
+    #[test]
+    fn resilient_decode_of_clean_stream_matches_strict_mode() {
+        let cfg = CodecConfig {
+            b_frames: BFrameMode::Fixed(3),
+            ..CodecConfig::default()
+        };
+        let (_, ev) = encode_tiny(cfg);
+        let dec = Decoder::new();
+        let strict = dec.decode_for_recognition(&ev.bitstream).unwrap();
+        let ps = crate::faults::packetize(&ev.bitstream).unwrap();
+        let res = dec.decode_recognition_resilient(&ps).unwrap();
+
+        let (ok, concealed, lost) = res.outcome_counts();
+        assert_eq!((concealed, lost), (0, 0));
+        assert_eq!(ok, strict.metas.len());
+        // Anchors bit-identical, B payloads record-identical, bytes match.
+        assert_eq!(res.anchors.len(), strict.anchors.len());
+        for ((da, fa), (db, fb)) in res.anchors.iter().zip(&strict.anchors) {
+            assert_eq!(da, db);
+            assert_eq!(fa, fb);
+        }
+        assert_eq!(res.b_frames, strict.b_frames);
+        assert_eq!(res.anchor_bytes, strict.anchor_bytes);
+        assert_eq!(res.b_bytes, strict.b_bytes);
+    }
+
+    #[test]
+    fn resilient_decode_survives_heavy_damage_without_err() {
+        let cfg = CodecConfig {
+            b_frames: BFrameMode::Fixed(3),
+            ..CodecConfig::default()
+        };
+        let (_, ev) = encode_tiny(cfg);
+        let ps = crate::faults::packetize(&ev.bitstream).unwrap();
+        let dec = Decoder::new();
+        for seed in 0..8 {
+            let (damaged, log) =
+                crate::faults::inject(&ps, &crate::faults::FaultConfig::uniform(0.5, seed));
+            let res = dec.decode_recognition_resilient(&damaged).unwrap();
+            assert_eq!(res.outcomes.len(), ps.packets.len());
+            let (ok, concealed, lost) = res.outcome_counts();
+            assert!(
+                concealed + lost > 0 || log.events.is_empty(),
+                "seed {seed}: faults planted but every frame decoded Ok"
+            );
+            // Undamaged frames still decode (the first I-frame is protected,
+            // so at least one frame is always Ok).
+            assert!(ok > 0, "seed {seed}: nothing decoded Ok");
+            // Whatever survived is structurally sound.
+            let blocks = (res.width / res.mb_size) * (res.height / res.mb_size);
+            for info in &res.b_frames {
+                assert!(info.mvs.len() + info.intra_blocks.len() <= blocks);
+                assert!((info.display_idx as usize) < res.n_frames);
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_b_mvs_are_salvaged_as_partial_prefix() {
+        let cfg = CodecConfig {
+            b_frames: BFrameMode::Fixed(3),
+            ..CodecConfig::default()
+        };
+        let (_, ev) = encode_tiny(cfg);
+        let ps = crate::faults::packetize(&ev.bitstream).unwrap();
+        let (damaged, log) =
+            crate::faults::inject(&ps, &crate::faults::FaultConfig::b_mv_loss(1.0, 3));
+        assert!(!log.events.is_empty());
+        let res = Decoder::new()
+            .decode_recognition_resilient(&damaged)
+            .unwrap();
+        // Every anchor is untouched by the b_mv_loss config and decodes Ok.
+        for o in &res.outcomes {
+            if o.ftype.is_anchor() {
+                assert_eq!(o.outcome, DecodeOutcome::Ok, "anchor {:?}", o.decode_idx);
+            }
+        }
+        // Damaged B-frames are either concealed with a salvaged prefix or
+        // lost outright — never silently Ok, and never an Err.
+        let damaged_idx: BTreeSet<u32> = log.events.iter().map(|e| e.decode_idx).collect();
+        for o in &res.outcomes {
+            if damaged_idx.contains(&o.decode_idx) {
+                match &o.outcome {
+                    DecodeOutcome::Concealed(ConcealReason::PartialMvs { parsed, total }) => {
+                        assert!(parsed < total, "partial salvage kept every block");
+                    }
+                    DecodeOutcome::Lost | DecodeOutcome::Concealed(_) => {}
+                    DecodeOutcome::Ok => panic!("damaged frame {} decoded Ok", o.decode_idx),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lost_anchor_is_reported_and_dependents_concealed() {
+        let cfg = CodecConfig {
+            b_frames: BFrameMode::Fixed(3),
+            ..CodecConfig::default()
+        };
+        let (_, ev) = encode_tiny(cfg);
+        let mut ps = crate::faults::packetize(&ev.bitstream).unwrap();
+        // Drop the second anchor by hand (deterministic, no RNG).
+        let victim = ps
+            .packets
+            .iter()
+            .position(|p| p.ftype.is_anchor() && p.decode_idx > 0)
+            .expect("stream has a second anchor");
+        let victim_decode = ps.packets[victim].decode_idx;
+        ps.packets[victim].lost = true;
+        ps.packets[victim].payload = Bytes::new();
+        let res = Decoder::new().decode_recognition_resilient(&ps).unwrap();
+        let lost: Vec<u32> = res
+            .outcomes
+            .iter()
+            .filter(|o| o.outcome == DecodeOutcome::Lost)
+            .map(|o| o.decode_idx)
+            .collect();
+        assert_eq!(lost, vec![victim_decode]);
+        // The lost frame's display slot was inferred, so every outcome maps
+        // to a display index.
+        assert!(res.outcomes.iter().all(|o| o.display.is_some()));
+        // Anchors that referenced the lost one decode via substitution.
+        let concealed_anchors = res
+            .outcomes
+            .iter()
+            .filter(|o| {
+                o.ftype.is_anchor()
+                    && matches!(
+                        o.outcome,
+                        DecodeOutcome::Concealed(ConcealReason::MissingReference)
+                    )
+            })
+            .count();
+        assert!(
+            concealed_anchors > 0,
+            "no dependent anchor needed reference substitution"
+        );
     }
 }

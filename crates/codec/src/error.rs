@@ -13,6 +13,15 @@ pub enum CodecError {
     BadDimensions(String),
     /// The bitstream is truncated or structurally malformed.
     Bitstream(String),
+    /// A specific frame's payload is corrupt (fault injection, transport
+    /// damage). Carries the decode-order frame index so resilient callers
+    /// can conceal exactly the damaged frame.
+    Corrupt {
+        /// Decode-order index of the damaged frame.
+        frame: u32,
+        /// What went wrong inside the frame payload.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -21,6 +30,9 @@ impl fmt::Display for CodecError {
             CodecError::InvalidConfig(msg) => write!(f, "invalid codec configuration: {msg}"),
             CodecError::BadDimensions(msg) => write!(f, "bad frame dimensions: {msg}"),
             CodecError::Bitstream(msg) => write!(f, "malformed bitstream: {msg}"),
+            CodecError::Corrupt { frame, detail } => {
+                write!(f, "corrupt frame {frame}: {detail}")
+            }
         }
     }
 }
@@ -40,6 +52,11 @@ mod tests {
         assert_eq!(e.to_string(), "invalid codec configuration: gop too short");
         let e = CodecError::Bitstream("truncated at byte 12".into());
         assert!(e.to_string().contains("truncated"));
+        let e = CodecError::Corrupt {
+            frame: 7,
+            detail: "mode byte 0xff".into(),
+        };
+        assert_eq!(e.to_string(), "corrupt frame 7: mode byte 0xff");
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod config;
 pub mod decoder;
 pub mod encoder;
 pub mod error;
+pub mod faults;
 pub mod gop;
 pub mod intra;
 pub mod me;
@@ -48,9 +49,16 @@ pub mod stats;
 pub mod types;
 
 pub use config::{BFrameMode, CodecConfig, SearchInterval, Standard};
-pub use decoder::{BFrameInfo, DecodedVideo, Decoder, FrameSummary, RecognitionStream};
+pub use decoder::{
+    BFrameInfo, ConcealReason, DecodeOutcome, DecodedVideo, Decoder, FrameOutcome, FrameSummary,
+    RecognitionStream, ResilientStream,
+};
 pub use encoder::{EncodedVideo, Encoder};
 pub use error::{CodecError, Result};
+pub use faults::{
+    checksum, inject, packetize, FaultConfig, FaultEvent, FaultKind, FaultLog, FramePacket,
+    FrameSpan, PacketStream,
+};
 pub use gop::GopPlan;
 pub use quality::{psnr, psnr_sequence, ssim};
 pub use stats::EncodeStats;

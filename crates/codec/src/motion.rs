@@ -101,7 +101,7 @@ pub fn gap_displacement(cur: &Frame, next: &Frame) -> f64 {
         // planner stays conservative without zeroing the B run entirely.
         return 3.0;
     }
-    mags.sort_unstable_by(|a, b| a.partial_cmp(b).expect("magnitudes are finite"));
+    mags.sort_unstable_by(f64::total_cmp);
     mags[mags.len() / 2]
 }
 

@@ -6,7 +6,7 @@
 //! simulated performance/energy are compared on identical footing.
 
 use crate::error::Result;
-use crate::trace::{ComputeKind, SchemeKind, SchemeTrace, TraceFrame};
+use crate::trace::{ComputeKind, ConcealmentStats, SchemeKind, SchemeTrace, TraceFrame};
 use vrd_codec::EncodedVideo;
 use vrd_flow::{estimate, FlowConfig};
 use vrd_nn::{LargeNet, LargeNetProfile, FLOWNET_OPS_PER_PIXEL};
@@ -55,6 +55,7 @@ fn run_per_frame_nnl(
             mb_size: encoded.config.standard.mb_size(),
             frames,
         },
+        concealment: ConcealmentStats::default(),
     }
 }
 
@@ -137,6 +138,7 @@ pub fn run_dff(
             mb_size: encoded.config.standard.mb_size(),
             frames,
         },
+        concealment: ConcealmentStats::default(),
     }
 }
 
@@ -167,6 +169,7 @@ pub fn run_selsa(seq: &Sequence, encoded: &EncodedVideo, seed: u64) -> Detection
             mb_size: encoded.config.standard.mb_size(),
             frames,
         },
+        concealment: ConcealmentStats::default(),
     }
 }
 
@@ -253,6 +256,7 @@ pub fn run_euphrates(
             mb_size: encoded.config.standard.mb_size(),
             frames,
         },
+        concealment: ConcealmentStats::default(),
     }
 }
 

@@ -47,5 +47,7 @@ pub use components::{boxes_to_mask, extract_components};
 pub use error::{Result, VrDannError};
 pub use recon::{plane_to_mask, reconstruct_b_frame, ReconConfig};
 pub use sandwich::{build_reconstruction_only, build_sandwich};
-pub use trace::{ComputeKind, SchemeKind, SchemeTrace, TraceFrame};
-pub use vrdann::{DetectionRun, SegmentationRun, TrainTask, VrDann, VrDannConfig};
+pub use trace::{ComputeKind, ConcealmentStats, SchemeKind, SchemeTrace, TraceFrame};
+pub use vrdann::{
+    DetectionRun, ResilienceOptions, SegmentationRun, TrainTask, VrDann, VrDannConfig,
+};

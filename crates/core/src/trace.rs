@@ -86,6 +86,76 @@ impl ComputeKind {
     }
 }
 
+/// What a resilient run had to conceal (all zero on a clean stream).
+///
+/// Each counter is one rung of the degradation ladder: lost B-frame MVs are
+/// the cheapest (copy a neighbouring segmentation), a lost anchor the most
+/// expensive (its dependents decode from substituted references and NN-L is
+/// re-run on the next decodable frame to re-establish a trusted reference).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConcealmentStats {
+    /// B-frames whose MV payload was lost outright; their segmentation is a
+    /// copy of the nearest reference frame's result.
+    pub b_copied: usize,
+    /// B-frames reconstructed from a salvaged (partial or checksum-suspect)
+    /// MV payload, with uncovered blocks filled co-located.
+    pub b_salvaged: usize,
+    /// Anchor frames that produced no pixels at all.
+    pub anchors_lost: usize,
+    /// Anchor frames decoded with at least one substituted reference.
+    pub anchors_substituted: usize,
+    /// Extra NN-L inferences run to re-establish a reference after a lost
+    /// anchor.
+    pub nnl_reinferences: usize,
+    /// NN-S inference faults concealed by falling back to the unrefined
+    /// blocky reconstruction.
+    pub nns_failures: usize,
+}
+
+impl ConcealmentStats {
+    /// Total concealment events of any kind.
+    pub fn total(&self) -> usize {
+        self.b_copied
+            + self.b_salvaged
+            + self.anchors_lost
+            + self.anchors_substituted
+            + self.nnl_reinferences
+            + self.nns_failures
+    }
+
+    /// Whether the run needed no concealment at all (clean stream, no NN-S
+    /// faults) — such runs are bit-identical to the strict pipeline.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Accumulates another run's counters (suite-level aggregation).
+    pub fn merge(&mut self, other: &Self) {
+        self.b_copied += other.b_copied;
+        self.b_salvaged += other.b_salvaged;
+        self.anchors_lost += other.anchors_lost;
+        self.anchors_substituted += other.anchors_substituted;
+        self.nnl_reinferences += other.nnl_reinferences;
+        self.nns_failures += other.nns_failures;
+    }
+}
+
+impl std::fmt::Display for ConcealmentStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "b_copied={} b_salvaged={} anchors_lost={} anchors_substituted={} \
+             nnl_reinferences={} nns_failures={}",
+            self.b_copied,
+            self.b_salvaged,
+            self.anchors_lost,
+            self.anchors_substituted,
+            self.nnl_reinferences,
+            self.nns_failures
+        )
+    }
+}
+
 /// One frame's work item, in decode order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceFrame {
@@ -203,6 +273,26 @@ mod tests {
             ..t
         };
         assert_eq!(grouped.model_switches_in_order(), 1);
+    }
+
+    #[test]
+    fn concealment_merge_accumulates() {
+        let mut a = ConcealmentStats {
+            b_copied: 1,
+            anchors_lost: 2,
+            ..ConcealmentStats::default()
+        };
+        let b = ConcealmentStats {
+            b_copied: 3,
+            nns_failures: 4,
+            ..ConcealmentStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.b_copied, 4);
+        assert_eq!(a.anchors_lost, 2);
+        assert_eq!(a.nns_failures, 4);
+        assert_eq!(a.total(), 10);
+        assert!(!a.is_clean());
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Degradation-ladder tests for the resilient pipeline entry points.
+//!
+//! One test per concealment tier: clean streams must be bit-identical to the
+//! strict pipeline, lost B-frame MV payloads copy the nearest reference's
+//! result, a lost anchor triggers reference substitution plus an NN-L
+//! re-inference, and NN-S faults fall back to the raw reconstruction —
+//! each verified through the run's `ConcealmentStats`.
+
+use vr_dann::{ResilienceOptions, TrainTask, VrDann, VrDannConfig};
+use vrd_codec::faults::{inject, packetize, FaultConfig, FaultKind};
+use vrd_codec::{BFrameMode, CodecConfig};
+use vrd_metrics::score_sequence;
+use vrd_video::davis::{davis_sequence, davis_train_suite, SuiteConfig};
+use vrd_video::Sequence;
+
+fn tiny_model(task: TrainTask) -> (VrDann, SuiteConfig) {
+    let cfg = SuiteConfig::tiny();
+    let train = davis_train_suite(&cfg, 2);
+    let vr_cfg = VrDannConfig {
+        nns_hidden: 4,
+        codec: CodecConfig {
+            b_frames: BFrameMode::Fixed(3),
+            ..CodecConfig::default()
+        },
+        ..VrDannConfig::default()
+    };
+    (VrDann::train(&train, task, vr_cfg).unwrap(), cfg)
+}
+
+fn encode_and_packetize(model: &VrDann, seq: &Sequence) -> vrd_codec::faults::PacketStream {
+    let encoded = model.encode(seq).unwrap();
+    packetize(&encoded.bitstream).unwrap()
+}
+
+#[test]
+fn clean_stream_is_bit_identical_to_strict_segmentation() {
+    let (model, cfg) = tiny_model(TrainTask::Segmentation);
+    let seq = davis_sequence("cows", &cfg).unwrap();
+    let encoded = model.encode(&seq).unwrap();
+    let strict = model.run_segmentation(&seq, &encoded).unwrap();
+    let ps = packetize(&encoded.bitstream).unwrap();
+    let resilient = model
+        .run_segmentation_resilient(&seq, &ps, &ResilienceOptions::default())
+        .unwrap();
+    assert!(
+        resilient.concealment.is_clean(),
+        "{}",
+        resilient.concealment
+    );
+    assert_eq!(resilient.masks, strict.masks);
+    assert_eq!(resilient.trace, strict.trace);
+}
+
+#[test]
+fn clean_stream_is_bit_identical_with_fallback_enabled() {
+    let (mut model, cfg) = tiny_model(TrainTask::Segmentation);
+    let seq = davis_sequence("parkour", &cfg).unwrap();
+    // Route fast B-frames through NN-L in both paths; the resilient walk
+    // must replicate the mid-walk ref_segs insertions exactly.
+    let mut fb_cfg = *model.config();
+    fb_cfg.fallback_mv_threshold = Some(1.5);
+    model = VrDann::from_parts(fb_cfg, &model.export_nns()).unwrap();
+    let encoded = model.encode(&seq).unwrap();
+    let strict = model.run_segmentation(&seq, &encoded).unwrap();
+    let ps = packetize(&encoded.bitstream).unwrap();
+    let resilient = model
+        .run_segmentation_resilient(&seq, &ps, &ResilienceOptions::default())
+        .unwrap();
+    assert!(resilient.concealment.is_clean());
+    assert_eq!(resilient.masks, strict.masks);
+    assert_eq!(resilient.trace, strict.trace);
+}
+
+#[test]
+fn lost_b_mvs_are_concealed_and_counted() {
+    let (model, cfg) = tiny_model(TrainTask::Segmentation);
+    let seq = davis_sequence("dog", &cfg).unwrap();
+    let ps = encode_and_packetize(&model, &seq);
+    let (damaged, log) = inject(&ps, &FaultConfig::b_mv_loss(0.5, 17));
+    assert!(!log.events.is_empty(), "rate 0.5 planted nothing");
+    let run = model
+        .run_segmentation_resilient(&seq, &damaged, &ResilienceOptions::default())
+        .unwrap();
+    assert_eq!(run.masks.len(), seq.len());
+    // Every faulted B-frame lands in exactly one concealment bucket: copied
+    // (payload unusable) or salvaged (partial/suspect records).
+    let c = run.concealment;
+    assert_eq!(c.b_copied + c.b_salvaged, log.events.len(), "{c}");
+    assert_eq!(c.anchors_lost, 0);
+    assert_eq!(c.nns_failures, 0);
+    // Concealment holds accuracy above a trivial all-background predictor.
+    let scores = score_sequence(&run.masks, &seq.gt_masks);
+    assert!(scores.iou > 0.3, "IoU collapsed to {:.3}", scores.iou);
+}
+
+#[test]
+fn lost_anchor_triggers_substitution_and_nnl_reinference() {
+    let (model, cfg) = tiny_model(TrainTask::Segmentation);
+    let seq = davis_sequence("goat", &cfg).unwrap();
+    let mut ps = encode_and_packetize(&model, &seq);
+    let victim = ps
+        .packets
+        .iter()
+        .position(|p| p.ftype.is_anchor() && p.decode_idx > 0)
+        .expect("stream has a second anchor");
+    ps.packets[victim].lost = true;
+    ps.packets[victim].payload = ps.packets[victim].payload.slice(0..0);
+    let run = model
+        .run_segmentation_resilient(&seq, &ps, &ResilienceOptions::default())
+        .unwrap();
+    assert_eq!(run.masks.len(), seq.len());
+    let c = run.concealment;
+    assert_eq!(c.anchors_lost, 1, "{c}");
+    assert_eq!(c.nnl_reinferences, 1, "{c}");
+    assert!(c.anchors_substituted > 0, "{c}");
+    // The re-inference shows up in the trace as an NN-L B-frame.
+    let nnl_b = run
+        .trace
+        .frames
+        .iter()
+        .filter(|f| {
+            f.ftype == vrd_codec::FrameType::B && matches!(f.kind, vr_dann::ComputeKind::NnL { .. })
+        })
+        .count();
+    assert_eq!(nnl_b, 1);
+}
+
+#[test]
+fn nns_faults_fall_back_to_raw_reconstruction() {
+    let (model, cfg) = tiny_model(TrainTask::Segmentation);
+    let seq = davis_sequence("camel", &cfg).unwrap();
+    let encoded = model.encode(&seq).unwrap();
+    let ps = packetize(&encoded.bitstream).unwrap();
+    // Fault every NN-S inference: the run must match the refine=false
+    // ablation exactly — same masks, zero NN-S ops on B-frames.
+    let all_faults = ResilienceOptions {
+        nns_failure_rate: 1.0,
+        seed: 1,
+    };
+    let run = model
+        .run_segmentation_resilient(&seq, &ps, &all_faults)
+        .unwrap();
+    let raw = {
+        let mut cfg_raw = *model.config();
+        cfg_raw.refine = false;
+        VrDann::from_parts(cfg_raw, &model.export_nns())
+            .unwrap()
+            .run_segmentation(&seq, &encoded)
+            .unwrap()
+    };
+    assert_eq!(run.masks, raw.masks);
+    assert_eq!(run.concealment.nns_failures, encoded.stats.b_frames);
+    // A zero rate with the same seed conceals nothing.
+    let none = ResilienceOptions {
+        nns_failure_rate: 0.0,
+        seed: 1,
+    };
+    let clean = model.run_segmentation_resilient(&seq, &ps, &none).unwrap();
+    assert!(clean.concealment.is_clean());
+}
+
+#[test]
+fn detection_clean_stream_is_bit_identical_and_loss_degrades_gracefully() {
+    let (model, cfg) = tiny_model(TrainTask::Detection);
+    let seq = davis_sequence("drift-straight", &cfg).unwrap();
+    let encoded = model.encode(&seq).unwrap();
+    let strict = model.run_detection(&seq, &encoded).unwrap();
+    let ps = packetize(&encoded.bitstream).unwrap();
+    let clean = model
+        .run_detection_resilient(&seq, &ps, &ResilienceOptions::default())
+        .unwrap();
+    assert!(clean.concealment.is_clean());
+    assert_eq!(clean.detections, strict.detections);
+    assert_eq!(clean.trace, strict.trace);
+
+    let (damaged, log) = inject(&ps, &FaultConfig::uniform(0.3, 23));
+    assert!(!log.events.is_empty());
+    let run = model
+        .run_detection_resilient(&seq, &damaged, &ResilienceOptions::default())
+        .unwrap();
+    assert_eq!(run.detections.len(), seq.len());
+    assert!(run.concealment.total() > 0);
+    // Most frames still carry detections after concealment.
+    let with_dets = run.detections.iter().filter(|d| !d.is_empty()).count();
+    assert!(with_dets > seq.len() / 2, "{with_dets}/{}", seq.len());
+}
+
+#[test]
+fn every_sequence_survives_heavy_mixed_damage() {
+    let (model, cfg) = tiny_model(TrainTask::Segmentation);
+    for name in ["cows", "dog", "parkour"] {
+        let seq = davis_sequence(name, &cfg).unwrap();
+        let ps = encode_and_packetize(&model, &seq);
+        for seed in 0..4u64 {
+            let fault_cfg = FaultConfig {
+                seed,
+                rate: 0.35,
+                kinds: vec![
+                    FaultKind::BitFlip,
+                    FaultKind::Truncate,
+                    FaultKind::DropBMvs,
+                    FaultKind::DropFrame,
+                ],
+                b_frames_only: false,
+                protect_first_i: true,
+            };
+            let (damaged, _) = inject(&ps, &fault_cfg);
+            let run = model
+                .run_segmentation_resilient(&seq, &damaged, &ResilienceOptions::default())
+                .unwrap();
+            assert_eq!(run.masks.len(), seq.len(), "{name} seed {seed}");
+        }
+    }
+}
