@@ -9,7 +9,7 @@
 use vr_dann::{SegmentationRun, TrainTask, VrDann, VrDannConfig};
 use vrd_codec::{CodecConfig, EncodedVideo};
 use vrd_metrics::{score_sequence, SegScores};
-use vrd_sim::{simulate, ExecMode, ParallelOptions, SimConfig, SimReport};
+use vrd_sim::{ExecMode, ParallelOptions, SimConfig, SimReport};
 use vrd_video::davis::{davis_train_suite, davis_val_suite, SuiteConfig};
 use vrd_video::vid::vid_val_suite;
 use vrd_video::Sequence;
@@ -133,18 +133,49 @@ impl Context {
         (encoded, run)
     }
 
-    /// Simulates a trace on the default parallel architecture.
+    /// Runs VR-DANN segmentation over a whole suite as one batch through
+    /// the pipeline's multi-sequence serving entry point
+    /// ([`VrDann::run_segmentation_batch`]). Results are in suite order and
+    /// identical to per-sequence [`Context::run_vrdann`] calls.
+    pub fn run_vrdann_batch(&self, seqs: &[Sequence]) -> Vec<(EncodedVideo, SegmentationRun)> {
+        let encoded: Vec<EncodedVideo> = parallel_map(seqs, |seq| {
+            self.model.encode(seq).expect("suite sequences encode")
+        });
+        let jobs: Vec<(&Sequence, &EncodedVideo)> = seqs.iter().zip(encoded.iter()).collect();
+        let runs = self.model.run_segmentation_batch(&jobs);
+        encoded
+            .into_iter()
+            .zip(runs)
+            .map(|(e, r)| (e, r.expect("suite sequences segment")))
+            .collect()
+    }
+
+    /// Simulates a trace on the default parallel architecture (fed through
+    /// the streaming scheduler entry point).
     pub fn sim_parallel(&self, trace: &vr_dann::SchemeTrace) -> SimReport {
-        simulate(
-            trace,
+        vrd_sim::simulate_stream(
+            trace.frames.iter(),
+            trace.scheme,
+            trace.width,
+            trace.height,
+            trace.mb_size,
             ExecMode::VrDannParallel(ParallelOptions::default()),
             &self.sim,
         )
     }
 
-    /// Simulates a trace in order (baselines).
+    /// Simulates a trace in order (baselines), fed through the streaming
+    /// scheduler entry point.
     pub fn sim_in_order(&self, trace: &vr_dann::SchemeTrace) -> SimReport {
-        simulate(trace, ExecMode::InOrder, &self.sim)
+        vrd_sim::simulate_stream(
+            trace.frames.iter(),
+            trace.scheme,
+            trace.width,
+            trace.height,
+            trace.mb_size,
+            ExecMode::InOrder,
+            &self.sim,
+        )
     }
 
     /// Scores a mask sequence against ground truth.

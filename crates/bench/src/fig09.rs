@@ -25,9 +25,12 @@ pub struct Fig09 {
 
 /// Runs the experiment.
 pub fn run(ctx: &Context) -> Fig09 {
-    let rows = parallel_map(&ctx.davis, |seq| {
-        let (encoded, vr) = ctx.run_vrdann(seq);
-        let favos = run_favos(seq, &encoded, 1);
+    // The whole suite is served as one batch through the pipeline engine;
+    // FAVOS and the scoring then fan out per video.
+    let vr_runs = ctx.run_vrdann_batch(&ctx.davis);
+    let per_video: Vec<_> = ctx.davis.iter().zip(vr_runs).collect();
+    let rows = parallel_map(&per_video, |(seq, (encoded, vr))| {
+        let favos = run_favos(seq, encoded, 1);
         Fig09Row {
             name: seq.name.clone(),
             favos: ctx.score(seq, &favos.masks),

@@ -1,0 +1,40 @@
+//! Golden-output pinning: the `--quick` renderings of Fig. 9, Fig. 13 and
+//! the resilience sweep must stay byte-identical to the committed fixtures.
+//!
+//! These fixtures were captured from the corresponding binaries
+//! (`fig09 --quick`, `fig13 --quick`, `resilience --quick`); any change to
+//! seeding, trace layout, scheduling arithmetic or table formatting shows
+//! up here as a diff. Refresh a fixture only when an output change is
+//! intended, by re-running the binary and committing the new capture.
+
+use vrd_bench::{fig09, fig13, resilience, Context, Scale};
+
+fn fixture(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    std::fs::read_to_string(format!("{path}/{name}"))
+        .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"))
+}
+
+fn assert_pinned(actual: &str, name: &str) {
+    let expected = fixture(name);
+    assert!(
+        actual == expected,
+        "{name} drifted from the committed fixture.\n--- expected ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
+#[test]
+fn quick_outputs_match_committed_fixtures() {
+    let ctx = Context::new(Scale::Quick);
+
+    // The binaries print the rendering with a trailing println newline.
+    let fig09_out = format!("{}\n", fig09::run(&ctx).render());
+    assert_pinned(&fig09_out, "fig09_quick.txt");
+
+    let fig13_out = format!("{}\n", fig13::run(&ctx).render());
+    assert_pinned(&fig13_out, "fig13_quick.txt");
+
+    let sweep = resilience::run(&ctx);
+    assert_pinned(&sweep.render(), "resilience_quick_results.txt");
+    assert_pinned(&sweep.to_json(), "resilience_quick_results.json");
+}

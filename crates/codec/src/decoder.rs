@@ -105,12 +105,12 @@ impl FrameSummary {
 
 /// Stream header shared by both decode modes.
 #[derive(Debug, Clone, Copy)]
-struct Header {
-    width: usize,
-    height: usize,
-    n_frames: usize,
-    standard: Standard,
-    quant: i32,
+pub(crate) struct Header {
+    pub(crate) width: usize,
+    pub(crate) height: usize,
+    pub(crate) n_frames: usize,
+    pub(crate) standard: Standard,
+    pub(crate) quant: i32,
 }
 
 /// Video decoder. Stateless; create once and reuse.
@@ -139,7 +139,7 @@ impl Decoder {
     /// Reads the stream header. `frames_cap` overrides the frame-count
     /// bound; `None` uses the contiguous-stream rule (every frame costs at
     /// least two bytes of what remains in this buffer).
-    fn read_header_capped(r: &mut Reader, frames_cap: Option<u64>) -> Result<Header> {
+    pub(crate) fn read_header_capped(r: &mut Reader, frames_cap: Option<u64>) -> Result<Header> {
         for expected in MAGIC {
             if r.get_u8()? != expected {
                 return Err(CodecError::Bitstream("bad magic".into()));
@@ -185,7 +185,7 @@ impl Decoder {
         })
     }
 
-    fn read_frame_header(r: &mut Reader, n_frames: usize) -> Result<(FrameType, u32)> {
+    pub(crate) fn read_frame_header(r: &mut Reader, n_frames: usize) -> Result<(FrameType, u32)> {
         let ftype = match r.get_u8()? {
             0 => FrameType::I,
             1 => FrameType::P,
@@ -214,28 +214,8 @@ impl Decoder {
 
         for decode_idx in 0..hdr.n_frames {
             let (ftype, display) = Self::read_frame_header(&mut r, hdr.n_frames)?;
-            let mut rec = Frame::new(hdr.width, hdr.height);
             let mut refs_used = BTreeSet::new();
-            for by in (0..hdr.height).step_by(mb) {
-                for bx in (0..hdr.width).step_by(mb) {
-                    let pred = Self::read_prediction(
-                        &mut r,
-                        &frames,
-                        &rec,
-                        bx,
-                        by,
-                        mb,
-                        hdr.n_frames,
-                        &mut refs_used,
-                    )?;
-                    let resid = r.get_residual(mb * mb)?;
-                    let mut block = Vec::with_capacity(mb * mb);
-                    for (p, q) in pred.iter().zip(&resid) {
-                        block.push((*p as i32 + *q as i32 * hdr.quant).clamp(0, 255) as u8);
-                    }
-                    write_block(&mut rec, bx, by, mb, &block);
-                }
-            }
+            let rec = Self::read_anchor(&mut r, &hdr, mb, &frames, &mut refs_used)?;
             metas.push(FrameMeta {
                 ftype,
                 display_idx: display,
@@ -314,12 +294,84 @@ impl Decoder {
         }
     }
 
+    /// Decodes one frame's block payload to pixels against the reference
+    /// set in `frames` (strict mode: any unreadable record is an error).
+    /// Shared by full decode and the streaming strict source.
+    pub(crate) fn read_anchor(
+        r: &mut Reader,
+        hdr: &Header,
+        mb: usize,
+        frames: &[Option<Frame>],
+        refs_used: &mut BTreeSet<u32>,
+    ) -> Result<Frame> {
+        let mut rec = Frame::new(hdr.width, hdr.height);
+        for by in (0..hdr.height).step_by(mb) {
+            for bx in (0..hdr.width).step_by(mb) {
+                let pred =
+                    Self::read_prediction(r, frames, &rec, bx, by, mb, hdr.n_frames, refs_used)?;
+                let resid = r.get_residual(mb * mb)?;
+                let mut block = Vec::with_capacity(mb * mb);
+                for (p, q) in pred.iter().zip(&resid) {
+                    block.push((*p as i32 + *q as i32 * hdr.quant).clamp(0, 255) as u8);
+                }
+                write_block(&mut rec, bx, by, mb, &block);
+            }
+        }
+        Ok(rec)
+    }
+
+    /// Walks one anchor payload structurally — same reads, same error
+    /// points as [`Decoder::read_anchor`] / the resilient variant — without
+    /// producing pixels. Returns whether any block referenced a frame
+    /// outside `decoded` (i.e. pixel decode would substitute). Residuals
+    /// are read with the full run-length validation of `get_residual`, not
+    /// the cheaper skip, so success here is success there.
+    pub(crate) fn scan_anchor(
+        r: &mut Reader,
+        hdr: &Header,
+        mb: usize,
+        decoded: &BTreeSet<u32>,
+    ) -> Result<bool> {
+        let mut substituted = false;
+        let fetch = |r: &mut Reader, substituted: &mut bool| -> Result<()> {
+            let rf = r.get_varint_bounded(hdr.n_frames.saturating_sub(1) as u64, "reference")?;
+            r.get_svarint()?;
+            r.get_svarint()?;
+            if !decoded.contains(&(rf as u32)) {
+                *substituted = true;
+            }
+            Ok(())
+        };
+        for _by in (0..hdr.height).step_by(mb) {
+            for _bx in (0..hdr.width).step_by(mb) {
+                match r.get_u8()? {
+                    0 => {
+                        r.get_u8()?;
+                    }
+                    1 => fetch(r, &mut substituted)?,
+                    2 => {
+                        fetch(r, &mut substituted)?;
+                        fetch(r, &mut substituted)?;
+                    }
+                    m => {
+                        return Err(CodecError::Corrupt {
+                            frame: 0,
+                            detail: format!("unknown block mode {m}"),
+                        });
+                    }
+                }
+                r.get_residual(mb * mb)?;
+            }
+        }
+        Ok(substituted)
+    }
+
     /// Parses one B-frame's block records into `info`, raster order.
     ///
     /// Fills `info` incrementally so a caller that tolerates corruption can
     /// keep the records parsed before the error (`info` is always left in a
     /// consistent state: every pushed record was fully read and validated).
-    fn read_b_frame_blocks(
+    pub(crate) fn read_b_frame_blocks(
         r: &mut Reader,
         hdr: &Header,
         mb: usize,
@@ -444,72 +496,54 @@ impl Decoder {
     /// Decodes in recognition mode: anchors to pixels, B-frames to motion
     /// vectors only (their residuals are skipped, not decoded).
     ///
+    /// Collects the pull-based [`crate::stream::StrictFrameSource`] into a
+    /// batch structure; streaming consumers should pull from the source
+    /// directly and keep memory bounded.
+    ///
     /// # Errors
     /// Returns [`CodecError::Bitstream`] for malformed input.
     pub fn decode_for_recognition(&self, bitstream: &Bytes) -> Result<RecognitionStream> {
-        let mut r = Reader::new(bitstream.clone());
-        let total = bitstream.len();
-        let hdr = Self::read_header(&mut r)?;
-        let mb = hdr.standard.mb_size();
-        let mut anchor_recon: Vec<Option<Frame>> = vec![None; hdr.n_frames];
+        use crate::stream::{FrameSource, StrictFrameSource, UnitPayload};
+        let mut src = StrictFrameSource::new(bitstream)?;
+        let info = src.info();
         let mut out = RecognitionStream {
-            width: hdr.width,
-            height: hdr.height,
-            mb_size: mb,
-            metas: Vec::with_capacity(hdr.n_frames),
+            width: info.width,
+            height: info.height,
+            mb_size: info.mb_size,
+            metas: Vec::with_capacity(info.n_frames),
             anchors: Vec::new(),
             b_frames: Vec::new(),
-            anchor_bytes: total - r.remaining(),
+            anchor_bytes: 0,
             b_bytes: 0,
         };
-
-        for decode_idx in 0..hdr.n_frames {
-            let before = r.remaining();
-            let (ftype, display) = Self::read_frame_header(&mut r, hdr.n_frames)?;
-            let mut refs_used = BTreeSet::new();
-            if ftype.is_anchor() {
-                let mut rec = Frame::new(hdr.width, hdr.height);
-                for by in (0..hdr.height).step_by(mb) {
-                    for bx in (0..hdr.width).step_by(mb) {
-                        let pred = Self::read_prediction(
-                            &mut r,
-                            &anchor_recon,
-                            &rec,
-                            bx,
-                            by,
-                            mb,
-                            hdr.n_frames,
-                            &mut refs_used,
-                        )?;
-                        let resid = r.get_residual(mb * mb)?;
-                        let mut block = Vec::with_capacity(mb * mb);
-                        for (p, q) in pred.iter().zip(&resid) {
-                            block.push((*p as i32 + *q as i32 * hdr.quant).clamp(0, 255) as u8);
-                        }
-                        write_block(&mut rec, bx, by, mb, &block);
-                    }
+        while let Some(unit) = src.next_unit() {
+            let unit = unit?;
+            let display = match unit.payload {
+                UnitPayload::Anchor { display, frame } => {
+                    out.anchors.push((display, frame));
+                    display
                 }
-                anchor_recon[display as usize] = Some(rec.clone());
-                out.anchors.push((display, rec));
-                out.anchor_bytes += before - r.remaining();
-            } else {
-                // B-frame: parse block records, keep MVs, skip residuals.
-                let mut info = BFrameInfo {
-                    display_idx: display,
-                    mvs: Vec::new(),
-                    intra_blocks: Vec::new(),
-                };
-                Self::read_b_frame_blocks(&mut r, &hdr, mb, &mut info, &mut refs_used)?;
-                out.b_frames.push(info);
-                out.b_bytes += before - r.remaining();
-            }
+                UnitPayload::Motion(info_b) => {
+                    let display = info_b.display_idx;
+                    out.b_frames.push(info_b);
+                    display
+                }
+                UnitPayload::Skipped { .. } => {
+                    return Err(CodecError::Bitstream(
+                        "strict stream produced a skipped unit".into(),
+                    ));
+                }
+            };
             out.metas.push(FrameMeta {
-                ftype,
+                ftype: unit.ftype,
                 display_idx: display,
-                decode_idx: decode_idx as u32,
-                refs: refs_used.into_iter().collect(),
+                decode_idx: unit.decode_idx,
+                refs: unit.refs,
             });
         }
+        let totals = src.totals();
+        out.anchor_bytes = totals.anchor_bytes;
+        out.b_bytes = totals.b_bytes;
         Ok(out)
     }
 }
@@ -623,149 +657,50 @@ impl Decoder {
     /// Returns [`CodecError::Bitstream`] only if the *stream header* is
     /// unusable — without dimensions nothing can be concealed. Frame-level
     /// damage is reported per frame, never as an `Err`.
+    ///
+    /// Collects the pull-based [`crate::stream::ResilientFrameSource`] into
+    /// a batch structure; streaming consumers should pull from the source
+    /// directly and keep memory bounded.
     pub fn decode_recognition_resilient(
         &self,
         stream: &crate::faults::PacketStream,
     ) -> Result<ResilientStream> {
-        let mut hr = Reader::new(stream.header.clone());
-        let hdr = Self::read_header_capped(&mut hr, Some(Self::MAX_FRAMES))?;
-        let mb = hdr.standard.mb_size();
-        let blocks_per_frame = (hdr.width / mb) * (hdr.height / mb);
-
+        use crate::stream::{FrameSource, ResilientFrameSource, UnitPayload};
+        let mut src = ResilientFrameSource::new(stream)?;
+        let info = src.info();
+        let totals = src.totals();
         let mut out = ResilientStream {
-            width: hdr.width,
-            height: hdr.height,
-            mb_size: mb,
-            n_frames: hdr.n_frames,
+            width: info.width,
+            height: info.height,
+            mb_size: info.mb_size,
+            n_frames: info.n_frames,
             outcomes: Vec::with_capacity(stream.packets.len()),
             anchors: Vec::new(),
             b_frames: Vec::new(),
-            anchor_bytes: stream.header.len(),
-            b_bytes: 0,
+            anchor_bytes: totals.anchor_bytes,
+            b_bytes: totals.b_bytes,
         };
-        let mut anchor_recon: Vec<Option<Frame>> = vec![None; hdr.n_frames];
-        let mut claimed = BTreeSet::new();
-
-        for packet in &stream.packets {
-            let (display, outcome) = Self::decode_one_packet(
-                packet,
-                &hdr,
-                mb,
-                blocks_per_frame,
-                &mut anchor_recon,
-                &mut claimed,
-                &mut out,
-            );
-            out.outcomes.push(FrameOutcome {
-                decode_idx: packet.decode_idx,
-                ftype: packet.ftype,
-                display,
-                outcome,
-            });
-        }
-
-        // Infer displays for frames whose headers were unreadable: the
-        // display slots no surviving frame claimed, assigned in ascending
-        // order to unknown frames in decode order. (Salvaged payloads always
-        // carry their own display index — only fully lost frames land here.)
-        let mut missing = (0..hdr.n_frames as u32)
-            .filter(|d| !claimed.contains(d))
-            .collect::<Vec<_>>();
-        missing.reverse(); // pop() yields ascending order
-        for o in &mut out.outcomes {
-            if o.display.is_none() {
-                o.display = missing.pop();
+        while let Some(unit) = src.next_unit() {
+            let unit = unit?;
+            let display = unit.display();
+            match unit.payload {
+                UnitPayload::Anchor { display, frame } => out.anchors.push((display, frame)),
+                UnitPayload::Motion(info_b) => out.b_frames.push(info_b),
+                UnitPayload::Skipped { .. } => {}
             }
+            out.outcomes.push(FrameOutcome {
+                decode_idx: unit.decode_idx,
+                ftype: unit.ftype,
+                display,
+                outcome: unit.outcome,
+            });
         }
         Ok(out)
     }
 
-    /// Decodes one packet; returns the display index (if recoverable) and
-    /// the frame's outcome, updating `out` with any salvaged data.
-    #[allow(clippy::too_many_arguments)]
-    fn decode_one_packet(
-        packet: &crate::faults::FramePacket,
-        hdr: &Header,
-        mb: usize,
-        blocks_per_frame: usize,
-        anchor_recon: &mut [Option<Frame>],
-        claimed: &mut BTreeSet<u32>,
-        out: &mut ResilientStream,
-    ) -> (Option<u32>, DecodeOutcome) {
-        if packet.lost {
-            return (None, DecodeOutcome::Lost);
-        }
-        let intact = packet.intact();
-        let mut r = Reader::new(packet.payload.clone());
-
-        // Frame header: type byte + display index. If it is unreadable or
-        // contradicts the transport metadata, nothing in the payload can be
-        // trusted.
-        let parsed = Self::read_frame_header(&mut r, hdr.n_frames);
-        let (ftype, display) = match parsed {
-            Ok(pair) => pair,
-            Err(_) => return (None, DecodeOutcome::Lost),
-        };
-        if ftype != packet.ftype || claimed.contains(&display) {
-            return (None, DecodeOutcome::Lost);
-        }
-
-        if ftype.is_anchor() {
-            if !intact {
-                // Damaged anchor pixels would silently poison NN-L and all
-                // B-frames referencing them; treat the frame as lost.
-                return (Some(display), DecodeOutcome::Lost);
-            }
-            let mut substituted = false;
-            match Self::read_anchor_resilient(&mut r, hdr, mb, anchor_recon, &mut substituted) {
-                Ok(rec) => {
-                    claimed.insert(display);
-                    anchor_recon[display as usize] = Some(rec.clone());
-                    out.anchors.push((display, rec));
-                    out.anchor_bytes += packet.payload.len();
-                    let outcome = if substituted {
-                        DecodeOutcome::Concealed(ConcealReason::MissingReference)
-                    } else {
-                        DecodeOutcome::Ok
-                    };
-                    (Some(display), outcome)
-                }
-                Err(_) => (Some(display), DecodeOutcome::Lost),
-            }
-        } else {
-            let mut info = BFrameInfo {
-                display_idx: display,
-                mvs: Vec::new(),
-                intra_blocks: Vec::new(),
-            };
-            let mut refs_used = BTreeSet::new();
-            let parse = Self::read_b_frame_blocks(&mut r, hdr, mb, &mut info, &mut refs_used);
-            let parsed_blocks = info.mvs.len() + info.intra_blocks.len();
-            let outcome = match (intact, parse) {
-                (true, Ok(())) => DecodeOutcome::Ok,
-                (false, Ok(())) => DecodeOutcome::Concealed(ConcealReason::SuspectPayload),
-                (_, Err(_)) if parsed_blocks > 0 => {
-                    DecodeOutcome::Concealed(ConcealReason::PartialMvs {
-                        parsed: parsed_blocks,
-                        total: blocks_per_frame,
-                    })
-                }
-                (_, Err(_)) => DecodeOutcome::Lost,
-            };
-            if outcome.is_usable() {
-                claimed.insert(display);
-                out.b_bytes += packet.payload.len();
-                out.b_frames.push(info);
-                (Some(display), outcome)
-            } else {
-                (Some(display), outcome)
-            }
-        }
-    }
-
     /// Reconstructs one anchor frame, substituting the nearest available
     /// decoded anchor (or flat mid-gray) when a reference never arrived.
-    fn read_anchor_resilient(
+    pub(crate) fn read_anchor_resilient(
         r: &mut Reader,
         hdr: &Header,
         mb: usize,

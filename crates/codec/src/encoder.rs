@@ -141,14 +141,14 @@ impl Encoder {
                     .filter(|&c| recon[c as usize].is_some())
                     .collect(),
             };
-            let cand_frames: Vec<&Frame> = candidates
+            // Pair each candidate with its reconstruction, dropping any
+            // without one (decode order guarantees anchors are already
+            // reconstructed, so nothing is dropped in practice); the two
+            // vectors stay index-aligned for `ref_index` lookups.
+            let (candidates, cand_frames): (Vec<u32>, Vec<&Frame>) = candidates
                 .iter()
-                .map(|&c| {
-                    recon[c as usize]
-                        .as_ref()
-                        .expect("decode order guarantees anchors are reconstructed first")
-                })
-                .collect();
+                .filter_map(|&c| recon[c as usize].as_ref().map(|f| (c, f)))
+                .unzip();
 
             for by in (0..h).step_by(mb) {
                 for bx in (0..w).step_by(mb) {
@@ -164,50 +164,63 @@ impl Encoder {
                         None
                     };
 
-                    // Mode decision by minimum SAE.
+                    // Mode decision by minimum SAE: intra wins ties against
+                    // both inter modes, single-reference wins ties against
+                    // bi-prediction. A missing inter match scores u32::MAX
+                    // and can only be selected when intra also lost, which
+                    // cannot happen — the map_or fallbacks below keep the
+                    // decision total without a panic path.
                     let sae_single = single.as_ref().map_or(u32::MAX, |m| m.sae);
                     let sae_bi = bi.as_ref().map_or(u32::MAX, |b| b.sae);
-                    let pred: Vec<u8>;
-                    if sae_intra <= sae_single && sae_intra <= sae_bi {
-                        stats.intra_blocks += 1;
-                        wtr.put_u8(0);
-                        wtr.put_u8(mode_intra);
-                        pred = pred_intra;
+                    let choice = if sae_intra <= sae_single && sae_intra <= sae_bi {
+                        BlockChoice::Intra
                     } else if sae_single <= sae_bi {
-                        let m = single.expect("sae_single finite implies a match");
-                        stats.inter_blocks += 1;
-                        let ref_frame = candidates[m.ref_index];
-                        refs_used.insert(ref_frame);
-                        stats.mv_magnitude_sum += mv_mag(&m, bx, by);
-                        stats.mv_count += 1;
-                        wtr.put_u8(1);
-                        wtr.put_varint(ref_frame as u64);
-                        wtr.put_svarint((m.src_x - bx as i32) as i64);
-                        wtr.put_svarint((m.src_y - by as i32) as i64);
-                        pred = extract_block(
-                            cand_frames[m.ref_index],
-                            m.src_x as usize,
-                            m.src_y as usize,
-                            mb,
-                        );
+                        single.map_or(BlockChoice::Intra, BlockChoice::Single)
                     } else {
-                        let b = bi.expect("sae_bi finite implies a bi match");
-                        stats.bi_blocks += 1;
-                        for m in [&b.fwd, &b.bwd] {
+                        bi.map_or(BlockChoice::Intra, BlockChoice::Bi)
+                    };
+                    let pred: Vec<u8> = match choice {
+                        BlockChoice::Intra => {
+                            stats.intra_blocks += 1;
+                            wtr.put_u8(0);
+                            wtr.put_u8(mode_intra);
+                            pred_intra
+                        }
+                        BlockChoice::Single(m) => {
+                            stats.inter_blocks += 1;
                             let ref_frame = candidates[m.ref_index];
                             refs_used.insert(ref_frame);
-                            stats.mv_magnitude_sum += mv_mag(m, bx, by);
+                            stats.mv_magnitude_sum += mv_mag(&m, bx, by);
                             stats.mv_count += 1;
+                            wtr.put_u8(1);
+                            wtr.put_varint(ref_frame as u64);
+                            wtr.put_svarint((m.src_x - bx as i32) as i64);
+                            wtr.put_svarint((m.src_y - by as i32) as i64);
+                            extract_block(
+                                cand_frames[m.ref_index],
+                                m.src_x as usize,
+                                m.src_y as usize,
+                                mb,
+                            )
                         }
-                        wtr.put_u8(2);
-                        wtr.put_varint(candidates[b.fwd.ref_index] as u64);
-                        wtr.put_svarint((b.fwd.src_x - bx as i32) as i64);
-                        wtr.put_svarint((b.fwd.src_y - by as i32) as i64);
-                        wtr.put_varint(candidates[b.bwd.ref_index] as u64);
-                        wtr.put_svarint((b.bwd.src_x - bx as i32) as i64);
-                        wtr.put_svarint((b.bwd.src_y - by as i32) as i64);
-                        pred = b.pred;
-                    }
+                        BlockChoice::Bi(b) => {
+                            stats.bi_blocks += 1;
+                            for m in [&b.fwd, &b.bwd] {
+                                let ref_frame = candidates[m.ref_index];
+                                refs_used.insert(ref_frame);
+                                stats.mv_magnitude_sum += mv_mag(m, bx, by);
+                                stats.mv_count += 1;
+                            }
+                            wtr.put_u8(2);
+                            wtr.put_varint(candidates[b.fwd.ref_index] as u64);
+                            wtr.put_svarint((b.fwd.src_x - bx as i32) as i64);
+                            wtr.put_svarint((b.fwd.src_y - by as i32) as i64);
+                            wtr.put_varint(candidates[b.bwd.ref_index] as u64);
+                            wtr.put_svarint((b.bwd.src_x - bx as i32) as i64);
+                            wtr.put_svarint((b.bwd.src_y - by as i32) as i64);
+                            b.pred
+                        }
+                    };
 
                     // Quantised residual + local reconstruction.
                     let src = extract_block(cur, bx, by, mb);
@@ -289,6 +302,13 @@ impl Encoder {
             mb,
         ))
     }
+}
+
+/// A block's mode decision: the minimum-SAE prediction to serialise.
+enum BlockChoice {
+    Intra,
+    Single(Match),
+    Bi(me::BiMatch),
 }
 
 fn mv_mag(m: &Match, bx: usize, by: usize) -> f64 {

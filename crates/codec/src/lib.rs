@@ -46,6 +46,7 @@ pub mod me;
 pub mod motion;
 pub mod quality;
 pub mod stats;
+pub mod stream;
 pub mod types;
 
 pub use config::{BFrameMode, CodecConfig, SearchInterval, Standard};
@@ -62,4 +63,8 @@ pub use faults::{
 pub use gop::GopPlan;
 pub use quality::{psnr, psnr_sequence, ssim};
 pub use stats::EncodeStats;
+pub use stream::{
+    DecodedUnit, FrameSource, ResilientFrameSource, StreamInfo, StreamTotals, StrictFrameSource,
+    UnitPayload,
+};
 pub use types::{BlockMode, FrameMeta, FrameType, MvRecord, RefMv};

@@ -5,8 +5,9 @@
 //! per-frame masks or detections plus a [`SchemeTrace`] — so accuracy and
 //! simulated performance/energy are compared on identical footing.
 
+use crate::engine::run_display_order;
 use crate::error::Result;
-use crate::trace::{ComputeKind, ConcealmentStats, SchemeKind, SchemeTrace, TraceFrame};
+use crate::trace::{ComputeKind, ConcealmentStats, SchemeKind};
 use vrd_codec::EncodedVideo;
 use vrd_flow::{estimate, FlowConfig};
 use vrd_nn::{LargeNet, LargeNetProfile, FLOWNET_OPS_PER_PIXEL};
@@ -19,11 +20,8 @@ use crate::vrdann::{DetectionRun, SegmentationRun};
 /// the paper criticises).
 pub const DFF_KEY_INTERVAL: usize = 10;
 
-fn per_frame_bytes(encoded: &EncodedVideo, n: usize) -> usize {
-    encoded.bitstream.len() / n.max(1)
-}
-
-/// A per-frame large-network scheme (shared skeleton of OSVOS / FAVOS).
+/// A per-frame large-network scheme (shared skeleton of OSVOS / FAVOS),
+/// expressed as a display-order engine configuration.
 fn run_per_frame_nnl(
     seq: &Sequence,
     encoded: &EncodedVideo,
@@ -33,29 +31,17 @@ fn run_per_frame_nnl(
 ) -> SegmentationRun {
     let nnl = LargeNet::new(profile);
     let (w, h) = (seq.width(), seq.height());
-    let bytes = per_frame_bytes(encoded, seq.len());
-    let masks: Vec<SegMask> = (0..seq.len())
-        .map(|d| nnl.segment(&seq.gt_masks[d], hash2(d as i64, 10, seed)))
-        .collect();
-    let frames = (0..seq.len())
-        .map(|d| TraceFrame {
-            display: d as u32,
-            ftype: encoded.plan.types[d],
-            kind: ComputeKind::NnL { ops: nnl.ops(w, h) },
-            full_decode: true,
-            bitstream_bytes: bytes,
-        })
-        .collect();
+    let (masks, trace) = run_display_order(seq, encoded, scheme, |d, _prev: &[SegMask]| {
+        (
+            nnl.segment(&seq.gt_masks[d], hash2(d as i64, 10, seed)),
+            ComputeKind::NnL { ops: nnl.ops(w, h) },
+        )
+    });
     SegmentationRun {
         masks,
-        trace: SchemeTrace {
-            scheme,
-            width: w,
-            height: h,
-            mb_size: encoded.config.standard.mb_size(),
-            frames,
-        },
+        trace,
         concealment: ConcealmentStats::default(),
+        peak_live_frames: seq.len(),
     }
 }
 
@@ -93,52 +79,32 @@ pub fn run_dff(
     assert!(key_interval >= 1, "key interval must be at least 1");
     let nnl = LargeNet::new(LargeNetProfile::dff_key());
     let (w, h) = (seq.width(), seq.height());
-    let bytes = per_frame_bytes(encoded, seq.len());
     let flow_cfg = FlowConfig::default();
     let flow_ops = (FLOWNET_OPS_PER_PIXEL * (w * h) as f64) as u64;
 
-    let mut masks = Vec::with_capacity(seq.len());
-    let mut frames = Vec::with_capacity(seq.len());
-    let mut key_idx = 0usize;
-    for d in 0..seq.len() {
-        let is_key = d % key_interval == 0;
-        if is_key {
-            key_idx = d;
-            masks.push(nnl.segment(&seq.gt_masks[d], hash2(d as i64, 11, seed)));
-            frames.push(TraceFrame {
-                display: d as u32,
-                ftype: encoded.plan.types[d],
-                kind: ComputeKind::NnL { ops: nnl.ops(w, h) },
-                full_decode: true,
-                bitstream_bytes: bytes,
-            });
+    let (masks, trace) = run_display_order(seq, encoded, SchemeKind::Dff, |d, prev| {
+        if d % key_interval == 0 {
+            (
+                nnl.segment(&seq.gt_masks[d], hash2(d as i64, 11, seed)),
+                ComputeKind::NnL { ops: nnl.ops(w, h) },
+            )
         } else {
             // Sequential propagation: warp the previous frame's mask along
             // the consecutive-frame flow (small displacements match well;
             // errors accumulate with distance from the key frame, which is
             // DFF's characteristic failure mode).
-            let _ = key_idx;
             let flow = estimate(&seq.frames[d], &seq.frames[d - 1], &flow_cfg);
-            masks.push(flow.warp_mask(&masks[d - 1]));
-            frames.push(TraceFrame {
-                display: d as u32,
-                ftype: encoded.plan.types[d],
-                kind: ComputeKind::FlowWarp { ops: flow_ops },
-                full_decode: true,
-                bitstream_bytes: bytes,
-            });
+            (
+                flow.warp_mask(&prev[d - 1]),
+                ComputeKind::FlowWarp { ops: flow_ops },
+            )
         }
-    }
+    });
     SegmentationRun {
         masks,
-        trace: SchemeTrace {
-            scheme: SchemeKind::Dff,
-            width: w,
-            height: h,
-            mb_size: encoded.config.standard.mb_size(),
-            frames,
-        },
+        trace,
         concealment: ConcealmentStats::default(),
+        peak_live_frames: seq.len(),
     }
 }
 
@@ -147,29 +113,22 @@ pub fn run_dff(
 pub fn run_selsa(seq: &Sequence, encoded: &EncodedVideo, seed: u64) -> DetectionRun {
     let nnl = LargeNet::new(LargeNetProfile::selsa());
     let (w, h) = (seq.width(), seq.height());
-    let bytes = per_frame_bytes(encoded, seq.len());
-    let detections: Vec<Vec<Detection>> = (0..seq.len())
-        .map(|d| nnl.detect(&seq.gt_boxes[d], w, h, hash2(d as i64, 12, seed)))
-        .collect();
-    let frames = (0..seq.len())
-        .map(|d| TraceFrame {
-            display: d as u32,
-            ftype: encoded.plan.types[d],
-            kind: ComputeKind::NnL { ops: nnl.ops(w, h) },
-            full_decode: true,
-            bitstream_bytes: bytes,
-        })
-        .collect();
+    let (detections, trace) = run_display_order(
+        seq,
+        encoded,
+        SchemeKind::Selsa,
+        |d, _prev: &[Vec<Detection>]| {
+            (
+                nnl.detect(&seq.gt_boxes[d], w, h, hash2(d as i64, 12, seed)),
+                ComputeKind::NnL { ops: nnl.ops(w, h) },
+            )
+        },
+    );
     DetectionRun {
         detections,
-        trace: SchemeTrace {
-            scheme: SchemeKind::Selsa,
-            width: w,
-            height: h,
-            mb_size: encoded.config.standard.mb_size(),
-            frames,
-        },
+        trace,
         concealment: ConcealmentStats::default(),
+        peak_live_frames: seq.len(),
     }
 }
 
@@ -188,25 +147,18 @@ pub fn run_euphrates(
     assert!(key_interval >= 1, "key interval must be at least 1");
     let nnl = LargeNet::new(LargeNetProfile::selsa());
     let (w, h) = (seq.width(), seq.height());
-    let bytes = per_frame_bytes(encoded, seq.len());
     let flow_cfg = FlowConfig::default();
 
-    let mut detections: Vec<Vec<Detection>> = Vec::with_capacity(seq.len());
-    let mut frames = Vec::with_capacity(seq.len());
-    for d in 0..seq.len() {
+    let (detections, trace) = run_display_order(seq, encoded, SchemeKind::Euphrates, |d, prev| {
         if d % key_interval == 0 {
-            detections.push(nnl.detect(&seq.gt_boxes[d], w, h, hash2(d as i64, 13, seed)));
-            frames.push(TraceFrame {
-                display: d as u32,
-                ftype: encoded.plan.types[d],
-                kind: ComputeKind::NnL { ops: nnl.ops(w, h) },
-                full_decode: true,
-                bitstream_bytes: bytes,
-            });
+            (
+                nnl.detect(&seq.gt_boxes[d], w, h, hash2(d as i64, 13, seed)),
+                ComputeKind::NnL { ops: nnl.ops(w, h) },
+            )
         } else {
             // Shift the previous frame's boxes by their mean motion.
             let flow = estimate(&seq.frames[d], &seq.frames[d - 1], &flow_cfg);
-            let moved = detections[d - 1]
+            let moved = prev[d - 1]
                 .iter()
                 .map(|det| {
                     let r = det.rect.clamped(w, h);
@@ -237,26 +189,14 @@ pub fn run_euphrates(
                         .is_empty()
                 })
                 .collect();
-            detections.push(moved);
-            frames.push(TraceFrame {
-                display: d as u32,
-                ftype: encoded.plan.types[d],
-                kind: ComputeKind::BoxShift,
-                full_decode: true,
-                bitstream_bytes: bytes,
-            });
+            (moved, ComputeKind::BoxShift)
         }
-    }
+    });
     DetectionRun {
         detections,
-        trace: SchemeTrace {
-            scheme: SchemeKind::Euphrates,
-            width: w,
-            height: h,
-            mb_size: encoded.config.standard.mb_size(),
-            frames,
-        },
+        trace,
         concealment: ConcealmentStats::default(),
+        peak_live_frames: seq.len(),
     }
 }
 

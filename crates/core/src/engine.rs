@@ -1,0 +1,757 @@
+//! The staged streaming pipeline engine: one generic decode → reconstruct →
+//! refine execution path from the decoder to the NPU.
+//!
+//! VR-DANN's premise (§IV) is that the decoder and the NPU operate
+//! *concurrently on a stream*. The engine realises that shape in software:
+//! it pulls [`DecodedUnit`]s from a [`FrameSource`] one at a time, runs the
+//! per-unit stage ladder, and retains only an O(GOP)-sized window of
+//! reference segmentations plus whatever the source keeps in its own pixel
+//! window — never the whole video.
+//!
+//! The engine is generic over two axes, so the four former monolithic
+//! pipelines (`run_{segmentation,detection}[_resilient]`) are each one
+//! configuration of the same code:
+//!
+//! | axis | trait | implementations |
+//! |------|-------|-----------------|
+//! | task | [`TaskPolicy`] | [`SegTask`] (masks), [`DetTask`] (boxes) |
+//! | fault handling | [`FaultPolicy`] | [`StrictPolicy`] (fail fast), [`ConcealingPolicy`] (degrade) |
+//!
+//! The per-unit ladder, in order:
+//!
+//! 1. **anchor** → NN-L inference (lazy, as the unit arrives) and insertion
+//!    into the reference window — or, concealing, a substitution count for
+//!    anchors decoded from replacement references;
+//! 2. **lost anchor** (concealing) → mark a pending NN-L re-inference;
+//! 3. **B-frame payload** → pending re-inference, then the §VI-A adaptive
+//!    fallback, then reconstruction from motion vectors and NN-S refinement
+//!    (with the fault lottery and payload sanitisation when concealing);
+//! 4. **lost B-frame** (concealing) → copy the nearest reference's result.
+//!
+//! A windowed strict run is byte-identical to the retired eager pipeline:
+//! every nearest/adjacent reference lookup a B-frame performs resolves
+//! within its surrounding anchors, which are always still in the window
+//! (anything older is strictly farther in display distance, and future
+//! anchors are strictly farther than the next one — so neither pruning the
+//! past nor not-yet-knowing the future can change an argmin).
+
+use crate::components::{boxes_to_mask, extract_components};
+use crate::error::{Result, VrDannError};
+use crate::recon::{plane_to_mask, reconstruct_b_frame};
+use crate::sandwich::{build_reconstruction_only, build_sandwich};
+use crate::trace::{ComputeKind, ConcealmentStats, SchemeKind, SchemeTrace, TraceFrame};
+use crate::vrdann::{ResilienceOptions, VrDannConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{BTreeMap, VecDeque};
+use vrd_codec::decoder::BFrameInfo;
+use vrd_codec::{
+    ConcealReason, DecodeOutcome, DecodedUnit, EncodedVideo, FrameSource, FrameType, StreamInfo,
+    UnitPayload,
+};
+use vrd_nn::{LargeNet, NnS};
+use vrd_video::texture::hash2;
+use vrd_video::{Detection, SegMask, Sequence};
+
+/// Reference segmentations the strict engine retains. Must cover every
+/// anchor a B-frame can name (the encoder's search interval is ≤ 9
+/// anchors back) plus the adjacent sandwich anchors — 10 is the codec's
+/// own pixel retention window, matched here for the mask window.
+const MASK_WINDOW: usize = 10;
+
+/// How a trace frame's `bitstream_bytes` is filled once the stream totals
+/// are final: the per-anchor average, the per-B average, or zero (lost
+/// frames parse nothing).
+#[derive(Debug, Clone, Copy)]
+enum ByteClass {
+    AnchorAvg,
+    BAvg,
+    Zero,
+}
+
+/// 90th-percentile motion-vector magnitude of a B-frame's records (0 when
+/// empty). The percentile, not the mean, captures "how fast is the moving
+/// object" — most blocks of a frame are static background with zero motion.
+fn p90_mv_magnitude(mvs: &[vrd_codec::MvRecord]) -> f64 {
+    if mvs.is_empty() {
+        return 0.0;
+    }
+    let mut mags: Vec<f64> = mvs.iter().map(|m| m.magnitude()).collect();
+    mags.sort_unstable_by(f64::total_cmp);
+    mags[(mags.len() * 9 / 10).min(mags.len() - 1)]
+}
+
+/// Rewrites a (possibly salvaged) B-frame payload against the references
+/// that actually decoded: MV records pointing at anchors with no
+/// segmentation, and blocks the payload never covered at all, are demoted to
+/// intra blocks so reconstruction falls back to the co-located block of the
+/// nearest reference — the classic error-concealment fill. On a clean frame
+/// with every reference present this is the identity.
+fn sanitize_b_info(
+    info: &BFrameInfo,
+    ref_segs: &BTreeMap<u32, SegMask>,
+    width: usize,
+    height: usize,
+    mb: usize,
+) -> BFrameInfo {
+    let cols = width / mb;
+    let rows = height / mb;
+    let mut covered = vec![false; cols * rows];
+    let mark = |covered: &mut Vec<bool>, x: u32, y: u32| {
+        let idx = (y as usize / mb) * cols + x as usize / mb;
+        if let Some(c) = covered.get_mut(idx) {
+            *c = true;
+        }
+    };
+    let mut out = BFrameInfo {
+        display_idx: info.display_idx,
+        mvs: Vec::with_capacity(info.mvs.len()),
+        intra_blocks: info.intra_blocks.clone(),
+    };
+    for &(bx, by) in &info.intra_blocks {
+        mark(&mut covered, bx, by);
+    }
+    for mv in &info.mvs {
+        mark(&mut covered, mv.dst_x, mv.dst_y);
+        let refs_present = ref_segs.contains_key(&mv.ref0.frame)
+            && mv.ref1.is_none_or(|r| ref_segs.contains_key(&r.frame));
+        if refs_present {
+            out.mvs.push(*mv);
+        } else {
+            out.intra_blocks.push((mv.dst_x, mv.dst_y));
+        }
+    }
+    for by in 0..rows {
+        for bx in 0..cols {
+            if !covered[by * cols + bx] {
+                out.intra_blocks.push(((bx * mb) as u32, (by * mb) as u32));
+            }
+        }
+    }
+    out
+}
+
+/// The segmentation of the display-nearest entry of `refs` (empty mask when
+/// there is nothing to copy from — a stream with every anchor lost).
+fn nearest_mask(refs: &BTreeMap<u32, SegMask>, display: u32, w: usize, h: usize) -> SegMask {
+    refs.iter()
+        .min_by_key(|(d, _)| d.abs_diff(display))
+        .map(|(_, m)| m.clone())
+        .unwrap_or_else(|| SegMask::new(w, h))
+}
+
+/// The detections of the display-nearest entry of `dets` (empty when none).
+fn nearest_dets(dets: &BTreeMap<u32, Vec<Detection>>, display: u32) -> Vec<Detection> {
+    dets.iter()
+        .min_by_key(|(d, _)| d.abs_diff(display))
+        .map(|(_, v)| v.clone())
+        .unwrap_or_default()
+}
+
+/// What the engine produces: per-frame outputs in display order, the
+/// workload trace in decode order, concealment counters, and the source's
+/// live-pixel high-water mark (the bounded-memory accounting hook).
+#[derive(Debug, Clone)]
+pub struct EngineRun<O> {
+    /// Per-frame task outputs, display order.
+    pub outputs: Vec<O>,
+    /// Workload trace for the architecture simulator.
+    pub trace: SchemeTrace,
+    /// What the run had to conceal (all zero under [`StrictPolicy`]).
+    pub concealment: ConcealmentStats,
+    /// Peak number of reconstructed pixel frames the source held alive.
+    pub peak_live_frames: usize,
+}
+
+/// The task axis of the engine: what NN-L produces on anchors, what a
+/// refined B-frame mask is turned into, and how gaps are concealed.
+pub trait TaskPolicy {
+    /// Per-frame artefact the task produces (mask or detection list).
+    type Output;
+
+    /// Whether the §VI-A adaptive fallback applies (segmentation only).
+    const SUPPORTS_FALLBACK: bool;
+
+    /// Operations of one NN-L inference at the stream's resolution.
+    fn nnl_ops(&self) -> u64;
+
+    /// Runs NN-L on frame `display`, records its output, and returns the
+    /// reference mask downstream B-frames reconstruct from. `reinfer`
+    /// selects the re-inference / fallback seeding lane (a B-frame routed
+    /// through NN-L must not collide with the anchor lane).
+    fn infer_anchor(&mut self, display: u32, reinfer: bool) -> SegMask;
+
+    /// Records the refined result of a reconstructed B-frame.
+    fn store_refined(&mut self, display: u32, mask: SegMask);
+
+    /// Conceals an unusable B-frame with the nearest reference's result.
+    fn store_nearest(&mut self, display: u32, refs: &BTreeMap<u32, SegMask>);
+
+    /// Conceals a B-frame when no reference at all survived.
+    fn store_empty(&mut self, display: u32);
+
+    /// Collects the outputs, erroring on any frame that was never produced
+    /// (the strict pipeline's contract).
+    ///
+    /// # Errors
+    /// Returns [`VrDannError::BadInput`] naming the first missing frame.
+    fn finalize_strict(self) -> Result<Vec<Self::Output>>;
+
+    /// Collects the outputs, filling gaps from the nearest computed frame
+    /// (the concealing pipeline never fails on damage).
+    fn finalize_concealed(self) -> Vec<Self::Output>;
+}
+
+/// Segmentation task: NN-L masks on anchors, refined masks on B-frames.
+#[derive(Debug)]
+pub struct SegTask<'a> {
+    seq: &'a Sequence,
+    nnl: LargeNet,
+    seed: u64,
+    w: usize,
+    h: usize,
+    masks: Vec<Option<SegMask>>,
+}
+
+impl<'a> SegTask<'a> {
+    /// Builds the task for one sequence/stream pair.
+    pub fn new(seq: &'a Sequence, nnl: LargeNet, seed: u64, info: &StreamInfo) -> Self {
+        Self {
+            seq,
+            nnl,
+            seed,
+            w: info.width,
+            h: info.height,
+            masks: vec![None; seq.len()],
+        }
+    }
+}
+
+impl TaskPolicy for SegTask<'_> {
+    type Output = SegMask;
+
+    const SUPPORTS_FALLBACK: bool = true;
+
+    fn nnl_ops(&self) -> u64 {
+        self.nnl.ops(self.w, self.h)
+    }
+
+    fn infer_anchor(&mut self, display: u32, reinfer: bool) -> SegMask {
+        let lane: i64 = if reinfer { 2 } else { 0 };
+        let seed = hash2(display as i64, lane, self.seed);
+        let mask = self.nnl.segment(&self.seq.gt_masks[display as usize], seed);
+        self.masks[display as usize] = Some(mask.clone());
+        mask
+    }
+
+    fn store_refined(&mut self, display: u32, mask: SegMask) {
+        self.masks[display as usize] = Some(mask);
+    }
+
+    fn store_nearest(&mut self, display: u32, refs: &BTreeMap<u32, SegMask>) {
+        self.masks[display as usize] = Some(nearest_mask(refs, display, self.w, self.h));
+    }
+
+    fn store_empty(&mut self, display: u32) {
+        self.masks[display as usize] = Some(SegMask::new(self.w, self.h));
+    }
+
+    fn finalize_strict(self) -> Result<Vec<SegMask>> {
+        self.masks
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| {
+                m.ok_or_else(|| VrDannError::BadInput(format!("frame {i} never segmented")))
+            })
+            .collect()
+    }
+
+    fn finalize_concealed(self) -> Vec<SegMask> {
+        let computed: BTreeMap<u32, SegMask> = self
+            .masks
+            .iter()
+            .enumerate()
+            .filter_map(|(d, m)| m.as_ref().map(|m| (d as u32, m.clone())))
+            .collect();
+        self.masks
+            .into_iter()
+            .enumerate()
+            .map(|(d, m)| m.unwrap_or_else(|| nearest_mask(&computed, d as u32, self.w, self.h)))
+            .collect()
+    }
+}
+
+/// Detection task: NN-L boxes on anchors (rasterised into reference masks),
+/// component extraction on refined B-frame masks.
+#[derive(Debug)]
+pub struct DetTask<'a> {
+    seq: &'a Sequence,
+    nnl: LargeNet,
+    seed: u64,
+    w: usize,
+    h: usize,
+    min_component: usize,
+    anchor_dets: BTreeMap<u32, Vec<Detection>>,
+    detections: Vec<Option<Vec<Detection>>>,
+}
+
+impl<'a> DetTask<'a> {
+    /// Builds the task for one sequence/stream pair.
+    pub fn new(seq: &'a Sequence, nnl: LargeNet, seed: u64, info: &StreamInfo) -> Self {
+        Self {
+            seq,
+            nnl,
+            seed,
+            w: info.width,
+            h: info.height,
+            min_component: (info.mb_size * info.mb_size) / 2,
+            anchor_dets: BTreeMap::new(),
+            detections: vec![None; seq.len()],
+        }
+    }
+}
+
+impl TaskPolicy for DetTask<'_> {
+    type Output = Vec<Detection>;
+
+    const SUPPORTS_FALLBACK: bool = false;
+
+    fn nnl_ops(&self) -> u64 {
+        self.nnl.ops(self.w, self.h)
+    }
+
+    fn infer_anchor(&mut self, display: u32, _reinfer: bool) -> SegMask {
+        let seed = hash2(display as i64, 1, self.seed);
+        let dets = self
+            .nnl
+            .detect(&self.seq.gt_boxes[display as usize], self.w, self.h, seed);
+        let boxes: Vec<_> = dets.iter().map(|d| d.rect).collect();
+        self.detections[display as usize] = Some(dets.clone());
+        self.anchor_dets.insert(display, dets);
+        boxes_to_mask(&boxes, self.w, self.h)
+    }
+
+    fn store_refined(&mut self, display: u32, mask: SegMask) {
+        self.detections[display as usize] = Some(extract_components(&mask, self.min_component));
+    }
+
+    fn store_nearest(&mut self, display: u32, _refs: &BTreeMap<u32, SegMask>) {
+        self.detections[display as usize] = Some(nearest_dets(&self.anchor_dets, display));
+    }
+
+    fn store_empty(&mut self, display: u32) {
+        self.detections[display as usize] = Some(Vec::new());
+    }
+
+    fn finalize_strict(self) -> Result<Vec<Vec<Detection>>> {
+        self.detections
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| {
+                d.ok_or_else(|| VrDannError::BadInput(format!("frame {i} never detected")))
+            })
+            .collect()
+    }
+
+    fn finalize_concealed(self) -> Vec<Vec<Detection>> {
+        let computed: BTreeMap<u32, Vec<Detection>> = self
+            .detections
+            .iter()
+            .enumerate()
+            .filter_map(|(d, v)| v.as_ref().map(|v| (d as u32, v.clone())))
+            .collect();
+        self.detections
+            .into_iter()
+            .enumerate()
+            .map(|(d, v)| v.unwrap_or_else(|| nearest_dets(&computed, d as u32)))
+            .collect()
+    }
+}
+
+/// The fault axis of the engine: whether damage is concealed or fatal, and
+/// the NN-S soft-error lottery.
+pub trait FaultPolicy {
+    /// Whether the degradation rungs (substitution, refetch, copy, salvage)
+    /// are active. A strict run treats every unit as pristine.
+    const CONCEALING: bool;
+
+    /// Concealment counters the rungs increment as they fire.
+    fn stats(&mut self) -> &mut ConcealmentStats;
+
+    /// Draws the per-B-frame NN-S fault lottery (always `false` when
+    /// strict; one draw per reconstructed B-frame, in decode order).
+    fn draw_nns_fault(&mut self) -> bool;
+
+    /// Final counters for the run report.
+    fn into_stats(self) -> ConcealmentStats;
+}
+
+/// Fail-fast policy: any decode error aborts the run, no concealment.
+#[derive(Debug, Default)]
+pub struct StrictPolicy {
+    stats: ConcealmentStats,
+}
+
+impl FaultPolicy for StrictPolicy {
+    const CONCEALING: bool = false;
+
+    fn stats(&mut self) -> &mut ConcealmentStats {
+        &mut self.stats
+    }
+
+    fn draw_nns_fault(&mut self) -> bool {
+        false
+    }
+
+    fn into_stats(self) -> ConcealmentStats {
+        self.stats
+    }
+}
+
+/// Degrade-gracefully policy: damage is concealed per the ladder and the
+/// seeded NN-S fault lottery of [`ResilienceOptions`] applies.
+#[derive(Debug)]
+pub struct ConcealingPolicy {
+    stats: ConcealmentStats,
+    rng: Option<StdRng>,
+    rate: f64,
+}
+
+impl ConcealingPolicy {
+    /// Builds the policy from the run's resilience knobs.
+    pub fn new(opts: &ResilienceOptions) -> Self {
+        Self {
+            stats: ConcealmentStats::default(),
+            rng: (opts.nns_failure_rate > 0.0).then(|| StdRng::seed_from_u64(opts.seed)),
+            rate: opts.nns_failure_rate,
+        }
+    }
+}
+
+impl FaultPolicy for ConcealingPolicy {
+    const CONCEALING: bool = true;
+
+    fn stats(&mut self) -> &mut ConcealmentStats {
+        &mut self.stats
+    }
+
+    fn draw_nns_fault(&mut self) -> bool {
+        self.rng
+            .as_mut()
+            .is_some_and(|rng| rng.random_range(0.0f64..1.0) < self.rate)
+    }
+
+    fn into_stats(self) -> ConcealmentStats {
+        self.stats
+    }
+}
+
+/// The generic streaming engine: a task, a fault policy, and a shared model
+/// configuration, executed over any [`FrameSource`].
+#[derive(Debug)]
+pub struct PipelineEngine<'a, T, P> {
+    cfg: &'a VrDannConfig,
+    nns: &'a NnS,
+    task: T,
+    policy: P,
+}
+
+impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
+    /// Assembles an engine from its stages.
+    pub fn new(cfg: &'a VrDannConfig, nns: &'a NnS, task: T, policy: P) -> Self {
+        Self {
+            cfg,
+            nns,
+            task,
+            policy,
+        }
+    }
+
+    /// Drives the source to exhaustion through the stage ladder.
+    ///
+    /// `prepopulate` lists anchor displays whose NN-L references must exist
+    /// before the first unit (the concealing path needs the full usable
+    /// anchor set up front: a lost B-frame may copy from an anchor that
+    /// only decodes *later*). Strict runs pass `&[]` and infer lazily,
+    /// which keeps the reference window O(GOP).
+    ///
+    /// # Errors
+    /// Propagates source decode errors (strict sources only) and
+    /// reconstruction failures.
+    pub fn run<S: FrameSource>(
+        mut self,
+        mut source: S,
+        prepopulate: &[u32],
+    ) -> Result<EngineRun<T::Output>> {
+        let info = source.info();
+        let (w, h) = (info.width, info.height);
+        let nns_ops = 2 * self.nns.macs(h, w);
+        let nnl_ops = self.task.nnl_ops();
+
+        let mut ref_segs: BTreeMap<u32, SegMask> = BTreeMap::new();
+        let mut anchor_window: VecDeque<u32> = VecDeque::new();
+        for &display in prepopulate {
+            let mask = self.task.infer_anchor(display, false);
+            ref_segs.insert(display, mask);
+        }
+
+        let mut frames: Vec<(TraceFrame, ByteClass)> = Vec::new();
+        // Set once an anchor is lost; the next decodable B-frame goes
+        // through NN-L to re-establish a trusted reference.
+        let mut pending_refetch = false;
+
+        while let Some(unit) = source.next_unit() {
+            let unit: DecodedUnit = unit?;
+            match unit.payload {
+                UnitPayload::Anchor { display, .. } => {
+                    if P::CONCEALING {
+                        // Reference already established by prepopulation;
+                        // only the substitution bookkeeping remains.
+                        if matches!(
+                            unit.outcome,
+                            DecodeOutcome::Concealed(ConcealReason::MissingReference)
+                        ) {
+                            self.policy.stats().anchors_substituted += 1;
+                        }
+                    } else {
+                        let mask = self.task.infer_anchor(display, false);
+                        ref_segs.insert(display, mask);
+                        anchor_window.push_back(display);
+                        if anchor_window.len() > MASK_WINDOW {
+                            anchor_window.pop_front();
+                            if let Some(&front) = anchor_window.front() {
+                                // Drop every reference older than the window
+                                // (fallback masks between evicted anchors
+                                // can never win a nearest lookup again).
+                                ref_segs = ref_segs.split_off(&front);
+                            }
+                        }
+                    }
+                    frames.push((
+                        TraceFrame {
+                            display,
+                            ftype: unit.ftype,
+                            kind: ComputeKind::NnL { ops: nnl_ops },
+                            full_decode: true,
+                            bitstream_bytes: 0,
+                        },
+                        ByteClass::AnchorAvg,
+                    ));
+                }
+                UnitPayload::Motion(info_b) => {
+                    let display = info_b.display_idx;
+
+                    // A lost anchor earlier in decode order: spend an NN-L
+                    // here to re-establish a trusted reference (§VI-A's
+                    // fallback machinery, repurposed for recovery).
+                    if P::CONCEALING && pending_refetch {
+                        pending_refetch = false;
+                        self.policy.stats().nnl_reinferences += 1;
+                        let mask = self.task.infer_anchor(display, true);
+                        ref_segs.insert(display, mask);
+                        frames.push((
+                            TraceFrame {
+                                display,
+                                ftype: FrameType::B,
+                                kind: ComputeKind::NnL { ops: nnl_ops },
+                                full_decode: true,
+                                bitstream_bytes: 0,
+                            },
+                            ByteClass::BAvg,
+                        ));
+                        continue;
+                    }
+
+                    // Adaptive fallback: fast-moving B-frames go through
+                    // NN-L (only on fully trusted payloads when concealing).
+                    if T::SUPPORTS_FALLBACK && (!P::CONCEALING || unit.outcome == DecodeOutcome::Ok)
+                    {
+                        if let Some(threshold) = self.cfg.fallback_mv_threshold {
+                            if p90_mv_magnitude(&info_b.mvs) > threshold as f64 {
+                                let mask = self.task.infer_anchor(display, true);
+                                ref_segs.insert(display, mask);
+                                frames.push((
+                                    TraceFrame {
+                                        display,
+                                        ftype: FrameType::B,
+                                        kind: ComputeKind::NnL { ops: nnl_ops },
+                                        full_decode: true,
+                                        bitstream_bytes: 0,
+                                    },
+                                    ByteClass::BAvg,
+                                ));
+                                continue;
+                            }
+                        }
+                    }
+
+                    if P::CONCEALING && ref_segs.is_empty() {
+                        // Every anchor lost: nothing to reconstruct from.
+                        self.policy.stats().b_copied += 1;
+                        self.task.store_empty(display);
+                        frames.push((
+                            TraceFrame {
+                                display,
+                                ftype: unit.ftype,
+                                kind: ComputeKind::NnSRefine {
+                                    ops: 0,
+                                    mvs: vec![],
+                                },
+                                full_decode: false,
+                                bitstream_bytes: 0,
+                            },
+                            ByteClass::Zero,
+                        ));
+                        continue;
+                    }
+
+                    if P::CONCEALING && matches!(unit.outcome, DecodeOutcome::Concealed(_)) {
+                        self.policy.stats().b_salvaged += 1;
+                    }
+                    let cleaned = if P::CONCEALING {
+                        Some(sanitize_b_info(&info_b, &ref_segs, w, h, info.mb_size))
+                    } else {
+                        None
+                    };
+                    let use_info = cleaned.as_ref().unwrap_or(&info_b);
+                    let plane = reconstruct_b_frame(
+                        use_info,
+                        &ref_segs,
+                        w,
+                        h,
+                        info.mb_size,
+                        &self.cfg.recon,
+                    )?;
+                    let nns_faulted = self.policy.draw_nns_fault();
+                    if nns_faulted {
+                        self.policy.stats().nns_failures += 1;
+                    }
+                    let refined = self.cfg.refine && !nns_faulted;
+                    let mask = if refined {
+                        let input = if self.cfg.sandwich {
+                            build_sandwich(display, &plane, &ref_segs)?
+                        } else {
+                            build_reconstruction_only(&plane)
+                        };
+                        self.nns.infer(&input).to_mask(0.5)
+                    } else {
+                        plane_to_mask(&plane, &self.cfg.recon)
+                    };
+                    self.task.store_refined(display, mask);
+                    let mvs = match cleaned {
+                        Some(c) => c.mvs,
+                        None => info_b.mvs,
+                    };
+                    frames.push((
+                        TraceFrame {
+                            display,
+                            ftype: FrameType::B,
+                            kind: ComputeKind::NnSRefine {
+                                ops: if refined { nns_ops } else { 0 },
+                                mvs,
+                            },
+                            full_decode: false,
+                            bitstream_bytes: 0,
+                        },
+                        ByteClass::BAvg,
+                    ));
+                }
+                UnitPayload::Skipped { display } => {
+                    let Some(display) = display else { continue };
+                    if unit.ftype.is_anchor() {
+                        self.policy.stats().anchors_lost += 1;
+                        pending_refetch = true;
+                    } else {
+                        self.policy.stats().b_copied += 1;
+                        self.task.store_nearest(display, &ref_segs);
+                    }
+                    frames.push((
+                        TraceFrame {
+                            display,
+                            ftype: unit.ftype,
+                            kind: ComputeKind::NnSRefine {
+                                ops: 0,
+                                mvs: vec![],
+                            },
+                            full_decode: false,
+                            bitstream_bytes: 0,
+                        },
+                        ByteClass::Zero,
+                    ));
+                }
+            }
+        }
+
+        // The per-frame byte figures are whole-stream averages, only known
+        // once the source is exhausted — patch them in now.
+        let totals = source.totals();
+        let per_anchor_bytes = totals.anchor_bytes / totals.anchors.max(1);
+        let per_b_bytes = totals.b_bytes / totals.b_frames.max(1);
+        let frames = frames
+            .into_iter()
+            .map(|(mut f, class)| {
+                f.bitstream_bytes = match class {
+                    ByteClass::AnchorAvg => per_anchor_bytes,
+                    ByteClass::BAvg => per_b_bytes,
+                    ByteClass::Zero => 0,
+                };
+                f
+            })
+            .collect();
+
+        let outputs = if P::CONCEALING {
+            self.task.finalize_concealed()
+        } else {
+            self.task.finalize_strict()?
+        };
+        Ok(EngineRun {
+            outputs,
+            trace: SchemeTrace {
+                scheme: SchemeKind::VrDann,
+                width: w,
+                height: h,
+                mb_size: info.mb_size,
+                frames,
+            },
+            concealment: self.policy.into_stats(),
+            peak_live_frames: source.peak_live_frames(),
+        })
+    }
+}
+
+/// Display-order stage driver for the full-decode baselines: every frame is
+/// decoded, `stage` maps it (with the outputs so far, for the propagating
+/// schemes) to an output and its compute kind, and the trace is assembled
+/// uniformly (per-frame byte average, frame types from the GOP plan).
+pub(crate) fn run_display_order<O>(
+    seq: &Sequence,
+    encoded: &EncodedVideo,
+    scheme: SchemeKind,
+    mut stage: impl FnMut(usize, &[O]) -> (O, ComputeKind),
+) -> (Vec<O>, SchemeTrace) {
+    let (w, h) = (seq.width(), seq.height());
+    let bytes = encoded.bitstream.len() / seq.len().max(1);
+    let mut outputs: Vec<O> = Vec::with_capacity(seq.len());
+    let mut frames = Vec::with_capacity(seq.len());
+    for d in 0..seq.len() {
+        let (out, kind) = stage(d, &outputs);
+        outputs.push(out);
+        frames.push(TraceFrame {
+            display: d as u32,
+            ftype: encoded.plan.types[d],
+            kind,
+            full_decode: true,
+            bitstream_bytes: bytes,
+        });
+    }
+    (
+        outputs,
+        SchemeTrace {
+            scheme,
+            width: w,
+            height: h,
+            mb_size: encoded.config.standard.mb_size(),
+            frames,
+        },
+    )
+}

@@ -37,6 +37,7 @@
 
 pub mod baselines;
 pub mod components;
+pub mod engine;
 pub mod error;
 pub mod recon;
 pub mod sandwich;
@@ -44,6 +45,10 @@ pub mod trace;
 pub mod vrdann;
 
 pub use components::{boxes_to_mask, extract_components};
+pub use engine::{
+    ConcealingPolicy, DetTask, EngineRun, FaultPolicy, PipelineEngine, SegTask, StrictPolicy,
+    TaskPolicy,
+};
 pub use error::{Result, VrDannError};
 pub use recon::{plane_to_mask, reconstruct_b_frame, ReconConfig};
 pub use sandwich::{build_reconstruction_only, build_sandwich};

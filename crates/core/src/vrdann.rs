@@ -1,21 +1,27 @@
 //! The VR-DANN pipeline (Fig. 5): decode anchors, segment them with NN-L,
 //! reconstruct B-frames from motion vectors, refine with NN-S.
+//!
+//! Every entry point is one configuration of the streaming
+//! [`PipelineEngine`](crate::engine::PipelineEngine) — a task
+//! (segmentation/detection) paired with a fault policy (strict/concealing)
+//! over a pull-based [`FrameSource`](vrd_codec::FrameSource). No entry
+//! point materialises the whole video: live pixel memory is bounded by the
+//! source's reference window, and the strict paths keep only an O(GOP)
+//! window of reference masks.
 
-use crate::components::{boxes_to_mask, extract_components};
+use crate::components::boxes_to_mask;
+use crate::engine::{ConcealingPolicy, DetTask, EngineRun, PipelineEngine, SegTask, StrictPolicy};
 use crate::error::{Result, VrDannError};
-use crate::recon::{plane_to_mask, reconstruct_b_frame, ReconConfig};
+use crate::recon::{reconstruct_b_frame, ReconConfig};
 use crate::sandwich::{build_reconstruction_only, build_sandwich};
-use crate::trace::{ComputeKind, ConcealmentStats, SchemeKind, SchemeTrace, TraceFrame};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::trace::{ConcealmentStats, SchemeTrace};
 use std::collections::BTreeMap;
-use vrd_codec::decoder::BFrameInfo;
 use vrd_codec::faults::PacketStream;
 use vrd_codec::{
-    CodecConfig, ConcealReason, DecodeOutcome, Decoder, EncodedVideo, Encoder, FrameType,
+    CodecConfig, Decoder, EncodedVideo, Encoder, FrameSource, ResilientFrameSource,
+    StrictFrameSource,
 };
 use vrd_nn::{trainer, LargeNet, LargeNetProfile, NnS, Sample, Tensor, TrainConfig};
-use vrd_video::texture::hash2;
 use vrd_video::{Detection, SegMask, Sequence};
 
 /// Full pipeline configuration.
@@ -77,6 +83,21 @@ pub struct SegmentationRun {
     pub trace: SchemeTrace,
     /// What the run had to conceal (all zero for the strict pipeline).
     pub concealment: ConcealmentStats,
+    /// Peak number of reconstructed pixel frames held alive at once (the
+    /// bounded-memory accounting hook; `seq.len()` for the full-decode
+    /// baselines, O(GOP) for the streaming engine).
+    pub peak_live_frames: usize,
+}
+
+impl From<EngineRun<SegMask>> for SegmentationRun {
+    fn from(run: EngineRun<SegMask>) -> Self {
+        Self {
+            masks: run.outputs,
+            trace: run.trace,
+            concealment: run.concealment,
+            peak_live_frames: run.peak_live_frames,
+        }
+    }
 }
 
 /// The result of running the detection pipeline on one sequence.
@@ -88,6 +109,21 @@ pub struct DetectionRun {
     pub trace: SchemeTrace,
     /// What the run had to conceal (all zero for the strict pipeline).
     pub concealment: ConcealmentStats,
+    /// Peak number of reconstructed pixel frames held alive at once (the
+    /// bounded-memory accounting hook; `seq.len()` for the full-decode
+    /// baselines, O(GOP) for the streaming engine).
+    pub peak_live_frames: usize,
+}
+
+impl From<EngineRun<Vec<Detection>>> for DetectionRun {
+    fn from(run: EngineRun<Vec<Detection>>) -> Self {
+        Self {
+            detections: run.outputs,
+            trace: run.trace,
+            concealment: run.concealment,
+            peak_live_frames: run.peak_live_frames,
+        }
+    }
 }
 
 /// Degradation-policy knobs for the resilient pipeline entry points.
@@ -108,77 +144,6 @@ impl Default for ResilienceOptions {
             seed: 0x5eed,
         }
     }
-}
-
-/// 90th-percentile motion-vector magnitude of a B-frame's records (0 when
-/// empty). The percentile, not the mean, captures "how fast is the moving
-/// object" — most blocks of a frame are static background with zero motion.
-fn p90_mv_magnitude(mvs: &[vrd_codec::MvRecord]) -> f64 {
-    if mvs.is_empty() {
-        return 0.0;
-    }
-    let mut mags: Vec<f64> = mvs.iter().map(|m| m.magnitude()).collect();
-    mags.sort_unstable_by(f64::total_cmp);
-    mags[(mags.len() * 9 / 10).min(mags.len() - 1)]
-}
-
-/// Rewrites a (possibly salvaged) B-frame payload against the references
-/// that actually decoded: MV records pointing at anchors with no
-/// segmentation, and blocks the payload never covered at all, are demoted to
-/// intra blocks so reconstruction falls back to the co-located block of the
-/// nearest reference — the classic error-concealment fill. On a clean frame
-/// with every reference present this is the identity.
-fn sanitize_b_info(
-    info: &BFrameInfo,
-    ref_segs: &BTreeMap<u32, SegMask>,
-    width: usize,
-    height: usize,
-    mb: usize,
-) -> BFrameInfo {
-    let cols = width / mb;
-    let rows = height / mb;
-    let mut covered = vec![false; cols * rows];
-    let mark = |covered: &mut Vec<bool>, x: u32, y: u32| {
-        let idx = (y as usize / mb) * cols + x as usize / mb;
-        if let Some(c) = covered.get_mut(idx) {
-            *c = true;
-        }
-    };
-    let mut out = BFrameInfo {
-        display_idx: info.display_idx,
-        mvs: Vec::with_capacity(info.mvs.len()),
-        intra_blocks: info.intra_blocks.clone(),
-    };
-    for &(bx, by) in &info.intra_blocks {
-        mark(&mut covered, bx, by);
-    }
-    for mv in &info.mvs {
-        mark(&mut covered, mv.dst_x, mv.dst_y);
-        let refs_present = ref_segs.contains_key(&mv.ref0.frame)
-            && mv.ref1.is_none_or(|r| ref_segs.contains_key(&r.frame));
-        if refs_present {
-            out.mvs.push(*mv);
-        } else {
-            out.intra_blocks.push((mv.dst_x, mv.dst_y));
-        }
-    }
-    for by in 0..rows {
-        for bx in 0..cols {
-            if !covered[by * cols + bx] {
-                out.intra_blocks.push(((bx * mb) as u32, (by * mb) as u32));
-            }
-        }
-    }
-    out
-}
-
-/// The segmentation of the display-nearest entry of `refs` (empty mask when
-/// there is nothing to copy from — a stream with every anchor lost).
-fn nearest_mask(refs: &BTreeMap<u32, SegMask>, display: u32, w: usize, h: usize) -> SegMask {
-    refs.iter()
-        .min_by_key(|(d, _)| d.abs_diff(display))
-        .map(|(_, m)| m.clone())
-        .unwrap_or_else(|| SegMask::new(w, h))
 }
 
 /// A trained VR-DANN pipeline instance.
@@ -296,7 +261,8 @@ impl VrDann {
         Ok(Encoder::new(self.cfg.codec).encode(&seq.frames)?)
     }
 
-    /// Runs video segmentation on an encoded sequence (Fig. 5's flow).
+    /// Runs video segmentation on an encoded sequence (Fig. 5's flow): the
+    /// strict segmentation configuration of the streaming engine.
     ///
     /// # Errors
     /// Fails on malformed bitstreams or missing references.
@@ -305,206 +271,43 @@ impl VrDann {
         seq: &Sequence,
         encoded: &EncodedVideo,
     ) -> Result<SegmentationRun> {
-        let rec = Decoder::new().decode_for_recognition(&encoded.bitstream)?;
-        let nnl = LargeNet::new(self.cfg.segment_profile);
-        let (w, h) = (rec.width, rec.height);
-
-        // NN-L on every anchor. The oracle consumes the ground-truth mask —
-        // it stands in for running the trained large network on the decoded
-        // anchor pixels (DESIGN.md §2).
-        let mut ref_segs: BTreeMap<u32, SegMask> = BTreeMap::new();
-        for (display, _pixels) in &rec.anchors {
-            let seed = hash2(*display as i64, 0, self.cfg.seed);
-            ref_segs.insert(
-                *display,
-                nnl.segment(&seq.gt_masks[*display as usize], seed),
-            );
-        }
-
-        let mut masks: Vec<Option<SegMask>> = vec![None; seq.len()];
-        for (d, m) in &ref_segs {
-            masks[*d as usize] = Some(m.clone());
-        }
-
-        let per_anchor_bytes = rec.anchor_bytes / rec.anchors.len().max(1);
-        let per_b_bytes = rec.b_bytes / rec.b_frames.len().max(1);
-        let nns_ops = 2 * self.nns.macs(h, w);
-        let mut frames = Vec::with_capacity(seq.len());
-        let mut b_iter = rec.b_frames.iter();
-        for meta in &rec.metas {
-            if meta.ftype.is_anchor() {
-                frames.push(TraceFrame {
-                    display: meta.display_idx,
-                    ftype: meta.ftype,
-                    kind: ComputeKind::NnL { ops: nnl.ops(w, h) },
-                    full_decode: true,
-                    bitstream_bytes: per_anchor_bytes,
-                });
-            } else {
-                let info = b_iter.next().ok_or_else(|| {
-                    VrDannError::BadInput(
-                        "decode order lists more B-frames than the stream carries".into(),
-                    )
-                })?;
-                // Adaptive fallback: fast-moving B-frames go through NN-L.
-                if let Some(threshold) = self.cfg.fallback_mv_threshold {
-                    if p90_mv_magnitude(&info.mvs) > threshold as f64 {
-                        let seed = hash2(info.display_idx as i64, 2, self.cfg.seed);
-                        let mask = nnl.segment(&seq.gt_masks[info.display_idx as usize], seed);
-                        ref_segs.insert(info.display_idx, mask.clone());
-                        masks[info.display_idx as usize] = Some(mask);
-                        frames.push(TraceFrame {
-                            display: meta.display_idx,
-                            ftype: FrameType::B,
-                            kind: ComputeKind::NnL { ops: nnl.ops(w, h) },
-                            full_decode: true,
-                            bitstream_bytes: per_b_bytes,
-                        });
-                        continue;
-                    }
-                }
-                let plane =
-                    reconstruct_b_frame(info, &ref_segs, w, h, rec.mb_size, &self.cfg.recon)?;
-                let mask = if self.cfg.refine {
-                    let input = if self.cfg.sandwich {
-                        build_sandwich(info.display_idx, &plane, &ref_segs)?
-                    } else {
-                        build_reconstruction_only(&plane)
-                    };
-                    self.nns.infer(&input).to_mask(0.5)
-                } else {
-                    plane_to_mask(&plane, &self.cfg.recon)
-                };
-                masks[info.display_idx as usize] = Some(mask);
-                frames.push(TraceFrame {
-                    display: meta.display_idx,
-                    ftype: FrameType::B,
-                    kind: ComputeKind::NnSRefine {
-                        ops: if self.cfg.refine { nns_ops } else { 0 },
-                        mvs: info.mvs.clone(),
-                    },
-                    full_decode: false,
-                    bitstream_bytes: per_b_bytes,
-                });
-            }
-        }
-
-        let masks = masks
-            .into_iter()
-            .enumerate()
-            .map(|(i, m)| {
-                m.ok_or_else(|| VrDannError::BadInput(format!("frame {i} never segmented")))
-            })
-            .collect::<Result<Vec<_>>>()?;
-        Ok(SegmentationRun {
-            masks,
-            trace: SchemeTrace {
-                scheme: SchemeKind::VrDann,
-                width: w,
-                height: h,
-                mb_size: rec.mb_size,
-                frames,
-            },
-            concealment: ConcealmentStats::default(),
-        })
+        let source = StrictFrameSource::new(&encoded.bitstream)?;
+        let info = source.info();
+        let task = SegTask::new(
+            seq,
+            LargeNet::new(self.cfg.segment_profile),
+            self.cfg.seed,
+            &info,
+        );
+        let run = PipelineEngine::new(&self.cfg, &self.nns, task, StrictPolicy::default())
+            .run(source, &[])?;
+        Ok(run.into())
     }
 
     /// Runs video detection (§III-B): anchor boxes from NN-L are rasterised
     /// into masks, B-frames are reconstructed and refined exactly like
-    /// segmentation, and the refined masks are read back as boxes.
+    /// segmentation, and the refined masks are read back as boxes — the
+    /// strict detection configuration of the streaming engine.
     ///
     /// # Errors
     /// Fails on malformed bitstreams or missing references.
     pub fn run_detection(&self, seq: &Sequence, encoded: &EncodedVideo) -> Result<DetectionRun> {
-        let rec = Decoder::new().decode_for_recognition(&encoded.bitstream)?;
-        let nnl = LargeNet::new(self.cfg.detect_profile);
-        let (w, h) = (rec.width, rec.height);
-        let min_component = (rec.mb_size * rec.mb_size) / 2;
-
-        let mut anchor_dets: BTreeMap<u32, Vec<Detection>> = BTreeMap::new();
-        let mut ref_segs: BTreeMap<u32, SegMask> = BTreeMap::new();
-        for (display, _pixels) in &rec.anchors {
-            let seed = hash2(*display as i64, 1, self.cfg.seed);
-            let dets = nnl.detect(&seq.gt_boxes[*display as usize], w, h, seed);
-            let boxes: Vec<_> = dets.iter().map(|d| d.rect).collect();
-            ref_segs.insert(*display, boxes_to_mask(&boxes, w, h));
-            anchor_dets.insert(*display, dets);
-        }
-
-        let mut detections: Vec<Option<Vec<Detection>>> = vec![None; seq.len()];
-        for (d, dets) in &anchor_dets {
-            detections[*d as usize] = Some(dets.clone());
-        }
-
-        let per_anchor_bytes = rec.anchor_bytes / rec.anchors.len().max(1);
-        let per_b_bytes = rec.b_bytes / rec.b_frames.len().max(1);
-        let nns_ops = 2 * self.nns.macs(h, w);
-        let mut frames = Vec::with_capacity(seq.len());
-        let mut b_iter = rec.b_frames.iter();
-        for meta in &rec.metas {
-            if meta.ftype.is_anchor() {
-                frames.push(TraceFrame {
-                    display: meta.display_idx,
-                    ftype: meta.ftype,
-                    kind: ComputeKind::NnL { ops: nnl.ops(w, h) },
-                    full_decode: true,
-                    bitstream_bytes: per_anchor_bytes,
-                });
-            } else {
-                let info = b_iter.next().ok_or_else(|| {
-                    VrDannError::BadInput(
-                        "decode order lists more B-frames than the stream carries".into(),
-                    )
-                })?;
-                let plane =
-                    reconstruct_b_frame(info, &ref_segs, w, h, rec.mb_size, &self.cfg.recon)?;
-                let mask = if self.cfg.refine {
-                    let input = if self.cfg.sandwich {
-                        build_sandwich(info.display_idx, &plane, &ref_segs)?
-                    } else {
-                        build_reconstruction_only(&plane)
-                    };
-                    self.nns.infer(&input).to_mask(0.5)
-                } else {
-                    plane_to_mask(&plane, &self.cfg.recon)
-                };
-                detections[info.display_idx as usize] =
-                    Some(extract_components(&mask, min_component));
-                frames.push(TraceFrame {
-                    display: meta.display_idx,
-                    ftype: FrameType::B,
-                    kind: ComputeKind::NnSRefine {
-                        ops: if self.cfg.refine { nns_ops } else { 0 },
-                        mvs: info.mvs.clone(),
-                    },
-                    full_decode: false,
-                    bitstream_bytes: per_b_bytes,
-                });
-            }
-        }
-
-        let detections = detections
-            .into_iter()
-            .enumerate()
-            .map(|(i, d)| {
-                d.ok_or_else(|| VrDannError::BadInput(format!("frame {i} never detected")))
-            })
-            .collect::<Result<Vec<_>>>()?;
-        Ok(DetectionRun {
-            detections,
-            trace: SchemeTrace {
-                scheme: SchemeKind::VrDann,
-                width: w,
-                height: h,
-                mb_size: rec.mb_size,
-                frames,
-            },
-            concealment: ConcealmentStats::default(),
-        })
+        let source = StrictFrameSource::new(&encoded.bitstream)?;
+        let info = source.info();
+        let task = DetTask::new(
+            seq,
+            LargeNet::new(self.cfg.detect_profile),
+            self.cfg.seed,
+            &info,
+        );
+        let run = PipelineEngine::new(&self.cfg, &self.nns, task, StrictPolicy::default())
+            .run(source, &[])?;
+        Ok(run.into())
     }
 
     /// Runs segmentation on a (possibly damaged) packetized stream,
-    /// degrading gracefully instead of failing (the resilience tentpole):
+    /// degrading gracefully instead of failing — the concealing
+    /// segmentation configuration of the streaming engine:
     ///
     /// * a B-frame whose MV payload was **lost** copies the segmentation of
     ///   the nearest reference frame;
@@ -529,216 +332,18 @@ impl VrDann {
         stream: &PacketStream,
         opts: &ResilienceOptions,
     ) -> Result<SegmentationRun> {
-        let res = Decoder::new().decode_recognition_resilient(stream)?;
-        let nnl = LargeNet::new(self.cfg.segment_profile);
-        let (w, h) = (res.width, res.height);
-        let mut stats = ConcealmentStats::default();
-
-        // NN-L on every decoded anchor — identical seeding to the strict
-        // path so clean runs replicate it exactly.
-        let mut ref_segs: BTreeMap<u32, SegMask> = BTreeMap::new();
-        for (display, _pixels) in &res.anchors {
-            let seed = hash2(*display as i64, 0, self.cfg.seed);
-            ref_segs.insert(
-                *display,
-                nnl.segment(&seq.gt_masks[*display as usize], seed),
-            );
-        }
-
-        let mut masks: Vec<Option<SegMask>> = vec![None; seq.len()];
-        for (d, m) in &ref_segs {
-            masks[*d as usize] = Some(m.clone());
-        }
-
-        let per_anchor_bytes = res.anchor_bytes / res.anchors.len().max(1);
-        let per_b_bytes = res.b_bytes / res.b_frames.len().max(1);
-        let nns_ops = 2 * self.nns.macs(h, w);
-        let mut nns_rng = (opts.nns_failure_rate > 0.0).then(|| StdRng::seed_from_u64(opts.seed));
-        let mut frames = Vec::with_capacity(res.outcomes.len());
-        let mut b_iter = res.b_frames.iter();
-        // Set once an anchor is lost; the next decodable B-frame goes
-        // through NN-L to re-establish a trusted reference.
-        let mut pending_refetch = false;
-
-        for o in &res.outcomes {
-            let Some(display) = o.display else { continue };
-            if o.ftype.is_anchor() {
-                match &o.outcome {
-                    DecodeOutcome::Ok | DecodeOutcome::Concealed(_) => {
-                        if matches!(
-                            o.outcome,
-                            DecodeOutcome::Concealed(ConcealReason::MissingReference)
-                        ) {
-                            stats.anchors_substituted += 1;
-                        }
-                        frames.push(TraceFrame {
-                            display,
-                            ftype: o.ftype,
-                            kind: ComputeKind::NnL { ops: nnl.ops(w, h) },
-                            full_decode: true,
-                            bitstream_bytes: per_anchor_bytes,
-                        });
-                    }
-                    DecodeOutcome::Lost => {
-                        stats.anchors_lost += 1;
-                        pending_refetch = true;
-                        frames.push(TraceFrame {
-                            display,
-                            ftype: o.ftype,
-                            kind: ComputeKind::NnSRefine {
-                                ops: 0,
-                                mvs: vec![],
-                            },
-                            full_decode: false,
-                            bitstream_bytes: 0,
-                        });
-                    }
-                }
-                continue;
-            }
-
-            // B-frame.
-            if !o.outcome.is_usable() {
-                stats.b_copied += 1;
-                masks[display as usize] = Some(nearest_mask(&ref_segs, display, w, h));
-                frames.push(TraceFrame {
-                    display,
-                    ftype: o.ftype,
-                    kind: ComputeKind::NnSRefine {
-                        ops: 0,
-                        mvs: vec![],
-                    },
-                    full_decode: false,
-                    bitstream_bytes: 0,
-                });
-                continue;
-            }
-            let info = b_iter.next().ok_or_else(|| {
-                VrDannError::BadInput(
-                    "decode outcomes list more usable B-frames than were salvaged".into(),
-                )
-            })?;
-
-            // A lost anchor earlier in decode order: spend an NN-L here to
-            // re-establish a trusted reference (§VI-A's fallback machinery,
-            // repurposed for recovery).
-            if pending_refetch {
-                pending_refetch = false;
-                stats.nnl_reinferences += 1;
-                let seed = hash2(display as i64, 2, self.cfg.seed);
-                let mask = nnl.segment(&seq.gt_masks[display as usize], seed);
-                ref_segs.insert(display, mask.clone());
-                masks[display as usize] = Some(mask);
-                frames.push(TraceFrame {
-                    display,
-                    ftype: FrameType::B,
-                    kind: ComputeKind::NnL { ops: nnl.ops(w, h) },
-                    full_decode: true,
-                    bitstream_bytes: per_b_bytes,
-                });
-                continue;
-            }
-
-            // Adaptive fallback, exactly as in the strict path.
-            if o.outcome == DecodeOutcome::Ok {
-                if let Some(threshold) = self.cfg.fallback_mv_threshold {
-                    if p90_mv_magnitude(&info.mvs) > threshold as f64 {
-                        let seed = hash2(display as i64, 2, self.cfg.seed);
-                        let mask = nnl.segment(&seq.gt_masks[display as usize], seed);
-                        ref_segs.insert(display, mask.clone());
-                        masks[display as usize] = Some(mask);
-                        frames.push(TraceFrame {
-                            display,
-                            ftype: FrameType::B,
-                            kind: ComputeKind::NnL { ops: nnl.ops(w, h) },
-                            full_decode: true,
-                            bitstream_bytes: per_b_bytes,
-                        });
-                        continue;
-                    }
-                }
-            }
-
-            if ref_segs.is_empty() {
-                // Every anchor lost: nothing to reconstruct from.
-                stats.b_copied += 1;
-                masks[display as usize] = Some(SegMask::new(w, h));
-                frames.push(TraceFrame {
-                    display,
-                    ftype: o.ftype,
-                    kind: ComputeKind::NnSRefine {
-                        ops: 0,
-                        mvs: vec![],
-                    },
-                    full_decode: false,
-                    bitstream_bytes: 0,
-                });
-                continue;
-            }
-
-            let salvaged = matches!(o.outcome, DecodeOutcome::Concealed(_));
-            if salvaged {
-                stats.b_salvaged += 1;
-            }
-            let cleaned = sanitize_b_info(info, &ref_segs, w, h, res.mb_size);
-            let plane =
-                reconstruct_b_frame(&cleaned, &ref_segs, w, h, res.mb_size, &self.cfg.recon)?;
-            let nns_faulted = nns_rng
-                .as_mut()
-                .is_some_and(|rng| rng.random_range(0.0f64..1.0) < opts.nns_failure_rate);
-            if nns_faulted {
-                stats.nns_failures += 1;
-            }
-            let mask = if self.cfg.refine && !nns_faulted {
-                let input = if self.cfg.sandwich {
-                    build_sandwich(display, &plane, &ref_segs)?
-                } else {
-                    build_reconstruction_only(&plane)
-                };
-                self.nns.infer(&input).to_mask(0.5)
-            } else {
-                plane_to_mask(&plane, &self.cfg.recon)
-            };
-            masks[display as usize] = Some(mask);
-            frames.push(TraceFrame {
-                display,
-                ftype: FrameType::B,
-                kind: ComputeKind::NnSRefine {
-                    ops: if self.cfg.refine && !nns_faulted {
-                        nns_ops
-                    } else {
-                        0
-                    },
-                    mvs: cleaned.mvs,
-                },
-                full_decode: false,
-                bitstream_bytes: per_b_bytes,
-            });
-        }
-
-        // Final fill: displays that still have no mask (lost anchors, frames
-        // that never arrived) copy the nearest computed segmentation.
-        let computed: BTreeMap<u32, SegMask> = masks
-            .iter()
-            .enumerate()
-            .filter_map(|(d, m)| m.as_ref().map(|m| (d as u32, m.clone())))
-            .collect();
-        let masks = masks
-            .into_iter()
-            .enumerate()
-            .map(|(d, m)| m.unwrap_or_else(|| nearest_mask(&computed, d as u32, w, h)))
-            .collect();
-        Ok(SegmentationRun {
-            masks,
-            trace: SchemeTrace {
-                scheme: SchemeKind::VrDann,
-                width: w,
-                height: h,
-                mb_size: res.mb_size,
-                frames,
-            },
-            concealment: stats,
-        })
+        let source = ResilientFrameSource::new(stream)?;
+        let info = source.info();
+        let prepopulate = source.usable_anchor_displays().to_vec();
+        let task = SegTask::new(
+            seq,
+            LargeNet::new(self.cfg.segment_profile),
+            self.cfg.seed,
+            &info,
+        );
+        let run = PipelineEngine::new(&self.cfg, &self.nns, task, ConcealingPolicy::new(opts))
+            .run(source, &prepopulate)?;
+        Ok(run.into())
     }
 
     /// Runs detection on a (possibly damaged) packetized stream with the
@@ -753,201 +358,45 @@ impl VrDann {
         stream: &PacketStream,
         opts: &ResilienceOptions,
     ) -> Result<DetectionRun> {
-        let res = Decoder::new().decode_recognition_resilient(stream)?;
-        let nnl = LargeNet::new(self.cfg.detect_profile);
-        let (w, h) = (res.width, res.height);
-        let min_component = (res.mb_size * res.mb_size) / 2;
-        let mut stats = ConcealmentStats::default();
+        let source = ResilientFrameSource::new(stream)?;
+        let info = source.info();
+        let prepopulate = source.usable_anchor_displays().to_vec();
+        let task = DetTask::new(
+            seq,
+            LargeNet::new(self.cfg.detect_profile),
+            self.cfg.seed,
+            &info,
+        );
+        let run = PipelineEngine::new(&self.cfg, &self.nns, task, ConcealingPolicy::new(opts))
+            .run(source, &prepopulate)?;
+        Ok(run.into())
+    }
 
-        let mut anchor_dets: BTreeMap<u32, Vec<Detection>> = BTreeMap::new();
-        let mut ref_segs: BTreeMap<u32, SegMask> = BTreeMap::new();
-        for (display, _pixels) in &res.anchors {
-            let seed = hash2(*display as i64, 1, self.cfg.seed);
-            let dets = nnl.detect(&seq.gt_boxes[*display as usize], w, h, seed);
-            let boxes: Vec<_> = dets.iter().map(|d| d.rect).collect();
-            ref_segs.insert(*display, boxes_to_mask(&boxes, w, h));
-            anchor_dets.insert(*display, dets);
-        }
+    /// Runs segmentation over many (sequence, bitstream) jobs concurrently
+    /// — multi-sequence batch serving on `vrd-runtime`'s deterministic,
+    /// order-preserving thread pool. Results match per-job
+    /// [`VrDann::run_segmentation`] calls exactly, in input order.
+    pub fn run_segmentation_batch(
+        &self,
+        jobs: &[(&Sequence, &EncodedVideo)],
+    ) -> Vec<Result<SegmentationRun>> {
+        vrd_runtime::parallel_map(jobs, |job| self.run_segmentation(job.0, job.1))
+    }
 
-        let mut detections: Vec<Option<Vec<Detection>>> = vec![None; seq.len()];
-        for (d, dets) in &anchor_dets {
-            detections[*d as usize] = Some(dets.clone());
-        }
-
-        let nearest_dets = |dets: &BTreeMap<u32, Vec<Detection>>, display: u32| {
-            dets.iter()
-                .min_by_key(|(d, _)| d.abs_diff(display))
-                .map(|(_, v)| v.clone())
-                .unwrap_or_default()
-        };
-
-        let per_anchor_bytes = res.anchor_bytes / res.anchors.len().max(1);
-        let per_b_bytes = res.b_bytes / res.b_frames.len().max(1);
-        let nns_ops = 2 * self.nns.macs(h, w);
-        let mut nns_rng = (opts.nns_failure_rate > 0.0).then(|| StdRng::seed_from_u64(opts.seed));
-        let mut frames = Vec::with_capacity(res.outcomes.len());
-        let mut b_iter = res.b_frames.iter();
-        let mut pending_refetch = false;
-
-        for o in &res.outcomes {
-            let Some(display) = o.display else { continue };
-            if o.ftype.is_anchor() {
-                match &o.outcome {
-                    DecodeOutcome::Ok | DecodeOutcome::Concealed(_) => {
-                        if matches!(
-                            o.outcome,
-                            DecodeOutcome::Concealed(ConcealReason::MissingReference)
-                        ) {
-                            stats.anchors_substituted += 1;
-                        }
-                        frames.push(TraceFrame {
-                            display,
-                            ftype: o.ftype,
-                            kind: ComputeKind::NnL { ops: nnl.ops(w, h) },
-                            full_decode: true,
-                            bitstream_bytes: per_anchor_bytes,
-                        });
-                    }
-                    DecodeOutcome::Lost => {
-                        stats.anchors_lost += 1;
-                        pending_refetch = true;
-                        frames.push(TraceFrame {
-                            display,
-                            ftype: o.ftype,
-                            kind: ComputeKind::NnSRefine {
-                                ops: 0,
-                                mvs: vec![],
-                            },
-                            full_decode: false,
-                            bitstream_bytes: 0,
-                        });
-                    }
-                }
-                continue;
-            }
-
-            if !o.outcome.is_usable() {
-                stats.b_copied += 1;
-                detections[display as usize] = Some(nearest_dets(&anchor_dets, display));
-                frames.push(TraceFrame {
-                    display,
-                    ftype: o.ftype,
-                    kind: ComputeKind::NnSRefine {
-                        ops: 0,
-                        mvs: vec![],
-                    },
-                    full_decode: false,
-                    bitstream_bytes: 0,
-                });
-                continue;
-            }
-            let info = b_iter.next().ok_or_else(|| {
-                VrDannError::BadInput(
-                    "decode outcomes list more usable B-frames than were salvaged".into(),
-                )
-            })?;
-
-            if pending_refetch {
-                pending_refetch = false;
-                stats.nnl_reinferences += 1;
-                let seed = hash2(display as i64, 1, self.cfg.seed);
-                let dets = nnl.detect(&seq.gt_boxes[display as usize], w, h, seed);
-                let boxes: Vec<_> = dets.iter().map(|d| d.rect).collect();
-                ref_segs.insert(display, boxes_to_mask(&boxes, w, h));
-                anchor_dets.insert(display, dets.clone());
-                detections[display as usize] = Some(dets);
-                frames.push(TraceFrame {
-                    display,
-                    ftype: FrameType::B,
-                    kind: ComputeKind::NnL { ops: nnl.ops(w, h) },
-                    full_decode: true,
-                    bitstream_bytes: per_b_bytes,
-                });
-                continue;
-            }
-
-            if ref_segs.is_empty() {
-                stats.b_copied += 1;
-                detections[display as usize] = Some(Vec::new());
-                frames.push(TraceFrame {
-                    display,
-                    ftype: o.ftype,
-                    kind: ComputeKind::NnSRefine {
-                        ops: 0,
-                        mvs: vec![],
-                    },
-                    full_decode: false,
-                    bitstream_bytes: 0,
-                });
-                continue;
-            }
-
-            if matches!(o.outcome, DecodeOutcome::Concealed(_)) {
-                stats.b_salvaged += 1;
-            }
-            let cleaned = sanitize_b_info(info, &ref_segs, w, h, res.mb_size);
-            let plane =
-                reconstruct_b_frame(&cleaned, &ref_segs, w, h, res.mb_size, &self.cfg.recon)?;
-            let nns_faulted = nns_rng
-                .as_mut()
-                .is_some_and(|rng| rng.random_range(0.0f64..1.0) < opts.nns_failure_rate);
-            if nns_faulted {
-                stats.nns_failures += 1;
-            }
-            let mask = if self.cfg.refine && !nns_faulted {
-                let input = if self.cfg.sandwich {
-                    build_sandwich(display, &plane, &ref_segs)?
-                } else {
-                    build_reconstruction_only(&plane)
-                };
-                self.nns.infer(&input).to_mask(0.5)
-            } else {
-                plane_to_mask(&plane, &self.cfg.recon)
-            };
-            detections[display as usize] = Some(extract_components(&mask, min_component));
-            frames.push(TraceFrame {
-                display,
-                ftype: FrameType::B,
-                kind: ComputeKind::NnSRefine {
-                    ops: if self.cfg.refine && !nns_faulted {
-                        nns_ops
-                    } else {
-                        0
-                    },
-                    mvs: cleaned.mvs,
-                },
-                full_decode: false,
-                bitstream_bytes: per_b_bytes,
-            });
-        }
-
-        let computed: BTreeMap<u32, Vec<Detection>> = detections
-            .iter()
-            .enumerate()
-            .filter_map(|(d, v)| v.as_ref().map(|v| (d as u32, v.clone())))
-            .collect();
-        let detections = detections
-            .into_iter()
-            .enumerate()
-            .map(|(d, v)| v.unwrap_or_else(|| nearest_dets(&computed, d as u32)))
-            .collect();
-        Ok(DetectionRun {
-            detections,
-            trace: SchemeTrace {
-                scheme: SchemeKind::VrDann,
-                width: w,
-                height: h,
-                mb_size: res.mb_size,
-                frames,
-            },
-            concealment: stats,
-        })
+    /// Runs detection over many (sequence, bitstream) jobs concurrently;
+    /// the detection counterpart of [`VrDann::run_segmentation_batch`].
+    pub fn run_detection_batch(
+        &self,
+        jobs: &[(&Sequence, &EncodedVideo)],
+    ) -> Vec<Result<DetectionRun>> {
+        vrd_runtime::parallel_map(jobs, |job| self.run_detection(job.0, job.1))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::ComputeKind;
     use vrd_metrics::score_sequence;
     use vrd_video::davis::{davis_sequence, davis_train_suite, SuiteConfig};
 
@@ -1089,5 +538,25 @@ mod tests {
         seq.gt_boxes.truncate(1);
         let err = VrDann::train(&[seq], TrainTask::Segmentation, VrDannConfig::default());
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn batch_runs_match_sequential_runs() {
+        let (model, cfg) = tiny_model(TrainTask::Segmentation);
+        let names = ["cows", "dog", "goat"];
+        let seqs: Vec<Sequence> = names
+            .iter()
+            .map(|n| davis_sequence(n, &cfg).unwrap())
+            .collect();
+        let encoded: Vec<EncodedVideo> = seqs.iter().map(|s| model.encode(s).unwrap()).collect();
+        let jobs: Vec<(&Sequence, &EncodedVideo)> = seqs.iter().zip(encoded.iter()).collect();
+        let batch = model.run_segmentation_batch(&jobs);
+        assert_eq!(batch.len(), jobs.len());
+        for ((seq, ev), out) in jobs.iter().zip(batch) {
+            let solo = model.run_segmentation(seq, ev).unwrap();
+            let out = out.unwrap();
+            assert_eq!(out.masks, solo.masks);
+            assert_eq!(out.trace, solo.trace);
+        }
     }
 }

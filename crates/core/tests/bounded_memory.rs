@@ -1,0 +1,50 @@
+//! Bounded-memory regression: the streaming engine must never materialise
+//! a whole video. The accounting hook (`peak_live_frames`) counts decoded
+//! pixel frames alive at once inside the frame source; on a long sequence
+//! it has to stay within a small multiple of one GOP.
+
+use vr_dann::baselines::run_favos;
+use vr_dann::{TrainTask, VrDann, VrDannConfig};
+use vrd_video::davis::{davis_sequence, davis_train_suite, SuiteConfig};
+
+#[test]
+fn engine_memory_stays_within_gop_window_on_long_sequences() {
+    let cfg = SuiteConfig::tiny();
+    let train = davis_train_suite(&cfg, 2);
+    let model = VrDann::train(
+        &train,
+        TrainTask::Segmentation,
+        VrDannConfig {
+            nns_hidden: 4,
+            ..VrDannConfig::default()
+        },
+    )
+    .unwrap();
+
+    // 200 frames — over twelve GOPs at the default gop_len of 16.
+    let long_cfg = SuiteConfig {
+        frames: 200,
+        ..SuiteConfig::tiny()
+    };
+    let seq = davis_sequence("cows", &long_cfg).unwrap();
+    let encoded = model.encode(&seq).unwrap();
+    let run = model.run_segmentation(&seq, &encoded).unwrap();
+    assert_eq!(run.masks.len(), seq.len());
+
+    let gop = model.config().codec.gop_len;
+    assert!(
+        run.peak_live_frames <= 2 * gop,
+        "streaming engine held {} live frames, above the 2xGOP bound of {}",
+        run.peak_live_frames,
+        2 * gop
+    );
+    assert!(
+        run.peak_live_frames < seq.len(),
+        "engine materialised the whole {}-frame video",
+        seq.len()
+    );
+
+    // The full-decode baselines, by contrast, hold every frame.
+    let favos = run_favos(&seq, &encoded, 1);
+    assert_eq!(favos.peak_live_frames, seq.len());
+}

@@ -45,5 +45,5 @@ pub use agent::{AgentFootprint, ReconOutcome};
 pub use config::{AgentConfig, CostConfig, DecoderConfig, DramConfig, NpuConfig, SimConfig};
 pub use dram::{Dram, DramStats};
 pub use report::{EnergyBreakdown, SimReport, TrafficBreakdown};
-pub use sched::{simulate, simulate_traced, ExecMode, ParallelOptions};
+pub use sched::{simulate, simulate_stream, simulate_traced, ExecMode, ParallelOptions, StreamSim};
 pub use timeline::{Lane, Span, SpanKind, Timeline};

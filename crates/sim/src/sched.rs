@@ -148,46 +148,6 @@ impl<'a> Machine<'a> {
     }
 }
 
-/// Decode-completion time of every frame, in trace order.
-fn decode_ready(
-    trace: &SchemeTrace,
-    cfg: &SimConfig,
-    timeline: Option<&mut Timeline>,
-) -> (Vec<f64>, f64) {
-    let px = (trace.width * trace.height) as f64;
-    let mut t = 0.0;
-    let mut total_cycles = 0.0;
-    let mut spans = Vec::new();
-    let ready: Vec<f64> = trace
-        .frames
-        .iter()
-        .map(|f| {
-            let cpp = if f.full_decode {
-                cfg.decoder.cycles_per_pixel_full
-            } else {
-                cfg.decoder.cycles_per_pixel_mv
-            };
-            let cycles = px * cpp;
-            total_cycles += cycles;
-            let start = t;
-            t += cycles / cfg.decoder.freq_hz * 1e9;
-            spans.push((f.full_decode, start, t, f.display));
-            t
-        })
-        .collect();
-    if let Some(tl) = timeline {
-        for (full, start, end, frame) in spans {
-            let kind = if full {
-                SpanKind::DecodeFull
-            } else {
-                SpanKind::DecodeMv
-            };
-            tl.record(Lane::Decoder, kind, start, end, Some(frame));
-        }
-    }
-    (ready, total_cycles)
-}
-
 /// Simulates a trace under the chosen execution mode.
 pub fn simulate(trace: &SchemeTrace, mode: ExecMode, cfg: &SimConfig) -> SimReport {
     simulate_impl(trace, mode, cfg, false).0
@@ -203,199 +163,294 @@ pub fn simulate_traced(
     simulate_impl(trace, mode, cfg, true)
 }
 
+/// Simulates work items as they stream out of a pipeline run, without ever
+/// holding the whole trace: push each [`TraceFrame`] as it is produced and
+/// [`StreamSim::finish`] when the stream ends.
+pub fn simulate_stream<'a, I>(
+    frames: I,
+    scheme: vr_dann::SchemeKind,
+    width: usize,
+    height: usize,
+    mb_size: usize,
+    mode: ExecMode,
+    cfg: &SimConfig,
+) -> SimReport
+where
+    I: IntoIterator<Item = &'a TraceFrame>,
+{
+    let mut sim = StreamSim::new(scheme, width, height, mb_size, mode, cfg, false);
+    for f in frames {
+        sim.push(f);
+    }
+    sim.finish().0
+}
+
 fn simulate_impl(
     trace: &SchemeTrace,
     mode: ExecMode,
     cfg: &SimConfig,
     record: bool,
 ) -> (SimReport, Timeline) {
-    let mut machine = Machine::new(cfg, record);
-    let (ready, decoder_cycles) = decode_ready(trace, cfg, record.then_some(&mut machine.timeline));
-    let mut dram = Dram::new(cfg.dram);
-    let mut traffic = TrafficBreakdown::default();
-    let mut tmp_b_accesses = 0u64;
-    let mut serial_mvs = 0u64;
-    let mut max_b_q = 0usize;
-
+    let mut sim = StreamSim::new(
+        trace.scheme,
+        trace.width,
+        trace.height,
+        trace.mb_size,
+        mode,
+        cfg,
+        record,
+    );
     for f in &trace.frames {
-        traffic.merge(&frame_traffic(f, trace.width, trace.height, &cfg.cost));
+        sim.push(f);
+    }
+    sim.finish()
+}
+
+/// The single-pass simulator core shared by every entry point.
+///
+/// State is O(b_Q): the only frames retained are the B-frames currently
+/// parked in the agent unit's `b_Q` (at most `cfg.agent.b_q_entries`), so a
+/// pipeline can feed the scheduler frame by frame with bounded memory.
+pub struct StreamSim<'a> {
+    scheme: vr_dann::SchemeKind,
+    width: usize,
+    height: usize,
+    mb_size: usize,
+    mode: ExecMode,
+    machine: Machine<'a>,
+    // Incremental decoder-lane clock (decode-completion time of the last
+    // pushed frame) and its span buffer — decoder spans lead the timeline.
+    t_decode: f64,
+    decoder_cycles: f64,
+    last_ready: f64,
+    decode_spans: Vec<(bool, f64, f64, u32)>,
+    n_frames: usize,
+    total_ops: u64,
+    dram: Dram,
+    traffic: TrafficBreakdown,
+    tmp_b_accesses: u64,
+    serial_mvs: u64,
+    max_b_q: usize,
+    // VR-DANN-parallel state: NPU finish time of each processed anchor (for
+    // recon deps), agent-unit availability, tmp_B consumption gates and the
+    // parked B-frames with their decode-ready times.
+    anchor_done: BTreeMap<u32, f64>,
+    agent_free: f64,
+    consumed: VecDeque<f64>,
+    b_q: Vec<(f64, TraceFrame)>,
+}
+
+impl<'a> StreamSim<'a> {
+    /// Starts a streaming simulation. `record` enables timeline capture.
+    pub fn new(
+        scheme: vr_dann::SchemeKind,
+        width: usize,
+        height: usize,
+        mb_size: usize,
+        mode: ExecMode,
+        cfg: &'a SimConfig,
+        record: bool,
+    ) -> Self {
+        Self {
+            scheme,
+            width,
+            height,
+            mb_size,
+            mode,
+            machine: Machine::new(cfg, record),
+            t_decode: 0.0,
+            decoder_cycles: 0.0,
+            last_ready: 0.0,
+            decode_spans: Vec::new(),
+            n_frames: 0,
+            total_ops: 0,
+            dram: Dram::new(cfg.dram),
+            traffic: TrafficBreakdown::default(),
+            tmp_b_accesses: 0,
+            serial_mvs: 0,
+            max_b_q: 0,
+            anchor_done: BTreeMap::new(),
+            agent_free: 0.0,
+            consumed: VecDeque::new(),
+            b_q: Vec::new(),
+        }
     }
 
-    match mode {
-        ExecMode::InOrder | ExecMode::VrDannSerial => {
-            let serial = matches!(mode, ExecMode::VrDannSerial);
-            for (i, f) in trace.frames.iter().enumerate() {
-                machine.t_npu = machine.t_npu.max(ready[i]);
+    /// Feeds the next work item (decode order).
+    pub fn push(&mut self, f: &TraceFrame) {
+        let cfg = self.machine.cfg;
+        // Decoder lane: this frame's decode-completion time.
+        let px = (self.width * self.height) as f64;
+        let cpp = if f.full_decode {
+            cfg.decoder.cycles_per_pixel_full
+        } else {
+            cfg.decoder.cycles_per_pixel_mv
+        };
+        let cycles = px * cpp;
+        self.decoder_cycles += cycles;
+        let start = self.t_decode;
+        self.t_decode += cycles / cfg.decoder.freq_hz * 1e9;
+        let ready = self.t_decode;
+        self.last_ready = ready;
+        if self.machine.record {
+            self.decode_spans
+                .push((f.full_decode, start, ready, f.display));
+        }
+        self.n_frames += 1;
+        self.total_ops += f.kind.ops();
+        self.traffic
+            .merge(&frame_traffic(f, self.width, self.height, &cfg.cost));
+
+        match self.mode {
+            ExecMode::InOrder | ExecMode::VrDannSerial => {
+                let serial = matches!(self.mode, ExecMode::VrDannSerial);
+                self.machine.t_npu = self.machine.t_npu.max(ready);
                 if let ComputeKind::NnSRefine { mvs, .. } = &f.kind {
                     if serial {
                         // Blocking CPU reconstruction: scattered accesses,
                         // nothing overlapped.
                         let refs = mvs.iter().map(|m| 1 + m.ref1.is_some() as u64).sum::<u64>();
                         let ns = mvs.len() as f64 * cfg.cost.cpu_ns_per_mv;
-                        if machine.record {
-                            machine.timeline.record(
+                        if self.machine.record {
+                            self.machine.timeline.record(
                                 Lane::Cpu,
                                 SpanKind::Recon,
-                                machine.t_npu,
-                                machine.t_npu + ns,
+                                self.machine.t_npu,
+                                self.machine.t_npu + ns,
                                 Some(f.display),
                             );
                         }
-                        machine.t_npu += ns;
-                        machine.cpu_recon_ns += ns;
-                        serial_mvs += mvs.len() as u64;
-                        traffic.seg += refs * 512 + (trace.width * trace.height / 4) as u64;
+                        self.machine.t_npu += ns;
+                        self.machine.cpu_recon_ns += ns;
+                        self.serial_mvs += mvs.len() as u64;
+                        self.traffic.seg += refs * 512 + (self.width * self.height / 4) as u64;
                     }
                 }
-                machine.ensure_model(model_of(&f.kind));
-                machine.run_ops(f.kind.ops(), ready[i], span_of(&f.kind), Some(f.display));
+                self.machine.ensure_model(model_of(&f.kind));
+                self.machine
+                    .run_ops(f.kind.ops(), ready, span_of(&f.kind), Some(f.display));
             }
-        }
-        ExecMode::VrDannParallel(opts) => {
-            let tmp_b = opts.tmp_b_buffers.unwrap_or(cfg.agent.tmp_b_buffers).max(1);
-            // NPU finish time of each processed anchor (for recon deps).
-            let mut anchor_done: BTreeMap<u32, f64> = BTreeMap::new();
-            let mut agent_free = 0.0f64;
-            // Consumption times gating tmp_B reuse.
-            let mut consumed: VecDeque<f64> = VecDeque::new();
-            // Queued B-frames: (trace index).
-            let mut b_q: Vec<usize> = Vec::new();
-
-            let drain = |b_q: &mut Vec<usize>,
-                         machine: &mut Machine,
-                         agent_free: &mut f64,
-                         consumed: &mut VecDeque<f64>,
-                         dram: &mut Dram,
-                         anchor_done: &BTreeMap<u32, f64>,
-                         traffic: &mut TrafficBreakdown,
-                         tmp_b_accesses: &mut u64| {
-                for &i in b_q.iter() {
-                    let f: &TraceFrame = &trace.frames[i];
-                    let ComputeKind::NnSRefine { ops, mvs } = &f.kind else {
-                        unreachable!("b_Q only holds B-frames");
-                    };
-                    let refs_done = mvs
-                        .iter()
-                        .flat_map(|m| std::iter::once(m.ref0.frame).chain(m.ref1.map(|r| r.frame)))
-                        .map(|fr| anchor_done.get(&fr).copied().unwrap_or(0.0))
-                        .fold(0.0f64, f64::max);
-                    let gate = if consumed.len() >= tmp_b {
-                        consumed[consumed.len() - tmp_b]
-                    } else {
-                        0.0
-                    };
-                    let start = ready[i].max(refs_done).max(*agent_free).max(gate);
-                    let outcome = agent::reconstruct(
-                        mvs,
-                        trace.width,
-                        trace.height,
-                        trace.mb_size,
-                        opts.coalesce,
-                        &cfg.agent,
-                        dram,
-                        start,
-                    );
-                    *agent_free = outcome.finish_ns;
-                    traffic.seg += outcome.seg_bytes;
-                    *tmp_b_accesses += outcome.tmp_b_accesses;
-                    if machine.record {
-                        machine.timeline.record(
-                            Lane::Agent,
-                            SpanKind::Recon,
-                            start,
-                            outcome.finish_ns,
-                            Some(f.display),
-                        );
-                    }
-
-                    machine.ensure_model(Model::Small);
-                    let stall = (outcome.finish_ns - machine.t_npu).max(0.0);
-                    machine.recon_stall_ns += stall;
-                    machine.run_ops(*ops, outcome.finish_ns, SpanKind::NnS, Some(f.display));
-                    consumed.push_back(machine.t_npu);
-                }
-                b_q.clear();
-            };
-
-            for (i, f) in trace.frames.iter().enumerate() {
-                match &f.kind {
-                    ComputeKind::NnSRefine { .. } => {
-                        b_q.push(i);
-                        max_b_q = max_b_q.max(b_q.len());
-                        if b_q.len() >= cfg.agent.b_q_entries || !opts.lagged_switching {
-                            drain(
-                                &mut b_q,
-                                &mut machine,
-                                &mut agent_free,
-                                &mut consumed,
-                                &mut dram,
-                                &anchor_done,
-                                &mut traffic,
-                                &mut tmp_b_accesses,
-                            );
-                        }
-                    }
-                    _ => {
-                        if !opts.lagged_switching && !b_q.is_empty() {
-                            drain(
-                                &mut b_q,
-                                &mut machine,
-                                &mut agent_free,
-                                &mut consumed,
-                                &mut dram,
-                                &anchor_done,
-                                &mut traffic,
-                                &mut tmp_b_accesses,
-                            );
-                        }
-                        machine.ensure_model(model_of(&f.kind));
-                        machine.run_ops(f.kind.ops(), ready[i], span_of(&f.kind), Some(f.display));
-                        anchor_done.insert(f.display, machine.t_npu);
+            ExecMode::VrDannParallel(opts) => match &f.kind {
+                ComputeKind::NnSRefine { .. } => {
+                    self.b_q.push((ready, f.clone()));
+                    self.max_b_q = self.max_b_q.max(self.b_q.len());
+                    if self.b_q.len() >= cfg.agent.b_q_entries || !opts.lagged_switching {
+                        self.drain_b_q(opts);
                     }
                 }
-            }
-            drain(
-                &mut b_q,
-                &mut machine,
-                &mut agent_free,
-                &mut consumed,
-                &mut dram,
-                &anchor_done,
-                &mut traffic,
-                &mut tmp_b_accesses,
-            );
+                _ => {
+                    if !opts.lagged_switching && !self.b_q.is_empty() {
+                        self.drain_b_q(opts);
+                    }
+                    self.machine.ensure_model(model_of(&f.kind));
+                    self.machine
+                        .run_ops(f.kind.ops(), ready, span_of(&f.kind), Some(f.display));
+                    self.anchor_done.insert(f.display, self.machine.t_npu);
+                }
+            },
         }
     }
 
-    // Note: model-switch weight reloads are *not* added to the traffic —
-    // per-inference weight streaming already accounts for the weight bytes;
-    // the switch cost models the pipeline bubble (latency), not new data.
-    let total_ns = machine.t_npu.max(ready.last().copied().unwrap_or(0.0));
-    let energy = EnergyBreakdown {
-        npu_mj: trace.total_ops() as f64 * cfg.cost.npu_pj_per_op / 1e9,
-        dram_mj: traffic.total() as f64 * cfg.dram.pj_per_byte / 1e9,
-        decoder_mj: decoder_cycles * cfg.decoder.pj_per_cycle / 1e9,
-        agent_mj: tmp_b_accesses as f64 * cfg.agent.tmp_b_nj_per_access / 1e6,
-        cpu_mj: serial_mvs as f64 * cfg.cost.cpu_nj_per_mv / 1e6,
-        // mW x ns = pJ; 1e9 pJ per mJ.
-        static_mj: total_ns * cfg.cost.soc_static_mw / 1e9,
-    };
-    let report = SimReport {
-        scheme: trace.scheme,
-        frames: trace.frames.len(),
-        total_ns,
-        fps: trace.frames.len() as f64 / (total_ns / 1e9),
-        npu_busy_ns: machine.npu_busy_ns,
-        switch_ns: machine.switch_ns,
-        switches: machine.switches,
-        recon_stall_ns: machine.recon_stall_ns,
-        cpu_recon_ns: machine.cpu_recon_ns,
-        max_b_q_occupancy: max_b_q,
-        energy,
-        traffic,
-        dram: *dram.stats(),
-    };
-    (report, machine.timeline)
+    /// Reconstructs and refines every parked B-frame, in arrival order.
+    fn drain_b_q(&mut self, opts: ParallelOptions) {
+        let cfg = self.machine.cfg;
+        let tmp_b = opts.tmp_b_buffers.unwrap_or(cfg.agent.tmp_b_buffers).max(1);
+        for (ready, f) in std::mem::take(&mut self.b_q) {
+            let ComputeKind::NnSRefine { ops, mvs } = &f.kind else {
+                unreachable!("b_Q only holds B-frames");
+            };
+            let refs_done = mvs
+                .iter()
+                .flat_map(|m| std::iter::once(m.ref0.frame).chain(m.ref1.map(|r| r.frame)))
+                .map(|fr| self.anchor_done.get(&fr).copied().unwrap_or(0.0))
+                .fold(0.0f64, f64::max);
+            let gate = if self.consumed.len() >= tmp_b {
+                self.consumed[self.consumed.len() - tmp_b]
+            } else {
+                0.0
+            };
+            let start = ready.max(refs_done).max(self.agent_free).max(gate);
+            let outcome = agent::reconstruct(
+                mvs,
+                self.width,
+                self.height,
+                self.mb_size,
+                opts.coalesce,
+                &cfg.agent,
+                &mut self.dram,
+                start,
+            );
+            self.agent_free = outcome.finish_ns;
+            self.traffic.seg += outcome.seg_bytes;
+            self.tmp_b_accesses += outcome.tmp_b_accesses;
+            if self.machine.record {
+                self.machine.timeline.record(
+                    Lane::Agent,
+                    SpanKind::Recon,
+                    start,
+                    outcome.finish_ns,
+                    Some(f.display),
+                );
+            }
+
+            self.machine.ensure_model(Model::Small);
+            let stall = (outcome.finish_ns - self.machine.t_npu).max(0.0);
+            self.machine.recon_stall_ns += stall;
+            self.machine
+                .run_ops(*ops, outcome.finish_ns, SpanKind::NnS, Some(f.display));
+            self.consumed.push_back(self.machine.t_npu);
+        }
+    }
+
+    /// Ends the stream: drains any parked B-frames and closes the books.
+    pub fn finish(mut self) -> (SimReport, Timeline) {
+        if let ExecMode::VrDannParallel(opts) = self.mode {
+            self.drain_b_q(opts);
+        }
+        let cfg = self.machine.cfg;
+        // Note: model-switch weight reloads are *not* added to the traffic —
+        // per-inference weight streaming already accounts for the weight
+        // bytes; the switch cost models the pipeline bubble (latency), not
+        // new data.
+        let total_ns = self.machine.t_npu.max(self.last_ready);
+        let energy = EnergyBreakdown {
+            npu_mj: self.total_ops as f64 * cfg.cost.npu_pj_per_op / 1e9,
+            dram_mj: self.traffic.total() as f64 * cfg.dram.pj_per_byte / 1e9,
+            decoder_mj: self.decoder_cycles * cfg.decoder.pj_per_cycle / 1e9,
+            agent_mj: self.tmp_b_accesses as f64 * cfg.agent.tmp_b_nj_per_access / 1e6,
+            cpu_mj: self.serial_mvs as f64 * cfg.cost.cpu_nj_per_mv / 1e6,
+            // mW x ns = pJ; 1e9 pJ per mJ.
+            static_mj: total_ns * cfg.cost.soc_static_mw / 1e9,
+        };
+        let report = SimReport {
+            scheme: self.scheme,
+            frames: self.n_frames,
+            total_ns,
+            fps: self.n_frames as f64 / (total_ns / 1e9),
+            npu_busy_ns: self.machine.npu_busy_ns,
+            switch_ns: self.machine.switch_ns,
+            switches: self.machine.switches,
+            recon_stall_ns: self.machine.recon_stall_ns,
+            cpu_recon_ns: self.machine.cpu_recon_ns,
+            max_b_q_occupancy: self.max_b_q,
+            energy,
+            traffic: self.traffic,
+            dram: *self.dram.stats(),
+        };
+        // Decoder spans lead the timeline, as readers of the Fig. 7 view
+        // (and the pre-streaming simulator) expect.
+        let mut timeline = Timeline::default();
+        for (full, start, end, frame) in self.decode_spans {
+            let kind = if full {
+                SpanKind::DecodeFull
+            } else {
+                SpanKind::DecodeMv
+            };
+            timeline.record(Lane::Decoder, kind, start, end, Some(frame));
+        }
+        timeline.spans.append(&mut self.machine.timeline.spans);
+        (report, timeline)
+    }
 }
 
 #[cfg(test)]
@@ -569,9 +624,51 @@ mod tests {
         ] {
             let r = simulate(trace, mode, &cfg);
             // Total time is at least the decoder stream time.
-            let (ready, _) = decode_ready(trace, &cfg, None);
-            assert!(r.total_ns >= *ready.last().unwrap() - 1e-6);
+            let px = (trace.width * trace.height) as f64;
+            let stream_ns: f64 = trace
+                .frames
+                .iter()
+                .map(|f| {
+                    let cpp = if f.full_decode {
+                        cfg.decoder.cycles_per_pixel_full
+                    } else {
+                        cfg.decoder.cycles_per_pixel_mv
+                    };
+                    px * cpp / cfg.decoder.freq_hz * 1e9
+                })
+                .sum();
+            assert!(r.total_ns >= stream_ns - 1e-6);
             assert!(r.fps > 0.0);
+        }
+    }
+
+    #[test]
+    fn streamed_feed_matches_whole_trace_simulation() {
+        let (vr, favos) = vr_trace();
+        let cfg = SimConfig::default();
+        for (trace, mode) in [
+            (&favos, ExecMode::InOrder),
+            (&vr, ExecMode::VrDannSerial),
+            (&vr, ExecMode::VrDannParallel(ParallelOptions::default())),
+        ] {
+            let whole = simulate(trace, mode, &cfg);
+            let streamed = simulate_stream(
+                trace.frames.iter(),
+                trace.scheme,
+                trace.width,
+                trace.height,
+                trace.mb_size,
+                mode,
+                &cfg,
+            );
+            assert_eq!(whole.total_ns.to_bits(), streamed.total_ns.to_bits());
+            assert_eq!(whole.switches, streamed.switches);
+            assert_eq!(whole.traffic, streamed.traffic);
+            assert_eq!(
+                whole.energy.total_mj().to_bits(),
+                streamed.energy.total_mj().to_bits()
+            );
+            assert_eq!(whole.max_b_q_occupancy, streamed.max_b_q_occupancy);
         }
     }
 
