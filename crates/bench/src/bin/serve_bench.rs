@@ -1,0 +1,47 @@
+//! Serving sweep: 1→K concurrent sessions on one shared virtual NPU.
+//!
+//! Prints the FIFO-vs-batching table and writes `results_serve.txt` plus
+//! machine-readable `BENCH_serve.json`. Pass `--quick` for the reduced
+//! scale. The run fails (exit 1) if any contended row — ≥ 4 admitted
+//! sessions — does not show the batching scheduler strictly beating
+//! per-stream FIFO on both model switches and p99 frame latency, so CI
+//! guards the subsystem's headline claim, not just its determinism.
+
+use vrd_bench::{serve_bench, Context, Scale};
+
+fn main() {
+    let ctx = Context::new(Scale::from_args());
+    let sweep = serve_bench::run(&ctx);
+    let text = sweep.render();
+    println!("{text}");
+    if let Err(e) = std::fs::write("results_serve.txt", &text) {
+        eprintln!("could not write results_serve.txt: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write("BENCH_serve.json", sweep.to_json()) {
+        eprintln!("could not write BENCH_serve.json: {e}");
+        std::process::exit(1);
+    }
+
+    let mut contended = 0usize;
+    for r in sweep.contended_rows() {
+        contended += 1;
+        if r.batched.switches >= r.fifo.switches
+            || r.batched.latency.p99_ns >= r.fifo.latency.p99_ns
+        {
+            eprintln!(
+                "acceptance check failed at {} sessions: switches {} vs {}, p99 {:.0} vs {:.0}",
+                r.requested,
+                r.batched.switches,
+                r.fifo.switches,
+                r.batched.latency.p99_ns,
+                r.fifo.latency.p99_ns
+            );
+            std::process::exit(1);
+        }
+    }
+    if contended == 0 {
+        eprintln!("acceptance check failed: no row admitted >= 4 sessions");
+        std::process::exit(1);
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`sensitivity`] | extra: platform sensitivity (NPU/DRAM/decoder) |
 //! | [`nns_width`] | extra: NN-S width design-space sweep |
 //! | [`resilience`] | extra: accuracy vs injected bitstream loss |
+//! | [`serve_bench`] | extra: multi-session serving, FIFO vs batching |
 //!
 //! Binaries (`cargo run --release --bin fig10`, …) print the tables;
 //! `--quick` switches to the reduced scale.
@@ -43,6 +44,7 @@ pub mod fig17;
 pub mod nns_width;
 pub mod resilience;
 pub mod sensitivity;
+pub mod serve_bench;
 pub mod table;
 pub mod table02;
 

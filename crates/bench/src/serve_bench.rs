@@ -1,0 +1,287 @@
+//! Serving sweep: 1→K concurrent sessions on one shared virtual NPU.
+//!
+//! Drives the `vrd-serve` subsystem over the DAVIS-like validation suite:
+//! each row offers K concurrent recognition sessions (cycling the suite when
+//! K exceeds it) to the admission controller, serves the admitted set, and
+//! reports the shared NPU under both disciplines — per-stream FIFO and the
+//! cross-session extension of the paper's lagged queue switching (§V-B's
+//! b_Q idea applied across streams). The headline columns are the model
+//! switches the batching scheduler saves and the p99 frame latency under
+//! each policy; the admission columns show where the SLO starts shedding
+//! load. Deterministic for a fixed scale: reruns are byte-identical.
+
+use crate::context::{parallel_map, Context};
+use crate::table::{fmt_pct, Table};
+use vrd_codec::EncodedVideo;
+use vrd_serve::{serve, LatencyStats, ScheduleOutcome, ServeConfig, ServeReport};
+
+/// The session counts the full sweep offers.
+pub const SESSIONS: [usize; 5] = [1, 2, 4, 6, 8];
+
+/// One policy's shared-NPU outcome, flattened for reporting.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicySummary {
+    /// Frames the NPU served.
+    pub frames_served: usize,
+    /// Frames shed past their deadline.
+    pub frames_shed: usize,
+    /// NN-L↔NN-S model switches paid.
+    pub switches: usize,
+    /// Nanoseconds spent switching models.
+    pub switch_ns: f64,
+    /// Nanoseconds the NPU spent busy (switching + serving).
+    pub busy_ns: f64,
+    /// Wall time from first arrival to last completion.
+    pub makespan_ns: f64,
+    /// Deepest any session queue got.
+    pub max_queue_depth: usize,
+    /// Mean total queue depth sampled at each service completion.
+    pub mean_queue_depth: f64,
+    /// Times a bounded session queue backpressured its decode lane.
+    pub decoder_stalls: usize,
+    /// Frame latency distribution (arrival → NPU completion).
+    pub latency: LatencyStats,
+}
+
+impl From<&ScheduleOutcome> for PolicySummary {
+    fn from(o: &ScheduleOutcome) -> Self {
+        Self {
+            frames_served: o.frames_served,
+            frames_shed: o.frames_shed,
+            switches: o.switches,
+            switch_ns: o.switch_ns,
+            busy_ns: o.busy_ns,
+            makespan_ns: o.makespan_ns,
+            max_queue_depth: o.max_queue_depth,
+            mean_queue_depth: o.mean_queue_depth,
+            decoder_stalls: o.decoder_stalls,
+            latency: o.latency,
+        }
+    }
+}
+
+/// One session count's results.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchRow {
+    /// Sessions offered.
+    pub requested: usize,
+    /// Sessions the SLO admitted.
+    pub admitted: usize,
+    /// Sessions admission control rejected.
+    pub rejected: usize,
+    /// Projected NPU utilisation over the admitted set.
+    pub projected_utilization: f64,
+    /// Shared NPU under per-stream FIFO.
+    pub fifo: PolicySummary,
+    /// Shared NPU under cross-session batching.
+    pub batched: PolicySummary,
+    /// Switches batching saved over FIFO (positive = saved).
+    pub switches_saved: i64,
+}
+
+/// The complete serving sweep.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// One row per offered session count, ascending.
+    pub rows: Vec<ServeBenchRow>,
+}
+
+fn row_from_report(requested: usize, report: &ServeReport) -> ServeBenchRow {
+    ServeBenchRow {
+        requested,
+        admitted: report.admitted,
+        rejected: report.rejected,
+        projected_utilization: report.projected_utilization,
+        fifo: PolicySummary::from(&report.fifo),
+        batched: PolicySummary::from(&report.batched),
+        switches_saved: report.switches_saved(),
+    }
+}
+
+/// Runs the sweep at the given offered-session counts.
+pub fn run_sessions(ctx: &Context, sessions: &[usize]) -> ServeBench {
+    // Encode once per suite sequence; each session count reuses the streams.
+    let encoded: Vec<EncodedVideo> = parallel_map(&ctx.davis, |seq| {
+        ctx.model.encode(seq).expect("suite sequences encode")
+    });
+    let cfg = ServeConfig {
+        sim: ctx.sim,
+        ..ServeConfig::default()
+    };
+    let rows = sessions
+        .iter()
+        .map(|&k| {
+            let requests: Vec<_> = (0..k)
+                .map(|i| {
+                    let j = i % ctx.davis.len();
+                    (&ctx.davis[j], &encoded[j])
+                })
+                .collect();
+            let report = serve(&ctx.model, &requests, &cfg)
+                .expect("admitted suite sessions serve to completion");
+            row_from_report(k, &report)
+        })
+        .collect();
+    ServeBench { rows }
+}
+
+/// Runs the full sweep (all counts in [`SESSIONS`]).
+pub fn run(ctx: &Context) -> ServeBench {
+    run_sessions(ctx, &SESSIONS)
+}
+
+fn fmt_ms(ns: f64) -> String {
+    format!("{:.3}", ns / 1e6)
+}
+
+impl ServeBench {
+    /// Rows whose admitted set is large enough for cross-session batching
+    /// to have headroom (the acceptance regime: ≥ 4 concurrent sessions).
+    pub fn contended_rows(&self) -> impl Iterator<Item = &ServeBenchRow> {
+        self.rows.iter().filter(|r| r.admitted >= 4)
+    }
+
+    /// Renders the serving table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "sessions",
+            "admitted",
+            "util",
+            "fifo sw",
+            "batch sw",
+            "saved",
+            "fifo p99 ms",
+            "batch p99 ms",
+            "fifo span ms",
+            "batch span ms",
+            "stalls",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.requested.to_string(),
+                r.admitted.to_string(),
+                fmt_pct(r.projected_utilization),
+                r.fifo.switches.to_string(),
+                r.batched.switches.to_string(),
+                r.switches_saved.to_string(),
+                fmt_ms(r.fifo.latency.p99_ns),
+                fmt_ms(r.batched.latency.p99_ns),
+                fmt_ms(r.fifo.makespan_ns),
+                fmt_ms(r.batched.makespan_ns),
+                r.batched.decoder_stalls.to_string(),
+            ]);
+        }
+        format!(
+            "Serving: shared-NPU scheduling, per-stream FIFO vs cross-session batching\n{}",
+            t.render()
+        )
+    }
+
+    /// Machine-readable JSON of the sweep (hand-rolled — the workspace
+    /// carries no serialisation dependency).
+    pub fn to_json(&self) -> String {
+        fn policy_json(p: &PolicySummary) -> String {
+            format!(
+                "{{\"frames_served\":{},\"frames_shed\":{},\"switches\":{},\
+                 \"switch_ns\":{:.1},\"busy_ns\":{:.1},\"makespan_ns\":{:.1},\
+                 \"max_queue_depth\":{},\"mean_queue_depth\":{:.3},\
+                 \"decoder_stalls\":{},\"latency\":{{\"mean_ns\":{:.1},\
+                 \"p50_ns\":{:.1},\"p95_ns\":{:.1},\"p99_ns\":{:.1},\"max_ns\":{:.1}}}}}",
+                p.frames_served,
+                p.frames_shed,
+                p.switches,
+                p.switch_ns,
+                p.busy_ns,
+                p.makespan_ns,
+                p.max_queue_depth,
+                p.mean_queue_depth,
+                p.decoder_stalls,
+                p.latency.mean_ns,
+                p.latency.p50_ns,
+                p.latency.p95_ns,
+                p.latency.p99_ns,
+                p.latency.max_ns,
+            )
+        }
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"sessions\":{},\"admitted\":{},\"rejected\":{},\
+                     \"projected_utilization\":{:.6},\"switches_saved\":{},\
+                     \"fifo\":{},\"batched\":{}}}",
+                    r.requested,
+                    r.admitted,
+                    r.rejected,
+                    r.projected_utilization,
+                    r.switches_saved,
+                    policy_json(&r.fifo),
+                    policy_json(&r.batched),
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"experiment\": \"serve\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn serve_quick_batching_wins_under_contention_and_slo_sheds() {
+        let ctx = Context::new(Scale::Quick);
+        let sweep = run_sessions(&ctx, &[1, 4, 8]);
+        assert_eq!(sweep.rows.len(), 3);
+
+        // One stream: nothing to batch across sessions; policies agree.
+        let solo = sweep.rows[0];
+        assert_eq!(solo.admitted, 1);
+        assert_eq!(solo.switches_saved, 0);
+        assert_eq!(solo.fifo.switches, solo.batched.switches);
+
+        // The acceptance regime: at ≥ 4 admitted sessions the batching
+        // scheduler pays strictly fewer switches AND a lower p99 than FIFO.
+        let contended: Vec<_> = sweep.contended_rows().collect();
+        assert!(!contended.is_empty(), "no row admitted ≥ 4 sessions");
+        for r in contended {
+            assert!(
+                r.batched.switches < r.fifo.switches,
+                "{} sessions: batch {} vs fifo {} switches",
+                r.requested,
+                r.batched.switches,
+                r.fifo.switches
+            );
+            assert!(r.switches_saved > 0);
+            assert!(
+                r.batched.latency.p99_ns < r.fifo.latency.p99_ns,
+                "{} sessions: batch p99 {:.0} vs fifo {:.0}",
+                r.requested,
+                r.batched.latency.p99_ns,
+                r.fifo.latency.p99_ns
+            );
+            // Both policies served the full admitted workload.
+            assert_eq!(r.fifo.frames_served, r.batched.frames_served);
+            assert_eq!(r.fifo.frames_shed, 0);
+        }
+
+        // Offered load beyond the SLO gets shed at admission.
+        let heavy = sweep.rows[2];
+        assert_eq!(heavy.requested, 8);
+        assert!(heavy.rejected > 0, "8 offered sessions all admitted");
+        assert!(heavy.admitted + heavy.rejected == 8);
+
+        let text = sweep.render();
+        assert!(text.contains("Serving"));
+        assert!(text.contains("batch sw"));
+        let json = sweep.to_json();
+        assert!(json.contains("\"experiment\": \"serve\""));
+        assert!(json.contains("\"switches_saved\""));
+        assert!(json.contains("\"p99_ns\""));
+    }
+}

@@ -120,4 +120,63 @@ proptest! {
         // decoder must survive (it may and usually will error).
         decode_all_entry_points(&damaged.reassemble());
     }
+
+    #[test]
+    fn resilient_source_and_batch_decode_agree_on_faulted_streams(
+        seed in 0u64..u64::MAX,
+        rate in 0.0f64..0.9,
+    ) {
+        use vrd_codec::{DecodedUnit, FrameSource, ResilientFrameSource, UnitPayload};
+
+        let ps = packetize(valid_stream()).expect("valid stream packetizes");
+        let cfg = FaultConfig {
+            seed,
+            rate,
+            kinds: vec![
+                FaultKind::BitFlip,
+                FaultKind::Truncate,
+                FaultKind::DropBMvs,
+                FaultKind::DropFrame,
+            ],
+            b_frames_only: seed % 3 == 0,
+            protect_first_i: seed % 2 == 0,
+        };
+        let (damaged, _log) = vrd_codec::inject(&ps, &cfg);
+
+        // Pull the streaming source by hand and collect its per-unit view.
+        let mut src = ResilientFrameSource::new(&damaged)
+            .expect("transport header survives injection");
+        let mut pulled: Vec<DecodedUnit> = Vec::new();
+        while let Some(unit) = src.next_unit() {
+            pulled.push(unit.expect("resilient sources never error per unit"));
+        }
+
+        // The batch façade over the same damaged stream must tell the same
+        // story frame-by-frame: outcome kind, frame type and display slot.
+        let batch = Decoder::new()
+            .decode_recognition_resilient(&damaged)
+            .expect("transport header survives injection");
+        prop_assert_eq!(pulled.len(), batch.outcomes.len());
+        let mut anchors = 0usize;
+        let mut b_frames = 0usize;
+        for (unit, rec) in pulled.iter().zip(&batch.outcomes) {
+            prop_assert_eq!(unit.decode_idx, rec.decode_idx);
+            prop_assert_eq!(unit.ftype, rec.ftype);
+            prop_assert_eq!(unit.display(), rec.display);
+            prop_assert_eq!(&unit.outcome, &rec.outcome);
+            match &unit.payload {
+                UnitPayload::Anchor { display, .. } => {
+                    prop_assert_eq!(Some(batch.anchors[anchors].0), Some(*display));
+                    anchors += 1;
+                }
+                UnitPayload::Motion(info) => {
+                    prop_assert_eq!(batch.b_frames[b_frames].display_idx, info.display_idx);
+                    b_frames += 1;
+                }
+                UnitPayload::Skipped { .. } => {}
+            }
+        }
+        prop_assert_eq!(anchors, batch.anchors.len());
+        prop_assert_eq!(b_frames, batch.b_frames.len());
+    }
 }

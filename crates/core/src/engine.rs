@@ -446,14 +446,56 @@ impl FaultPolicy for ConcealingPolicy {
     }
 }
 
+/// The NPU work one engine step emitted, as a serving layer sees it: enough
+/// to place the frame on a shared accelerator (which model, how many
+/// operations, whether the decoder reconstructed pixels) without holding
+/// the full trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepWork {
+    /// Display index of the frame the work belongs to.
+    pub display: u32,
+    /// Codec frame type.
+    pub ftype: FrameType,
+    /// Operations the NPU must execute for this frame.
+    pub ops: u64,
+    /// Whether the work needs the large model resident (NN-L) rather than
+    /// the small refinement network (NN-S).
+    pub uses_large_model: bool,
+    /// Whether the decoder fully reconstructed this frame's pixels.
+    pub full_decode: bool,
+}
+
 /// The generic streaming engine: a task, a fault policy, and a shared model
 /// configuration, executed over any [`FrameSource`].
+///
+/// Two driving styles share the same stage ladder:
+///
+/// * [`PipelineEngine::run`] — pull a source to exhaustion (the classic
+///   single-stream entry points);
+/// * [`PipelineEngine::prime`] / [`PipelineEngine::step`] /
+///   [`PipelineEngine::finish`] — resumable stepping for callers that
+///   interleave many streams over shared hardware (the `vrd-serve` session
+///   layer): feed one [`DecodedUnit`] at a time, observe the [`StepWork`]
+///   it put on the NPU, and close the books when the stream ends.
 #[derive(Debug)]
 pub struct PipelineEngine<'a, T, P> {
     cfg: &'a VrDannConfig,
     nns: &'a NnS,
     task: T,
     policy: P,
+    // Streaming state, established by `prime` and advanced by `step`.
+    primed: bool,
+    w: usize,
+    h: usize,
+    mb: usize,
+    nns_ops: u64,
+    nnl_ops: u64,
+    ref_segs: BTreeMap<u32, SegMask>,
+    anchor_window: VecDeque<u32>,
+    frames: Vec<(TraceFrame, ByteClass)>,
+    // Set once an anchor is lost; the next decodable B-frame goes
+    // through NN-L to re-establish a trusted reference.
+    pending_refetch: bool,
 }
 
 impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
@@ -464,208 +506,157 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
             nns,
             task,
             policy,
+            primed: false,
+            w: 0,
+            h: 0,
+            mb: 0,
+            nns_ops: 0,
+            nnl_ops: 0,
+            ref_segs: BTreeMap::new(),
+            anchor_window: VecDeque::new(),
+            frames: Vec::new(),
+            pending_refetch: false,
         }
     }
 
-    /// Drives the source to exhaustion through the stage ladder.
+    /// Prepares the engine for a stream: caches the stream geometry and
+    /// per-inference operation counts, and establishes the up-front NN-L
+    /// references.
     ///
     /// `prepopulate` lists anchor displays whose NN-L references must exist
     /// before the first unit (the concealing path needs the full usable
     /// anchor set up front: a lost B-frame may copy from an anchor that
     /// only decodes *later*). Strict runs pass `&[]` and infer lazily,
     /// which keeps the reference window O(GOP).
-    ///
-    /// # Errors
-    /// Propagates source decode errors (strict sources only) and
-    /// reconstruction failures.
-    pub fn run<S: FrameSource>(
-        mut self,
-        mut source: S,
-        prepopulate: &[u32],
-    ) -> Result<EngineRun<T::Output>> {
-        let info = source.info();
-        let (w, h) = (info.width, info.height);
-        let nns_ops = 2 * self.nns.macs(h, w);
-        let nnl_ops = self.task.nnl_ops();
-
-        let mut ref_segs: BTreeMap<u32, SegMask> = BTreeMap::new();
-        let mut anchor_window: VecDeque<u32> = VecDeque::new();
+    pub fn prime(&mut self, info: &StreamInfo, prepopulate: &[u32]) {
+        self.w = info.width;
+        self.h = info.height;
+        self.mb = info.mb_size;
+        self.nns_ops = 2 * self.nns.macs(self.h, self.w);
+        self.nnl_ops = self.task.nnl_ops();
         for &display in prepopulate {
             let mask = self.task.infer_anchor(display, false);
-            ref_segs.insert(display, mask);
+            self.ref_segs.insert(display, mask);
         }
+        self.primed = true;
+    }
 
-        let mut frames: Vec<(TraceFrame, ByteClass)> = Vec::new();
-        // Set once an anchor is lost; the next decodable B-frame goes
-        // through NN-L to re-establish a trusted reference.
-        let mut pending_refetch = false;
+    /// The [`StepWork`] view of the trace frame just pushed (if any).
+    fn emitted(&self, before: usize) -> Option<StepWork> {
+        (self.frames.len() > before).then(|| {
+            let f = &self.frames[self.frames.len() - 1].0;
+            StepWork {
+                display: f.display,
+                ftype: f.ftype,
+                ops: f.kind.ops(),
+                uses_large_model: f.kind.uses_large_model(),
+                full_decode: f.full_decode,
+            }
+        })
+    }
 
-        while let Some(unit) = source.next_unit() {
-            let unit: DecodedUnit = unit?;
-            match unit.payload {
-                UnitPayload::Anchor { display, .. } => {
-                    if P::CONCEALING {
-                        // Reference already established by prepopulation;
-                        // only the substitution bookkeeping remains.
-                        if matches!(
-                            unit.outcome,
-                            DecodeOutcome::Concealed(ConcealReason::MissingReference)
-                        ) {
-                            self.policy.stats().anchors_substituted += 1;
-                        }
-                    } else {
-                        let mask = self.task.infer_anchor(display, false);
-                        ref_segs.insert(display, mask);
-                        anchor_window.push_back(display);
-                        if anchor_window.len() > MASK_WINDOW {
-                            anchor_window.pop_front();
-                            if let Some(&front) = anchor_window.front() {
-                                // Drop every reference older than the window
-                                // (fallback masks between evicted anchors
-                                // can never win a nearest lookup again).
-                                ref_segs = ref_segs.split_off(&front);
-                            }
+    /// Advances the engine by one decoded unit through the stage ladder,
+    /// returning the NPU work the unit generated (`None` for units that
+    /// parse to nothing, e.g. a lost frame with no inferable display slot).
+    ///
+    /// # Errors
+    /// Returns [`VrDannError::BadInput`] if called before
+    /// [`PipelineEngine::prime`], and propagates reconstruction failures.
+    pub fn step(&mut self, unit: DecodedUnit) -> Result<Option<StepWork>> {
+        if !self.primed {
+            return Err(VrDannError::BadInput(
+                "engine stepped before prime() established the stream".into(),
+            ));
+        }
+        let before = self.frames.len();
+        let (w, h) = (self.w, self.h);
+        match unit.payload {
+            UnitPayload::Anchor { display, .. } => {
+                if P::CONCEALING {
+                    // Reference already established by prepopulation;
+                    // only the substitution bookkeeping remains.
+                    if matches!(
+                        unit.outcome,
+                        DecodeOutcome::Concealed(ConcealReason::MissingReference)
+                    ) {
+                        self.policy.stats().anchors_substituted += 1;
+                    }
+                } else {
+                    let mask = self.task.infer_anchor(display, false);
+                    self.ref_segs.insert(display, mask);
+                    self.anchor_window.push_back(display);
+                    if self.anchor_window.len() > MASK_WINDOW {
+                        self.anchor_window.pop_front();
+                        if let Some(&front) = self.anchor_window.front() {
+                            // Drop every reference older than the window
+                            // (fallback masks between evicted anchors
+                            // can never win a nearest lookup again).
+                            self.ref_segs = self.ref_segs.split_off(&front);
                         }
                     }
-                    frames.push((
-                        TraceFrame {
-                            display,
-                            ftype: unit.ftype,
-                            kind: ComputeKind::NnL { ops: nnl_ops },
-                            full_decode: true,
-                            bitstream_bytes: 0,
-                        },
-                        ByteClass::AnchorAvg,
-                    ));
                 }
-                UnitPayload::Motion(info_b) => {
-                    let display = info_b.display_idx;
+                self.frames.push((
+                    TraceFrame {
+                        display,
+                        ftype: unit.ftype,
+                        kind: ComputeKind::NnL { ops: self.nnl_ops },
+                        full_decode: true,
+                        bitstream_bytes: 0,
+                    },
+                    ByteClass::AnchorAvg,
+                ));
+            }
+            UnitPayload::Motion(info_b) => {
+                let display = info_b.display_idx;
 
-                    // A lost anchor earlier in decode order: spend an NN-L
-                    // here to re-establish a trusted reference (§VI-A's
-                    // fallback machinery, repurposed for recovery).
-                    if P::CONCEALING && pending_refetch {
-                        pending_refetch = false;
-                        self.policy.stats().nnl_reinferences += 1;
-                        let mask = self.task.infer_anchor(display, true);
-                        ref_segs.insert(display, mask);
-                        frames.push((
-                            TraceFrame {
-                                display,
-                                ftype: FrameType::B,
-                                kind: ComputeKind::NnL { ops: nnl_ops },
-                                full_decode: true,
-                                bitstream_bytes: 0,
-                            },
-                            ByteClass::BAvg,
-                        ));
-                        continue;
-                    }
-
-                    // Adaptive fallback: fast-moving B-frames go through
-                    // NN-L (only on fully trusted payloads when concealing).
-                    if T::SUPPORTS_FALLBACK && (!P::CONCEALING || unit.outcome == DecodeOutcome::Ok)
-                    {
-                        if let Some(threshold) = self.cfg.fallback_mv_threshold {
-                            if p90_mv_magnitude(&info_b.mvs) > threshold as f64 {
-                                let mask = self.task.infer_anchor(display, true);
-                                ref_segs.insert(display, mask);
-                                frames.push((
-                                    TraceFrame {
-                                        display,
-                                        ftype: FrameType::B,
-                                        kind: ComputeKind::NnL { ops: nnl_ops },
-                                        full_decode: true,
-                                        bitstream_bytes: 0,
-                                    },
-                                    ByteClass::BAvg,
-                                ));
-                                continue;
-                            }
-                        }
-                    }
-
-                    if P::CONCEALING && ref_segs.is_empty() {
-                        // Every anchor lost: nothing to reconstruct from.
-                        self.policy.stats().b_copied += 1;
-                        self.task.store_empty(display);
-                        frames.push((
-                            TraceFrame {
-                                display,
-                                ftype: unit.ftype,
-                                kind: ComputeKind::NnSRefine {
-                                    ops: 0,
-                                    mvs: vec![],
-                                },
-                                full_decode: false,
-                                bitstream_bytes: 0,
-                            },
-                            ByteClass::Zero,
-                        ));
-                        continue;
-                    }
-
-                    if P::CONCEALING && matches!(unit.outcome, DecodeOutcome::Concealed(_)) {
-                        self.policy.stats().b_salvaged += 1;
-                    }
-                    let cleaned = if P::CONCEALING {
-                        Some(sanitize_b_info(&info_b, &ref_segs, w, h, info.mb_size))
-                    } else {
-                        None
-                    };
-                    let use_info = cleaned.as_ref().unwrap_or(&info_b);
-                    let plane = reconstruct_b_frame(
-                        use_info,
-                        &ref_segs,
-                        w,
-                        h,
-                        info.mb_size,
-                        &self.cfg.recon,
-                    )?;
-                    let nns_faulted = self.policy.draw_nns_fault();
-                    if nns_faulted {
-                        self.policy.stats().nns_failures += 1;
-                    }
-                    let refined = self.cfg.refine && !nns_faulted;
-                    let mask = if refined {
-                        let input = if self.cfg.sandwich {
-                            build_sandwich(display, &plane, &ref_segs)?
-                        } else {
-                            build_reconstruction_only(&plane)
-                        };
-                        self.nns.infer(&input).to_mask(0.5)
-                    } else {
-                        plane_to_mask(&plane, &self.cfg.recon)
-                    };
-                    self.task.store_refined(display, mask);
-                    let mvs = match cleaned {
-                        Some(c) => c.mvs,
-                        None => info_b.mvs,
-                    };
-                    frames.push((
+                // A lost anchor earlier in decode order: spend an NN-L
+                // here to re-establish a trusted reference (§VI-A's
+                // fallback machinery, repurposed for recovery).
+                if P::CONCEALING && self.pending_refetch {
+                    self.pending_refetch = false;
+                    self.policy.stats().nnl_reinferences += 1;
+                    let mask = self.task.infer_anchor(display, true);
+                    self.ref_segs.insert(display, mask);
+                    self.frames.push((
                         TraceFrame {
                             display,
                             ftype: FrameType::B,
-                            kind: ComputeKind::NnSRefine {
-                                ops: if refined { nns_ops } else { 0 },
-                                mvs,
-                            },
-                            full_decode: false,
+                            kind: ComputeKind::NnL { ops: self.nnl_ops },
+                            full_decode: true,
                             bitstream_bytes: 0,
                         },
                         ByteClass::BAvg,
                     ));
+                    return Ok(self.emitted(before));
                 }
-                UnitPayload::Skipped { display } => {
-                    let Some(display) = display else { continue };
-                    if unit.ftype.is_anchor() {
-                        self.policy.stats().anchors_lost += 1;
-                        pending_refetch = true;
-                    } else {
-                        self.policy.stats().b_copied += 1;
-                        self.task.store_nearest(display, &ref_segs);
+
+                // Adaptive fallback: fast-moving B-frames go through
+                // NN-L (only on fully trusted payloads when concealing).
+                if T::SUPPORTS_FALLBACK && (!P::CONCEALING || unit.outcome == DecodeOutcome::Ok) {
+                    if let Some(threshold) = self.cfg.fallback_mv_threshold {
+                        if p90_mv_magnitude(&info_b.mvs) > threshold as f64 {
+                            let mask = self.task.infer_anchor(display, true);
+                            self.ref_segs.insert(display, mask);
+                            self.frames.push((
+                                TraceFrame {
+                                    display,
+                                    ftype: FrameType::B,
+                                    kind: ComputeKind::NnL { ops: self.nnl_ops },
+                                    full_decode: true,
+                                    bitstream_bytes: 0,
+                                },
+                                ByteClass::BAvg,
+                            ));
+                            return Ok(self.emitted(before));
+                        }
                     }
-                    frames.push((
+                }
+
+                if P::CONCEALING && self.ref_segs.is_empty() {
+                    // Every anchor lost: nothing to reconstruct from.
+                    self.policy.stats().b_copied += 1;
+                    self.task.store_empty(display);
+                    self.frames.push((
                         TraceFrame {
                             display,
                             ftype: unit.ftype,
@@ -678,16 +669,100 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
                         },
                         ByteClass::Zero,
                     ));
+                    return Ok(self.emitted(before));
                 }
+
+                if P::CONCEALING && matches!(unit.outcome, DecodeOutcome::Concealed(_)) {
+                    self.policy.stats().b_salvaged += 1;
+                }
+                let cleaned = if P::CONCEALING {
+                    Some(sanitize_b_info(&info_b, &self.ref_segs, w, h, self.mb))
+                } else {
+                    None
+                };
+                let use_info = cleaned.as_ref().unwrap_or(&info_b);
+                let plane =
+                    reconstruct_b_frame(use_info, &self.ref_segs, w, h, self.mb, &self.cfg.recon)?;
+                let nns_faulted = self.policy.draw_nns_fault();
+                if nns_faulted {
+                    self.policy.stats().nns_failures += 1;
+                }
+                let refined = self.cfg.refine && !nns_faulted;
+                let mask = if refined {
+                    let input = if self.cfg.sandwich {
+                        build_sandwich(display, &plane, &self.ref_segs)?
+                    } else {
+                        build_reconstruction_only(&plane)
+                    };
+                    self.nns.infer(&input).to_mask(0.5)
+                } else {
+                    plane_to_mask(&plane, &self.cfg.recon)
+                };
+                self.task.store_refined(display, mask);
+                let mvs = match cleaned {
+                    Some(c) => c.mvs,
+                    None => info_b.mvs,
+                };
+                self.frames.push((
+                    TraceFrame {
+                        display,
+                        ftype: FrameType::B,
+                        kind: ComputeKind::NnSRefine {
+                            ops: if refined { self.nns_ops } else { 0 },
+                            mvs,
+                        },
+                        full_decode: false,
+                        bitstream_bytes: 0,
+                    },
+                    ByteClass::BAvg,
+                ));
+            }
+            UnitPayload::Skipped { display } => {
+                let Some(display) = display else {
+                    return Ok(None);
+                };
+                if unit.ftype.is_anchor() {
+                    self.policy.stats().anchors_lost += 1;
+                    self.pending_refetch = true;
+                } else {
+                    self.policy.stats().b_copied += 1;
+                    self.task.store_nearest(display, &self.ref_segs);
+                }
+                self.frames.push((
+                    TraceFrame {
+                        display,
+                        ftype: unit.ftype,
+                        kind: ComputeKind::NnSRefine {
+                            ops: 0,
+                            mvs: vec![],
+                        },
+                        full_decode: false,
+                        bitstream_bytes: 0,
+                    },
+                    ByteClass::Zero,
+                ));
             }
         }
+        Ok(self.emitted(before))
+    }
 
+    /// Ends the stream: patches the whole-stream per-frame byte averages
+    /// into the trace, collects the task outputs and closes the books.
+    /// `totals` and `peak_live_frames` come from the exhausted source.
+    ///
+    /// # Errors
+    /// Propagates [`TaskPolicy::finalize_strict`] failures (a strict run
+    /// with frames that were never produced).
+    pub fn finish(
+        mut self,
+        totals: vrd_codec::StreamTotals,
+        peak_live_frames: usize,
+    ) -> Result<EngineRun<T::Output>> {
         // The per-frame byte figures are whole-stream averages, only known
         // once the source is exhausted — patch them in now.
-        let totals = source.totals();
         let per_anchor_bytes = totals.anchor_bytes / totals.anchors.max(1);
         let per_b_bytes = totals.b_bytes / totals.b_frames.max(1);
-        let frames = frames
+        let frames = std::mem::take(&mut self.frames)
             .into_iter()
             .map(|(mut f, class)| {
                 f.bitstream_bytes = match class {
@@ -708,14 +783,35 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
             outputs,
             trace: SchemeTrace {
                 scheme: SchemeKind::VrDann,
-                width: w,
-                height: h,
-                mb_size: info.mb_size,
+                width: self.w,
+                height: self.h,
+                mb_size: self.mb,
                 frames,
             },
             concealment: self.policy.into_stats(),
-            peak_live_frames: source.peak_live_frames(),
+            peak_live_frames,
         })
+    }
+
+    /// Drives the source to exhaustion through the stage ladder — the
+    /// prime/step/finish cycle in one call (see [`PipelineEngine::prime`]
+    /// for the `prepopulate` contract).
+    ///
+    /// # Errors
+    /// Propagates source decode errors (strict sources only) and
+    /// reconstruction failures.
+    pub fn run<S: FrameSource>(
+        mut self,
+        mut source: S,
+        prepopulate: &[u32],
+    ) -> Result<EngineRun<T::Output>> {
+        self.prime(&source.info(), prepopulate);
+        while let Some(unit) = source.next_unit() {
+            self.step(unit?)?;
+        }
+        let totals = source.totals();
+        let peak = source.peak_live_frames();
+        self.finish(totals, peak)
     }
 }
 

@@ -4,7 +4,8 @@
 //! it has to stay within a small multiple of one GOP.
 
 use vr_dann::baselines::run_favos;
-use vr_dann::{TrainTask, VrDann, VrDannConfig};
+use vr_dann::{ResilienceOptions, TrainTask, VrDann, VrDannConfig};
+use vrd_codec::{inject, packetize, FaultConfig, FaultKind};
 use vrd_video::davis::{davis_sequence, davis_train_suite, SuiteConfig};
 
 #[test]
@@ -47,4 +48,59 @@ fn engine_memory_stays_within_gop_window_on_long_sequences() {
     // The full-decode baselines, by contrast, hold every frame.
     let favos = run_favos(&seq, &encoded, 1);
     assert_eq!(favos.peak_live_frames, seq.len());
+}
+
+#[test]
+fn concealing_engine_memory_stays_bounded_under_anchor_loss() {
+    let cfg = SuiteConfig::tiny();
+    let train = davis_train_suite(&cfg, 2);
+    let model = VrDann::train(
+        &train,
+        TrainTask::Segmentation,
+        VrDannConfig {
+            nns_hidden: 4,
+            ..VrDannConfig::default()
+        },
+    )
+    .unwrap();
+
+    let long_cfg = SuiteConfig {
+        frames: 200,
+        ..SuiteConfig::tiny()
+    };
+    let seq = davis_sequence("cows", &long_cfg).unwrap();
+    let encoded = model.encode(&seq).unwrap();
+
+    // Drop whole frames — anchors included — so the concealing policy's
+    // anchor-substitution path runs, not just B-payload salvage.
+    let stream = packetize(&encoded.bitstream).unwrap();
+    let faults = FaultConfig {
+        seed: 0xbad_a2c4,
+        rate: 0.3,
+        kinds: vec![FaultKind::DropFrame],
+        b_frames_only: false,
+        protect_first_i: true,
+    };
+    let (damaged, log) = inject(&stream, &faults);
+    assert!(!log.events.is_empty(), "no faults planted at 30% rate");
+
+    let run = model
+        .run_segmentation_resilient(&seq, &damaged, &ResilienceOptions::default())
+        .unwrap();
+    assert_eq!(run.masks.len(), seq.len());
+    assert!(
+        run.concealment.anchors_lost > 0,
+        "fault plan lost no anchors; the substitution path never ran"
+    );
+
+    // Same bound as the strict engine: concealment may re-infer and
+    // substitute anchors, but it must not grow the live-frame window.
+    let gop = model.config().codec.gop_len;
+    assert!(
+        run.peak_live_frames <= 2 * gop,
+        "concealing engine held {} live frames, above the 2xGOP bound of {}",
+        run.peak_live_frames,
+        2 * gop
+    );
+    assert!(run.peak_live_frames < seq.len());
 }

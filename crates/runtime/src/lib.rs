@@ -17,18 +17,33 @@
 //! plain variants use [`max_threads`], which honours the `VRD_THREADS`
 //! environment variable before falling back to the hardware parallelism.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 use std::thread;
+
+/// Parses a `VRD_THREADS` value: `Ok(n)` for a positive integer, `Err` with
+/// the rejected text otherwise (so callers can warn and fall back).
+fn parse_thread_override(v: &str) -> Result<usize, &str> {
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(v),
+    }
+}
 
 /// The number of worker threads the plain `parallel_*` entry points use:
 /// the `VRD_THREADS` environment variable if set to a positive integer,
-/// otherwise [`std::thread::available_parallelism`].
+/// otherwise [`std::thread::available_parallelism`]. An invalid value
+/// (zero, non-numeric) is reported once on stderr and then ignored.
 pub fn max_threads() -> usize {
+    static WARN_ONCE: Once = Once::new();
     if let Ok(v) = std::env::var("VRD_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+        match parse_thread_override(&v) {
+            Ok(n) => return n,
+            Err(bad) => WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "vrd-runtime: ignoring invalid VRD_THREADS={bad:?} \
+                     (expected a positive integer); using detected core count"
+                );
+            }),
         }
     }
     thread::available_parallelism()
@@ -254,5 +269,19 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_override_rejects_invalid_values() {
+        // The env-independent core of the VRD_THREADS handling: valid
+        // positive integers pass through, everything else is rejected (and
+        // `max_threads` then warns once and uses the detected core count).
+        assert_eq!(parse_thread_override("1"), Ok(1));
+        assert_eq!(parse_thread_override("16"), Ok(16));
+        assert_eq!(parse_thread_override("0"), Err("0"));
+        assert_eq!(parse_thread_override("abc"), Err("abc"));
+        assert_eq!(parse_thread_override("-2"), Err("-2"));
+        assert_eq!(parse_thread_override(""), Err(""));
+        assert_eq!(parse_thread_override("4.5"), Err("4.5"));
     }
 }

@@ -1,0 +1,284 @@
+//! Deadline-aware admission control.
+//!
+//! Before a session runs a single inference, the controller projects what
+//! admitting it would do to the shared NPU: per-session compute demand is
+//! estimated analytically from the *encoded stream's* statistics (anchor /
+//! B-frame counts, frame geometry) and the cost model — no decode needed —
+//! and the switch overhead assumes the batching scheduler, which amortises
+//! one NN-L ↔ NN-S swap pair over a whole batch window. A session is
+//! rejected when the projected utilisation crosses the configured ceiling
+//! or the projected p99 frame latency blows the SLO; admission is strictly
+//! in request order, so the decision sequence is deterministic.
+
+use vr_dann::VrDann;
+use vrd_codec::EncodedVideo;
+use vrd_nn::LargeNet;
+use vrd_sim::SimConfig;
+use vrd_video::Sequence;
+
+/// The service-level objective a deployment promises its sessions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// Projected p99 frame latency must stay below this, in nanoseconds.
+    pub target_p99_ns: f64,
+    /// Projected NPU utilisation (compute + amortised switching) must stay
+    /// below this fraction.
+    pub max_utilization: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        Self {
+            target_p99_ns: 8e6,
+            max_utilization: 0.9,
+        }
+    }
+}
+
+/// Why a session was turned away.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RejectReason {
+    /// Admitting it would push projected NPU utilisation past the ceiling.
+    Utilization {
+        /// The utilisation the session would have produced.
+        projected: f64,
+    },
+    /// Utilisation fits, but the projected p99 frame latency breaks the SLO.
+    LatencySlo {
+        /// The p99 latency the session would have produced, in nanoseconds.
+        projected_p99_ns: f64,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::Utilization { projected } => {
+                write!(f, "utilization {projected:.3} over ceiling")
+            }
+            RejectReason::LatencySlo { projected_p99_ns } => {
+                write!(f, "projected p99 {:.2} ms over SLO", projected_p99_ns / 1e6)
+            }
+        }
+    }
+}
+
+/// What admission projected for an accepted session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionProjection {
+    /// NPU utilisation with this session included.
+    pub utilization: f64,
+    /// Projected p99 frame latency with this session included.
+    pub projected_p99_ns: f64,
+}
+
+/// Analytic per-session demand, derived from encode statistics alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionDemand {
+    /// One NN-L inference at the session's resolution, in nanoseconds.
+    pub nnl_ns: f64,
+    /// One NN-S inference at the session's resolution, in nanoseconds.
+    pub nns_ns: f64,
+    /// Anchor (I/P) frames in the stream.
+    pub anchors: usize,
+    /// B-frames in the stream.
+    pub b_frames: usize,
+    /// Nominal inter-frame arrival gap, in nanoseconds.
+    pub frame_interval_ns: f64,
+}
+
+impl SessionDemand {
+    /// Estimates demand for one request from its encode statistics (anchors
+    /// run NN-L, B-frames run NN-S — the VR-DANN compute split).
+    pub fn estimate(
+        model: &VrDann,
+        seq: &Sequence,
+        encoded: &EncodedVideo,
+        frame_interval_ns: f64,
+        sim: &SimConfig,
+    ) -> Self {
+        let ops_per_ns = sim.npu_ops_per_ns();
+        let nnl_ops = LargeNet::new(model.config().segment_profile).ops(seq.width(), seq.height());
+        let nns_ops = 2 * model.nns().macs(seq.height(), seq.width());
+        let n = encoded.stats.n_frames;
+        let b = encoded.stats.b_frames.min(n);
+        Self {
+            nnl_ns: nnl_ops as f64 / ops_per_ns,
+            nns_ns: nns_ops as f64 / ops_per_ns,
+            anchors: n - b,
+            b_frames: b,
+            frame_interval_ns,
+        }
+    }
+
+    /// Steady-state compute utilisation this session puts on the NPU.
+    pub fn compute_utilization(&self) -> f64 {
+        let n = (self.anchors + self.b_frames).max(1) as f64;
+        let mean_ns = (self.anchors as f64 * self.nnl_ns + self.b_frames as f64 * self.nns_ns) / n;
+        mean_ns / self.frame_interval_ns
+    }
+
+    /// Switch overhead under the batching scheduler: one NN-L ↔ NN-S swap
+    /// pair amortised over `batch_cap` served items.
+    pub fn switch_utilization(&self, batch_cap: usize, sim: &SimConfig) -> f64 {
+        let pair_ns = sim.switch_to_large_ns() + sim.switch_to_small_ns();
+        pair_ns / batch_cap.max(1) as f64 / self.frame_interval_ns
+    }
+}
+
+/// Sequential admission: sessions are offered in request order and the
+/// accepted load accumulates.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    slo: SloConfig,
+    batch_cap: usize,
+    sim: SimConfig,
+    utilization: f64,
+    worst_base_ns: f64,
+}
+
+impl AdmissionController {
+    /// A controller with no accepted load yet.
+    pub fn new(slo: SloConfig, batch_cap: usize, sim: SimConfig) -> Self {
+        Self {
+            slo,
+            batch_cap,
+            sim,
+            utilization: 0.0,
+            worst_base_ns: 0.0,
+        }
+    }
+
+    /// Projected NPU utilisation over the currently accepted sessions.
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// Projects the p99 frame latency at utilisation `u`: the worst
+    /// accepted frame's unloaded pass (decode hand-over is dwarfed by one
+    /// NN-L plus a switch pair) inflated by the standard 1/(1−u) queueing
+    /// factor.
+    fn project_p99_ns(&self, base_ns: f64, u: f64) -> f64 {
+        let head = 1.0 - u.min(0.999);
+        base_ns / head
+    }
+
+    /// Offers one session. Accepting it updates the accumulated load;
+    /// rejecting it leaves the controller unchanged.
+    ///
+    /// # Errors
+    /// Returns the [`RejectReason`] when the projection breaks the SLO.
+    pub fn try_admit(
+        &mut self,
+        demand: &SessionDemand,
+    ) -> std::result::Result<AdmissionProjection, RejectReason> {
+        let u = self.utilization
+            + demand.compute_utilization()
+            + demand.switch_utilization(self.batch_cap, &self.sim);
+        if u >= self.slo.max_utilization {
+            return Err(RejectReason::Utilization { projected: u });
+        }
+        let base = (demand.nnl_ns + self.sim.switch_to_large_ns() + self.sim.switch_to_small_ns())
+            .max(self.worst_base_ns);
+        let p99 = self.project_p99_ns(base, u);
+        if p99 > self.slo.target_p99_ns {
+            return Err(RejectReason::LatencySlo {
+                projected_p99_ns: p99,
+            });
+        }
+        self.utilization = u;
+        self.worst_base_ns = base;
+        Ok(AdmissionProjection {
+            utilization: u,
+            projected_p99_ns: p99,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(interval_ns: f64) -> SessionDemand {
+        SessionDemand {
+            nnl_ns: 570_000.0,
+            nns_ns: 500.0,
+            anchors: 6,
+            b_frames: 10,
+            frame_interval_ns: interval_ns,
+        }
+    }
+
+    #[test]
+    fn utilization_accumulates_until_the_ceiling() {
+        let mut ctl = AdmissionController::new(
+            SloConfig {
+                target_p99_ns: f64::INFINITY,
+                max_utilization: 0.9,
+            },
+            24,
+            SimConfig::default(),
+        );
+        let d = demand(1_710_000.0);
+        let per = d.compute_utilization() + d.switch_utilization(24, &SimConfig::default());
+        let fit = (0.9 / per) as usize;
+        for i in 0..fit {
+            assert!(ctl.try_admit(&d).is_ok(), "session {i} should fit");
+        }
+        let rejected = ctl.try_admit(&d);
+        assert!(matches!(rejected, Err(RejectReason::Utilization { .. })));
+        // A rejected offer leaves the accepted load unchanged.
+        let before = ctl.utilization();
+        let _ = ctl.try_admit(&d);
+        assert_eq!(ctl.utilization(), before);
+    }
+
+    #[test]
+    fn latency_slo_rejects_before_the_utilization_ceiling() {
+        let sim = SimConfig::default();
+        let d = demand(1_710_000.0);
+        let base = d.nnl_ns + sim.switch_to_large_ns() + sim.switch_to_small_ns();
+        // An SLO just above the unloaded base: the first session fits, load
+        // quickly inflates past it.
+        let mut ctl = AdmissionController::new(
+            SloConfig {
+                target_p99_ns: base * 1.4,
+                max_utilization: 0.99,
+            },
+            24,
+            sim,
+        );
+        let mut admitted = 0usize;
+        let reason = loop {
+            match ctl.try_admit(&d) {
+                Ok(_) => admitted += 1,
+                Err(r) => break r,
+            }
+            assert!(admitted < 100, "never rejected");
+        };
+        assert!(matches!(reason, RejectReason::LatencySlo { .. }));
+        assert!(admitted >= 1);
+        assert!(ctl.utilization() < 0.99);
+    }
+
+    #[test]
+    fn faster_arrivals_demand_more() {
+        let slow = demand(2e6);
+        let fast = demand(1e6);
+        assert!(fast.compute_utilization() > slow.compute_utilization());
+        let sim = SimConfig::default();
+        assert!(fast.switch_utilization(24, &sim) > slow.switch_utilization(24, &sim));
+        // A bigger batch window amortises switches further.
+        assert!(fast.switch_utilization(48, &sim) < fast.switch_utilization(24, &sim));
+    }
+
+    #[test]
+    fn reject_reasons_render() {
+        let u = RejectReason::Utilization { projected: 1.05 };
+        let l = RejectReason::LatencySlo {
+            projected_p99_ns: 9e6,
+        };
+        assert!(u.to_string().contains("1.050"));
+        assert!(l.to_string().contains("9.00 ms"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # vrd-serve — multi-stream serving for the VR-DANN pipeline
+//!
+//! The paper's agent unit schedules NN-L/NN-S work for *one* video
+//! (§IV-C's lagged queue switching). This crate extends that idea to a
+//! production shape: N concurrent recognition sessions share one NPU, and
+//! the scheduler batches same-model work *across* sessions so the expensive
+//! NN-L ↔ NN-S weight swaps are amortised over every admitted stream
+//! instead of paid per stream.
+//!
+//! The layer is split along the serving lifecycle:
+//!
+//! * [`admission`] — deadline-aware admission control: project utilisation
+//!   and p99 frame latency from a session's encoded-stream statistics and
+//!   reject sessions that would blow a configurable SLO;
+//! * [`session`] — one admitted session: a
+//!   [`StrictFrameSource`](vrd_codec::StrictFrameSource) +
+//!   [`PipelineEngine`](vr_dann::PipelineEngine) advanced incrementally
+//!   (the engine's resumable `prime`/`step`/`finish` API) behind a paced
+//!   decoder lane that stamps every NPU work item with its hand-over time;
+//! * [`sched`] — the shared virtual NPU: replay the merged per-session work
+//!   under per-stream FIFO or cross-session lagged batching, with bounded
+//!   per-session queues and backpressure, using `vrd-sim`'s cost model for
+//!   service and switch times;
+//! * [`metrics`] — latency percentile accounting (p50/p95/p99);
+//! * [`server`] — the façade tying it together: admit, drive every session
+//!   on `vrd-runtime`'s thread pool, schedule under both policies, and
+//!   report per-session and global outcomes.
+//!
+//! Everything is deterministic: the same requests and configuration produce
+//! byte-identical reports, which is what lets `serve_bench` pin its output
+//! in CI.
+
+pub mod admission;
+pub mod metrics;
+pub mod sched;
+pub mod server;
+pub mod session;
+
+pub use admission::{
+    AdmissionController, AdmissionProjection, RejectReason, SessionDemand, SloConfig,
+};
+pub use metrics::LatencyStats;
+pub use sched::{schedule, SchedConfig, SchedPolicy, ScheduleOutcome, SessionSchedStats};
+pub use server::{serve, ServeConfig, ServeReport, SessionReport};
+pub use session::{drive_session, DrivenSession, SessionSpec, SessionState, WorkItem};

@@ -1,0 +1,87 @@
+//! Latency accounting: nearest-rank percentile summaries over served
+//! frames. Shared by the scheduler (measured latencies) and the admission
+//! controller's reporting.
+
+/// Summary statistics over a set of per-frame latencies, in nanoseconds.
+///
+/// Percentiles use the nearest-rank method (the smallest sample ≥ the
+/// requested fraction of the distribution), so every reported figure is an
+/// actual observed latency and the summary is exactly reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Number of samples summarised.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Median (50th percentile).
+    pub p50_ns: f64,
+    /// 95th percentile.
+    pub p95_ns: f64,
+    /// 99th percentile.
+    pub p99_ns: f64,
+    /// Largest sample.
+    pub max_ns: f64,
+}
+
+impl LatencyStats {
+    /// Summarises `samples` (all-zero for an empty input).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut s = samples.to_vec();
+        s.sort_unstable_by(f64::total_cmp);
+        let n = s.len();
+        let rank = |p: f64| -> f64 {
+            let k = (p / 100.0 * n as f64).ceil() as usize;
+            s[k.clamp(1, n) - 1]
+        };
+        Self {
+            count: n,
+            mean_ns: s.iter().sum::<f64>() / n as f64,
+            p50_ns: rank(50.0),
+            p95_ns: rank(95.0),
+            p99_ns: rank(99.0),
+            max_ns: s[n - 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_all_zero() {
+        let st = LatencyStats::from_samples(&[]);
+        assert_eq!(st, LatencyStats::default());
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let st = LatencyStats::from_samples(&samples);
+        assert_eq!(st.count, 100);
+        assert_eq!(st.p50_ns, 50.0);
+        assert_eq!(st.p95_ns, 95.0);
+        assert_eq!(st.p99_ns, 99.0);
+        assert_eq!(st.max_ns, 100.0);
+        assert!((st.mean_ns - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let st = LatencyStats::from_samples(&[7.0]);
+        assert_eq!(
+            (st.p50_ns, st.p95_ns, st.p99_ns, st.max_ns),
+            (7.0, 7.0, 7.0, 7.0)
+        );
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = LatencyStats::from_samples(&[3.0, 1.0, 2.0]);
+        let b = LatencyStats::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,473 @@
+//! The shared virtual NPU: one accelerator, many sessions.
+//!
+//! Replays the stamped work of every admitted session through a
+//! deterministic event loop timed by `vrd-sim`'s cost model
+//! ([`SimConfig::npu_ops_per_ns`] for service,
+//! [`SimConfig::switch_to_large_ns`]/[`SimConfig::switch_to_small_ns`] for
+//! NN-L ↔ NN-S weight swaps). Two policies share the loop:
+//!
+//! * [`SchedPolicy::Fifo`] — per-stream FIFO: always serve the globally
+//!   oldest handed-over item, switching models whenever two consecutive
+//!   items disagree. This is what N independent pipelines time-sharing one
+//!   NPU degenerate to, and the baseline every improvement is measured
+//!   against.
+//! * [`SchedPolicy::Batch`] — cross-session lagged switching: the paper's
+//!   `b_Q` idea (§IV-C) lifted across streams. Among the items already
+//!   handed over, prefer ones matching the currently resident model, so
+//!   same-model work from *different* sessions coalesces into one
+//!   residency; a batch cap (default: the paper's 24-entry `b_Q`) bounds
+//!   how long opposite-model work can be deferred, and the scheduler is
+//!   work-conserving — it never idles waiting for a preferred item.
+//!
+//! Each session owns a bounded queue between its decoder lane and the NPU
+//! (backpressure: a full queue delays the hand-over to the next serve
+//! completion, counted in [`ScheduleOutcome::decoder_stalls`]). Frame
+//! latency is measured arrival → NPU completion, so decode, queueing,
+//! switching and service all show up in the percentiles.
+
+use crate::metrics::LatencyStats;
+use crate::session::DrivenSession;
+use std::collections::VecDeque;
+use vrd_sim::SimConfig;
+
+/// Which serving discipline the shared NPU runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Globally oldest item first; switch whenever the model differs.
+    Fifo,
+    /// Prefer items matching the resident model (cross-session batching),
+    /// bounded by the batch cap.
+    Batch,
+}
+
+impl std::fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::Batch => "batch",
+        })
+    }
+}
+
+/// Shared-NPU scheduling knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedConfig {
+    /// Bounded per-session queue between decoder lane and NPU (mirrors the
+    /// agent unit's 8-entry `ip_Q`).
+    pub queue_capacity: usize,
+    /// Consecutive same-model serves [`SchedPolicy::Batch`] may run while
+    /// opposite-model work waits (mirrors the 24-entry `b_Q`).
+    pub batch_cap: usize,
+    /// Optional shedding deadline: a frame still unserved this long after
+    /// its arrival is dropped instead of served (`None` = serve everything).
+    pub shed_after_ns: Option<f64>,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 8,
+            batch_cap: 24,
+            shed_after_ns: None,
+        }
+    }
+}
+
+/// Per-session outcome of one schedule replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSchedStats {
+    /// Index into the admitted set.
+    pub session: usize,
+    /// Frames the NPU completed for this session.
+    pub frames_served: usize,
+    /// Frames dropped by the shedding deadline.
+    pub frames_shed: usize,
+    /// Arrival → completion latency summary.
+    pub latency: LatencyStats,
+}
+
+/// Global outcome of replaying the merged sessions under one policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleOutcome {
+    /// The policy replayed.
+    pub policy: SchedPolicy,
+    /// Frames completed across all sessions.
+    pub frames_served: usize,
+    /// Frames dropped by the shedding deadline.
+    pub frames_shed: usize,
+    /// NN-L ↔ NN-S model switches paid.
+    pub switches: usize,
+    /// Time lost to those switches.
+    pub switch_ns: f64,
+    /// Time the NPU spent computing.
+    pub busy_ns: f64,
+    /// Completion time of the last served frame.
+    pub makespan_ns: f64,
+    /// Largest total queue depth observed across serve events.
+    pub max_queue_depth: usize,
+    /// Mean total queue depth over serve events.
+    pub mean_queue_depth: f64,
+    /// Hand-overs delayed because the session's queue was full
+    /// (backpressure onto the decoder lane).
+    pub decoder_stalls: usize,
+    /// Arrival → completion latency summary over every served frame.
+    pub latency: LatencyStats,
+    /// Per-session breakdown, admitted order.
+    pub per_session: Vec<SessionSchedStats>,
+}
+
+impl ScheduleOutcome {
+    /// Fraction of the makespan the NPU spent computing (0 when empty).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan_ns > 0.0 {
+            self.busy_ns / self.makespan_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One session's bounded queue state inside the event loop.
+struct SessionQueue<'a> {
+    items: &'a [crate::session::WorkItem],
+    /// Next item not yet handed over.
+    next: usize,
+    /// (item index, hand-over time) — front is the only servable entry;
+    /// sessions are strictly in decode order.
+    queue: VecDeque<(usize, f64)>,
+}
+
+impl SessionQueue<'_> {
+    /// Fills free slots up to `cap`. `now` is the instant slots freed; a
+    /// hand-over pushed past its decoder-lane `ready_ns` is a stall.
+    fn refill(&mut self, now: f64, cap: usize, stalls: &mut usize) {
+        while self.queue.len() < cap && self.next < self.items.len() {
+            let ready = self.items[self.next].ready_ns;
+            let entry = ready.max(now);
+            if entry > ready {
+                *stalls += 1;
+            }
+            self.queue.push_back((self.next, entry));
+            self.next += 1;
+        }
+    }
+}
+
+/// Replays the merged work of `sessions` through the shared NPU under
+/// `policy`. Deterministic: ties between sessions break by admitted index.
+pub fn schedule(
+    sessions: &[DrivenSession],
+    policy: SchedPolicy,
+    cfg: &SchedConfig,
+    sim: &SimConfig,
+) -> ScheduleOutcome {
+    let cap = cfg.queue_capacity.max(1);
+    let mut queues: Vec<SessionQueue> = sessions
+        .iter()
+        .map(|s| SessionQueue {
+            items: &s.items,
+            next: 0,
+            queue: VecDeque::new(),
+        })
+        .collect();
+    let mut decoder_stalls = 0usize;
+    for q in &mut queues {
+        q.refill(0.0, cap, &mut decoder_stalls);
+    }
+
+    let ops_per_ns = sim.npu_ops_per_ns();
+    let mut t_npu = 0.0f64;
+    let mut resident_large: Option<bool> = None;
+    let mut run_len = 0usize;
+    let mut switches = 0usize;
+    let mut switch_ns = 0.0f64;
+    let mut busy_ns = 0.0f64;
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut lat_per: Vec<Vec<f64>> = vec![Vec::new(); sessions.len()];
+    let mut served_per = vec![0usize; sessions.len()];
+    let mut shed_per = vec![0usize; sessions.len()];
+    let mut max_depth = 0usize;
+    let mut depth_sum = 0usize;
+    let mut depth_events = 0usize;
+
+    // Each pass serves (or sheds) one item; done when all queues are empty.
+    // The loop condition finds the earliest hand-over among the queue fronts.
+    while let Some(min_entry) = queues
+        .iter()
+        .filter_map(|q| q.queue.front().map(|&(_, e)| e))
+        .min_by(|a, b| a.total_cmp(b))
+    {
+        let t_now = t_npu.max(min_entry);
+
+        // Items already handed over at t_now; non-empty by construction.
+        let oldest = |pred: &dyn Fn(bool) -> bool| -> Option<(usize, usize, f64)> {
+            queues
+                .iter()
+                .enumerate()
+                .filter_map(|(s, q)| {
+                    let &(i, entry) = q.queue.front()?;
+                    (entry <= t_now && pred(q.items[i].uses_large_model)).then_some((s, i, entry))
+                })
+                .min_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)))
+        };
+        let any = |_: bool| true;
+        let (s, i, _entry) = match policy {
+            SchedPolicy::Fifo => oldest(&any),
+            SchedPolicy::Batch => {
+                let same = |m: bool| Some(m) == resident_large;
+                let other = |m: bool| Some(m) != resident_large;
+                if run_len >= cfg.batch_cap {
+                    // Starvation bound hit: the oldest deferred
+                    // opposite-model item goes next (if any waits).
+                    oldest(&other).or_else(|| oldest(&any))
+                } else {
+                    oldest(&same).or_else(|| oldest(&any))
+                }
+            }
+        }
+        .expect("an item is handed over at t_now by construction");
+
+        let item = &queues[s].items[i];
+        // Past its shedding deadline: drop without occupying the NPU.
+        if let Some(d) = cfg.shed_after_ns {
+            if item.arrival_ns + d < t_now {
+                queues[s].queue.pop_front();
+                queues[s].refill(t_now, cap, &mut decoder_stalls);
+                shed += 1;
+                shed_per[s] += 1;
+                continue;
+            }
+        }
+
+        let mut start = t_now;
+        if resident_large != Some(item.uses_large_model) {
+            let cost = if item.uses_large_model {
+                sim.switch_to_large_ns()
+            } else {
+                sim.switch_to_small_ns()
+            };
+            start += cost;
+            switch_ns += cost;
+            switches += 1;
+            resident_large = Some(item.uses_large_model);
+            run_len = 0;
+        }
+        let service = item.ops as f64 / ops_per_ns;
+        let finish = start + service;
+        busy_ns += service;
+        run_len += 1;
+        served += 1;
+        served_per[s] += 1;
+        let latency = finish - item.arrival_ns;
+        latencies.push(latency);
+        lat_per[s].push(latency);
+        queues[s].queue.pop_front();
+        queues[s].refill(finish, cap, &mut decoder_stalls);
+        t_npu = finish;
+
+        let depth: usize = queues.iter().map(|q| q.queue.len()).sum();
+        max_depth = max_depth.max(depth);
+        depth_sum += depth;
+        depth_events += 1;
+    }
+
+    let per_session = sessions
+        .iter()
+        .enumerate()
+        .map(|(s, sess)| SessionSchedStats {
+            session: sess.session,
+            frames_served: served_per[s],
+            frames_shed: shed_per[s],
+            latency: LatencyStats::from_samples(&lat_per[s]),
+        })
+        .collect();
+    ScheduleOutcome {
+        policy,
+        frames_served: served,
+        frames_shed: shed,
+        switches,
+        switch_ns,
+        busy_ns,
+        makespan_ns: t_npu,
+        max_queue_depth: max_depth,
+        mean_queue_depth: if depth_events > 0 {
+            depth_sum as f64 / depth_events as f64
+        } else {
+            0.0
+        },
+        decoder_stalls,
+        latency: LatencyStats::from_samples(&latencies),
+        per_session,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{DrivenSession, WorkItem};
+    use vrd_codec::FrameType;
+
+    /// A synthetic session alternating one NN-L anchor with `b_per_anchor`
+    /// NN-S frames, paced at `interval` ns starting at `offset` ns.
+    fn synth_session_at(
+        session: usize,
+        groups: usize,
+        b_per_anchor: usize,
+        interval: f64,
+        offset: f64,
+    ) -> DrivenSession {
+        let mut items = Vec::new();
+        let mut k = 0usize;
+        for _ in 0..groups {
+            for j in 0..=b_per_anchor {
+                let arrival = offset + k as f64 * interval;
+                items.push(WorkItem {
+                    session,
+                    idx: k,
+                    display: k as u32,
+                    ftype: if j == 0 { FrameType::I } else { FrameType::B },
+                    ops: if j == 0 { 4_000_000_000 } else { 1_000_000 },
+                    uses_large_model: j == 0,
+                    arrival_ns: arrival,
+                    ready_ns: arrival + 1_000.0,
+                });
+                k += 1;
+            }
+        }
+        DrivenSession {
+            name: format!("synth-{session}"),
+            session,
+            frames: items.len(),
+            peak_live_frames: 2,
+            total_ops: items.iter().map(|i| i.ops).sum(),
+            switches_in_order: 2 * groups,
+            isolated_ns: 0.0,
+            items,
+        }
+    }
+
+    /// [`synth_session_at`] with sessions staggered at arbitrary (anchor
+    /// phase-spreading) offsets, like real independently-started streams.
+    fn synth_session(
+        session: usize,
+        groups: usize,
+        b_per_anchor: usize,
+        interval: f64,
+    ) -> DrivenSession {
+        synth_session_at(
+            session,
+            groups,
+            b_per_anchor,
+            interval,
+            session as f64 * 1.3 * interval,
+        )
+    }
+
+    fn sim() -> SimConfig {
+        SimConfig::default()
+    }
+
+    #[test]
+    fn single_session_policies_agree() {
+        let sessions = vec![synth_session(0, 4, 3, 2e6)];
+        let cfg = SchedConfig::default();
+        let fifo = schedule(&sessions, SchedPolicy::Fifo, &cfg, &sim());
+        let batch = schedule(&sessions, SchedPolicy::Batch, &cfg, &sim());
+        // One stream leaves nothing to batch across: identical schedules.
+        assert_eq!(fifo.frames_served, batch.frames_served);
+        assert_eq!(fifo.switches, batch.switches);
+        assert_eq!(fifo.latency, batch.latency);
+    }
+
+    #[test]
+    fn batching_saves_switches_across_sessions() {
+        // An interval tight enough that FIFO's per-anchor switch pairs
+        // overload the NPU while compute alone fits — the regime where a
+        // backlog forms and cross-session batching has choices to make.
+        let sessions: Vec<DrivenSession> = (0..4).map(|s| synth_session(s, 4, 3, 1e6)).collect();
+        let cfg = SchedConfig::default();
+        let fifo = schedule(&sessions, SchedPolicy::Fifo, &cfg, &sim());
+        let batch = schedule(&sessions, SchedPolicy::Batch, &cfg, &sim());
+        assert_eq!(fifo.frames_served, 4 * 16);
+        assert_eq!(batch.frames_served, 4 * 16);
+        assert!(
+            batch.switches < fifo.switches,
+            "batching should amortise switches: {} vs {}",
+            batch.switches,
+            fifo.switches
+        );
+        assert!(batch.switch_ns < fifo.switch_ns);
+        assert!(
+            batch.latency.p99_ns < fifo.latency.p99_ns,
+            "batching should cut p99 under contention: {} vs {}",
+            batch.latency.p99_ns,
+            fifo.latency.p99_ns
+        );
+        assert!(batch.makespan_ns < fifo.makespan_ns);
+    }
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let sessions: Vec<DrivenSession> = (0..3).map(|s| synth_session(s, 3, 2, 1.5e6)).collect();
+        let cfg = SchedConfig::default();
+        let a = schedule(&sessions, SchedPolicy::Batch, &cfg, &sim());
+        let b = schedule(&sessions, SchedPolicy::Batch, &cfg, &sim());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bounded_queue_backpressures_the_decoder() {
+        // A tiny queue forces hand-overs to wait on serve completions.
+        let sessions = vec![synth_session(0, 6, 5, 1_000.0)];
+        let cfg = SchedConfig {
+            queue_capacity: 1,
+            ..SchedConfig::default()
+        };
+        let out = schedule(&sessions, SchedPolicy::Fifo, &cfg, &sim());
+        assert_eq!(out.frames_served, 36);
+        assert!(out.decoder_stalls > 0, "expected backpressure stalls");
+        assert!(out.max_queue_depth <= 1);
+    }
+
+    #[test]
+    fn batch_cap_bounds_large_model_starvation() {
+        // One session is pure NN-S work; another's anchors must still get
+        // served within the cap.
+        let mut nns_only = synth_session(0, 1, 60, 10_000.0);
+        for item in &mut nns_only.items {
+            item.uses_large_model = false;
+            item.ops = 1_000_000;
+        }
+        let anchors = synth_session(1, 3, 0, 50_000.0);
+        let cfg = SchedConfig {
+            batch_cap: 4,
+            ..SchedConfig::default()
+        };
+        let out = schedule(&[nns_only, anchors], SchedPolicy::Batch, &cfg, &sim());
+        assert_eq!(out.frames_served, 61 + 3);
+        // Every anchor was eventually served despite the NN-S flood.
+        assert_eq!(out.per_session[1].frames_served, 3);
+    }
+
+    #[test]
+    fn shedding_deadline_drops_late_frames() {
+        let sessions: Vec<DrivenSession> = (0..4).map(|s| synth_session(s, 4, 3, 100.0)).collect();
+        let cfg = SchedConfig {
+            shed_after_ns: Some(2e6),
+            ..SchedConfig::default()
+        };
+        let out = schedule(&sessions, SchedPolicy::Fifo, &cfg, &sim());
+        assert!(out.frames_shed > 0, "overload should shed");
+        assert_eq!(out.frames_served + out.frames_shed, 4 * 16);
+        // A served frame waited at most the deadline before starting, so
+        // its latency is bounded by deadline + one switch + its service.
+        let bound = 2e6 + sim().switch_to_large_ns() + 4e9 / sim().npu_ops_per_ns() + 1.0;
+        assert!(
+            out.latency.max_ns < bound,
+            "{} >= {bound}",
+            out.latency.max_ns
+        );
+    }
+}

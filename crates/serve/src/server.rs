@@ -1,0 +1,202 @@
+//! The serving façade: admit → drive → schedule → report.
+//!
+//! [`serve`] is the one call a deployment makes per load window: it offers
+//! every requested session to the [`AdmissionController`] in order, drives
+//! the admitted ones to exhaustion on `vrd-runtime`'s thread pool (real
+//! NN-L/NN-S compute, one engine per session), then replays the merged
+//! stamped work through the shared virtual NPU under **both** disciplines —
+//! per-stream FIFO and cross-session batching — so every report carries its
+//! own baseline. Rejected sessions cost nothing but the admission
+//! projection.
+
+use crate::admission::{
+    AdmissionController, AdmissionProjection, RejectReason, SessionDemand, SloConfig,
+};
+use crate::sched::{schedule, SchedConfig, SchedPolicy, ScheduleOutcome};
+use crate::session::{drive_session, DrivenSession, SessionSpec, SessionState};
+use vr_dann::{Result, VrDann};
+use vrd_codec::EncodedVideo;
+use vrd_nn::LargeNet;
+use vrd_sim::SimConfig;
+use vrd_video::Sequence;
+
+/// One requested recognition session: a sequence and its encoded stream.
+pub type SessionJob<'a> = (&'a Sequence, &'a EncodedVideo);
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Nominal frame interval as a multiple of one NN-L inference time at
+    /// the session's resolution — the per-session load knob (smaller =
+    /// hotter). Scale-invariant, so quick and full benches stress the NPU
+    /// comparably.
+    pub load_factor: f64,
+    /// Session `i` starts `i · stagger_frac · interval` into the window, so
+    /// streams interleave instead of arriving in lockstep. A non-integer
+    /// default spreads the sessions' *anchor phases* — lockstep or
+    /// integer-staggered streams would deliver their NN-L frames
+    /// back-to-back, hiding the switch cost FIFO pays on interleaved load.
+    pub stagger_frac: f64,
+    /// Shared-NPU scheduling knobs (queue bound, batch cap, shedding).
+    pub sched: SchedConfig,
+    /// Admission SLO.
+    pub slo: SloConfig,
+    /// Hardware cost model used for decode, service and switch timing.
+    pub sim: SimConfig,
+    /// Worker threads driving sessions (`None` = the runtime's detected
+    /// count). Thread count never changes results, only wall time.
+    pub threads: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            load_factor: 3.0,
+            stagger_frac: 1.3,
+            sched: SchedConfig::default(),
+            slo: SloConfig::default(),
+            sim: SimConfig::default(),
+            threads: None,
+        }
+    }
+}
+
+/// Per-session outcome of one serve window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Sequence name.
+    pub name: String,
+    /// Where the session ended up.
+    pub state: SessionState,
+    /// Why it was rejected (rejected sessions only).
+    pub reject: Option<RejectReason>,
+    /// What admission projected when it accepted (admitted sessions only).
+    pub projection: Option<AdmissionProjection>,
+    /// Frames recognised (0 when rejected).
+    pub frames: usize,
+    /// Peak live pixel frames the session's source held.
+    pub peak_live_frames: usize,
+    /// Switches a dedicated in-order NPU would pay for this session alone.
+    pub switches_in_order: usize,
+    /// This session alone on dedicated hardware, in nanoseconds.
+    pub isolated_ns: f64,
+}
+
+/// The outcome of one serve window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Per-request outcomes, request order.
+    pub sessions: Vec<SessionReport>,
+    /// Sessions admitted.
+    pub admitted: usize,
+    /// Sessions rejected by admission control.
+    pub rejected: usize,
+    /// Projected NPU utilisation over the admitted set.
+    pub projected_utilization: f64,
+    /// The shared NPU under per-stream FIFO (the baseline).
+    pub fifo: ScheduleOutcome,
+    /// The shared NPU under cross-session batching (the proposed policy).
+    pub batched: ScheduleOutcome,
+}
+
+impl ServeReport {
+    /// Model switches the batching scheduler saved over per-stream FIFO.
+    pub fn switches_saved(&self) -> i64 {
+        self.fifo.switches as i64 - self.batched.switches as i64
+    }
+}
+
+/// Serves one window of sessions: admission in request order, admitted
+/// sessions driven concurrently, the merged work replayed under FIFO and
+/// batching. Deterministic for fixed inputs and configuration.
+///
+/// # Errors
+/// Propagates decode/engine failures from any admitted session.
+pub fn serve(
+    model: &VrDann,
+    requests: &[SessionJob<'_>],
+    cfg: &ServeConfig,
+) -> Result<ServeReport> {
+    let ops_per_ns = cfg.sim.npu_ops_per_ns();
+
+    // Admission pass: request order, deterministic.
+    let mut controller = AdmissionController::new(cfg.slo, cfg.sched.batch_cap, cfg.sim);
+    let mut decisions: Vec<std::result::Result<AdmissionProjection, RejectReason>> =
+        Vec::with_capacity(requests.len());
+    let mut admitted_jobs: Vec<(usize, usize, SessionSpec)> = Vec::new();
+    for (r, (seq, encoded)) in requests.iter().enumerate() {
+        let nnl_ns = LargeNet::new(model.config().segment_profile).ops(seq.width(), seq.height())
+            as f64
+            / ops_per_ns;
+        let interval = cfg.load_factor * nnl_ns;
+        let demand = SessionDemand::estimate(model, seq, encoded, interval, &cfg.sim);
+        let decision = controller.try_admit(&demand);
+        if decision.is_ok() {
+            let session = admitted_jobs.len();
+            let spec = SessionSpec {
+                start_offset_ns: session as f64 * cfg.stagger_frac * interval,
+                frame_interval_ns: interval,
+            };
+            admitted_jobs.push((session, r, spec));
+        }
+        decisions.push(decision);
+    }
+
+    // Drive every admitted session concurrently — the real compute phase.
+    let threads = cfg.threads.unwrap_or_else(vrd_runtime::max_threads);
+    let driven: Vec<Result<DrivenSession>> =
+        vrd_runtime::parallel_map_with(&admitted_jobs, threads, |&(session, r, spec)| {
+            let (seq, encoded) = requests[r];
+            drive_session(model, session, seq, encoded, &spec, &cfg.sim)
+        });
+    let mut sessions_driven = Vec::with_capacity(driven.len());
+    for d in driven {
+        sessions_driven.push(d?);
+    }
+
+    // Replay the merged work under both disciplines.
+    let fifo = schedule(&sessions_driven, SchedPolicy::Fifo, &cfg.sched, &cfg.sim);
+    let batched = schedule(&sessions_driven, SchedPolicy::Batch, &cfg.sched, &cfg.sim);
+
+    // Stitch per-request reports back into request order.
+    let mut reports = Vec::with_capacity(requests.len());
+    let mut next_admitted = 0usize;
+    for (r, (seq, _)) in requests.iter().enumerate() {
+        let report = match &decisions[r] {
+            Ok(projection) => {
+                let d = &sessions_driven[next_admitted];
+                next_admitted += 1;
+                SessionReport {
+                    name: seq.name.clone(),
+                    state: SessionState::Drained,
+                    reject: None,
+                    projection: Some(*projection),
+                    frames: d.frames,
+                    peak_live_frames: d.peak_live_frames,
+                    switches_in_order: d.switches_in_order,
+                    isolated_ns: d.isolated_ns,
+                }
+            }
+            Err(reason) => SessionReport {
+                name: seq.name.clone(),
+                state: SessionState::Rejected,
+                reject: Some(*reason),
+                projection: None,
+                frames: 0,
+                peak_live_frames: 0,
+                switches_in_order: 0,
+                isolated_ns: 0.0,
+            },
+        };
+        reports.push(report);
+    }
+
+    Ok(ServeReport {
+        admitted: sessions_driven.len(),
+        rejected: requests.len() - sessions_driven.len(),
+        projected_utilization: controller.utilization(),
+        sessions: reports,
+        fifo,
+        batched,
+    })
+}

@@ -1,0 +1,242 @@
+//! One admitted session: a paced decoder lane feeding a resumable
+//! [`PipelineEngine`].
+//!
+//! The session driver is where the real recognition work happens — it pulls
+//! [`DecodedUnit`](vrd_codec::DecodedUnit)s from a
+//! [`StrictFrameSource`](vrd_codec::StrictFrameSource) and advances the
+//! engine one `step()` at a time, so NN-L/NN-S actually run and the masks
+//! are produced exactly as a standalone
+//! [`run_segmentation`](vr_dann::VrDann::run_segmentation) call would.
+//! Alongside the compute it clocks a per-session *decoder lane* with
+//! `vrd-sim`'s decoder timing model: frame `k` arrives at
+//! `start_offset + k·interval`, the decoder serves frames sequentially
+//! (full reconstruction for anchors and NN-L-rerouted frames, MV-only
+//! extraction otherwise), and every emitted [`WorkItem`] carries the
+//! hand-over instant the shared-NPU scheduler replays.
+
+use vr_dann::engine::{SegTask, StrictPolicy};
+use vr_dann::{PipelineEngine, Result, VrDann};
+use vrd_codec::{EncodedVideo, FrameSource, FrameType, StrictFrameSource};
+use vrd_nn::LargeNet;
+use vrd_sim::{simulate_stream, ExecMode, ParallelOptions, SimConfig};
+use vrd_video::Sequence;
+
+/// Pacing of one session's arrival process (its camera / network feed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionSpec {
+    /// When the session's first frame reaches the decoder, in nanoseconds.
+    pub start_offset_ns: f64,
+    /// Nominal inter-frame arrival gap, in nanoseconds.
+    pub frame_interval_ns: f64,
+}
+
+/// Where a session ended up in the serving lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Turned away by admission control before any work ran.
+    Rejected,
+    /// Admitted, driven to exhaustion, every frame accounted for.
+    Drained,
+}
+
+/// One NPU work item emitted by a session's engine, stamped with its
+/// decoder hand-over time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkItem {
+    /// Owning session (index into the admitted set).
+    pub session: usize,
+    /// Per-session emission order (the engine's decode order).
+    pub idx: usize,
+    /// Display index of the frame.
+    pub display: u32,
+    /// Codec frame type.
+    pub ftype: FrameType,
+    /// NPU operations of the inference.
+    pub ops: u64,
+    /// Whether the item needs the large model resident.
+    pub uses_large_model: bool,
+    /// Nominal arrival of the frame at the decoder (latency baseline).
+    pub arrival_ns: f64,
+    /// When the decoder lane hands the item to the NPU queues.
+    pub ready_ns: f64,
+}
+
+/// Everything driving one session produced: the stamped work items for the
+/// shared-NPU scheduler plus the engine's run summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrivenSession {
+    /// Sequence name (for reports).
+    pub name: String,
+    /// Index into the admitted set.
+    pub session: usize,
+    /// NPU work in emission order, decode-lane times stamped.
+    pub items: Vec<WorkItem>,
+    /// Frames the engine produced output for.
+    pub frames: usize,
+    /// Peak reconstructed pixel frames the source held alive (the
+    /// bounded-memory guarantee carries over to serving).
+    pub peak_live_frames: usize,
+    /// Total NPU operations over the stream.
+    pub total_ops: u64,
+    /// NN-L ↔ NN-S switches a dedicated in-order NPU would pay for this
+    /// session alone — the per-stream FIFO switch baseline.
+    pub switches_in_order: usize,
+    /// End-to-end time of this session alone on a dedicated VR-DANN-parallel
+    /// SoC (via [`simulate_stream`]) — the no-contention latency floor.
+    pub isolated_ns: f64,
+}
+
+/// Drives one session to exhaustion: decode → engine step → stamped work
+/// item, then closes the engine and simulates the isolated-hardware
+/// baseline. The produced masks are identical to a standalone
+/// [`run_segmentation`](vr_dann::VrDann::run_segmentation) call; serving
+/// changes *when* work runs, never *what* it computes.
+///
+/// # Errors
+/// Propagates bitstream decode errors and engine reconstruction failures.
+pub fn drive_session(
+    model: &VrDann,
+    session: usize,
+    seq: &Sequence,
+    encoded: &EncodedVideo,
+    spec: &SessionSpec,
+    sim: &SimConfig,
+) -> Result<DrivenSession> {
+    let mut source = StrictFrameSource::new(&encoded.bitstream)?;
+    let info = source.info();
+    let task = SegTask::new(
+        seq,
+        LargeNet::new(model.config().segment_profile),
+        model.config().seed,
+        &info,
+    );
+    let mut engine =
+        PipelineEngine::new(model.config(), model.nns(), task, StrictPolicy::default());
+    engine.prime(&info, &[]);
+
+    let px = (info.width * info.height) as f64;
+    let mut items: Vec<WorkItem> = Vec::with_capacity(info.n_frames);
+    let mut t_decode = spec.start_offset_ns;
+    let mut k = 0usize;
+    while let Some(unit) = source.next_unit() {
+        let unit = unit?;
+        let arrival = spec.start_offset_ns + k as f64 * spec.frame_interval_ns;
+        k += 1;
+        let Some(work) = engine.step(unit)? else {
+            continue;
+        };
+        let cpp = if work.full_decode {
+            sim.decoder.cycles_per_pixel_full
+        } else {
+            sim.decoder.cycles_per_pixel_mv
+        };
+        let decode_ns = px * cpp / sim.decoder.freq_hz * 1e9;
+        t_decode = t_decode.max(arrival) + decode_ns;
+        items.push(WorkItem {
+            session,
+            idx: items.len(),
+            display: work.display,
+            ftype: work.ftype,
+            ops: work.ops,
+            uses_large_model: work.uses_large_model,
+            arrival_ns: arrival,
+            ready_ns: t_decode,
+        });
+    }
+    let totals = source.totals();
+    let peak = source.peak_live_frames();
+    let run = engine.finish(totals, peak)?;
+    let isolated = simulate_stream(
+        run.trace.frames.iter(),
+        run.trace.scheme,
+        run.trace.width,
+        run.trace.height,
+        run.trace.mb_size,
+        ExecMode::VrDannParallel(ParallelOptions::default()),
+        sim,
+    );
+    Ok(DrivenSession {
+        name: seq.name.clone(),
+        session,
+        frames: run.outputs.len(),
+        peak_live_frames: run.peak_live_frames,
+        total_ops: run.trace.total_ops(),
+        switches_in_order: run.trace.model_switches_in_order(),
+        isolated_ns: isolated.total_ns,
+        items,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_dann::{TrainTask, VrDannConfig};
+    use vrd_video::davis::{davis_sequence, davis_train_suite, SuiteConfig};
+
+    fn tiny_model() -> (VrDann, SuiteConfig) {
+        let cfg = SuiteConfig::tiny();
+        let train = davis_train_suite(&cfg, 2);
+        let vr_cfg = VrDannConfig {
+            nns_hidden: 4,
+            ..VrDannConfig::default()
+        };
+        (
+            VrDann::train(&train, TrainTask::Segmentation, vr_cfg).unwrap(),
+            cfg,
+        )
+    }
+
+    #[test]
+    fn driven_session_matches_standalone_run() {
+        let (model, cfg) = tiny_model();
+        let seq = davis_sequence("cows", &cfg).unwrap();
+        let encoded = model.encode(&seq).unwrap();
+        let spec = SessionSpec {
+            start_offset_ns: 0.0,
+            frame_interval_ns: 1e6,
+        };
+        let sim = SimConfig::default();
+        let driven = drive_session(&model, 0, &seq, &encoded, &spec, &sim).unwrap();
+        let solo = model.run_segmentation(&seq, &encoded).unwrap();
+        assert_eq!(driven.frames, solo.masks.len());
+        assert_eq!(driven.items.len(), solo.trace.frames.len());
+        assert_eq!(driven.total_ops, solo.trace.total_ops());
+        assert_eq!(
+            driven.switches_in_order,
+            solo.trace.model_switches_in_order()
+        );
+        assert_eq!(driven.peak_live_frames, solo.peak_live_frames);
+        for (item, tf) in driven.items.iter().zip(&solo.trace.frames) {
+            assert_eq!(item.display, tf.display);
+            assert_eq!(item.ops, tf.kind.ops());
+            assert_eq!(item.uses_large_model, tf.kind.uses_large_model());
+        }
+        assert!(driven.isolated_ns > 0.0);
+    }
+
+    #[test]
+    fn decode_lane_is_sequential_and_paced() {
+        let (model, cfg) = tiny_model();
+        let seq = davis_sequence("dog", &cfg).unwrap();
+        let encoded = model.encode(&seq).unwrap();
+        let interval = 2e6;
+        let spec = SessionSpec {
+            start_offset_ns: 500.0,
+            frame_interval_ns: interval,
+        };
+        let sim = SimConfig::default();
+        let driven = drive_session(&model, 3, &seq, &encoded, &spec, &sim).unwrap();
+        for (k, item) in driven.items.iter().enumerate() {
+            assert_eq!(item.session, 3);
+            assert_eq!(item.idx, k);
+            // The decoder cannot hand a frame over before it arrived.
+            assert!(item.ready_ns > item.arrival_ns);
+            // Arrivals are paced by the configured interval.
+            assert!((item.arrival_ns - (500.0 + k as f64 * interval)).abs() < 1e-6);
+            // Hand-over order is decode order.
+            if k > 0 {
+                assert!(item.ready_ns >= driven.items[k - 1].ready_ns);
+            }
+        }
+    }
+}

@@ -10,6 +10,8 @@
 //! * [`vrd_metrics`] — IoU / F-score / mAP
 //! * [`vr_dann`] — the paper's algorithm and all baselines
 //! * [`vrd_sim`] — the SoC simulator (NPU, decoder, DRAM, agent unit)
+//! * [`vrd_serve`] — multi-stream serving: sessions, shared-NPU scheduling,
+//!   admission control
 //! * [`vrd_bench`] — the experiment harness regenerating every figure
 //!
 //! The runnable examples live in this crate:
@@ -21,5 +23,6 @@ pub use vrd_codec;
 pub use vrd_flow;
 pub use vrd_metrics;
 pub use vrd_nn;
+pub use vrd_serve;
 pub use vrd_sim;
 pub use vrd_video;
