@@ -5,13 +5,17 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeMap;
 use std::hint::black_box;
-use vr_dann::{reconstruct_b_frame, ReconConfig};
-use vrd_codec::{CodecConfig, Decoder, Encoder};
+use vr_dann::{plane_to_mask, recon, reconstruct_b_frame, ReconConfig};
+use vrd_codec::decoder::BFrameInfo;
+use vrd_codec::{CodecConfig, Decoder, Encoder, MvRecord, RefMv};
 use vrd_flow::{estimate, FlowConfig};
+use vrd_metrics::segmentation::reference as tally_reference;
+use vrd_metrics::PixelCounts;
 use vrd_nn::conv::{reference as conv_reference, Conv2d};
 use vrd_nn::{LargeNet, LargeNetProfile, NnS, Tensor};
 use vrd_sim::{agent, AgentConfig, Dram, DramConfig};
 use vrd_video::davis::{davis_sequence, SuiteConfig};
+use vrd_video::SegMask;
 
 fn bench_codec(c: &mut Criterion) {
     let seq = davis_sequence("cows", &SuiteConfig::tiny()).expect("sequence generates");
@@ -71,6 +75,79 @@ fn bench_reconstruction(c: &mut Criterion) {
             )
             .expect("reconstructs")
         })
+    });
+}
+
+/// Deployment-resolution (854×480) packed-mask kernels vs their retained
+/// byte-wise references: B-frame reconstruction over a full 16-px MV grid
+/// with word-straddling sources, plane thresholding, and the IoU tally.
+fn bench_packed_masks(c: &mut Criterion) {
+    const W: usize = 854;
+    const H: usize = 480;
+    const MB: usize = 16;
+    let mask = |seed: u64| {
+        SegMask::from_bits(
+            W,
+            H,
+            (0..W * H).map(|i| vrd_video::texture::hash2(i as i64, 43, seed) & 3 == 0),
+        )
+    };
+    let (pred, gt) = (mask(1), mask(2));
+    let mut refs = BTreeMap::new();
+    refs.insert(0u32, pred.clone());
+    refs.insert(4u32, gt.clone());
+
+    let mut mvs = Vec::new();
+    for by in 0..(H / MB) {
+        for bx in 0..(W / MB) {
+            let s = vrd_video::texture::hash2(bx as i64, by as i64, 97);
+            mvs.push(MvRecord {
+                dst_x: (bx * MB) as u32,
+                dst_y: (by * MB) as u32,
+                ref0: RefMv {
+                    frame: 0,
+                    src_x: (s % W as u64) as i32 - 13,
+                    src_y: ((s >> 8) % H as u64) as i32 - 7,
+                },
+                ref1: (s & 1 == 0).then_some(RefMv {
+                    frame: 4,
+                    src_x: ((s >> 16) % W as u64) as i32 - 13,
+                    src_y: ((s >> 24) % H as u64) as i32 - 7,
+                }),
+            });
+        }
+    }
+    let info = BFrameInfo {
+        display_idx: 2,
+        mvs,
+        intra_blocks: vec![],
+    };
+    let cfg = ReconConfig::default();
+
+    c.bench_function("mask/reconstruct_854x480_packed", |b| {
+        b.iter(|| reconstruct_b_frame(black_box(&info), &refs, W, H, MB, &cfg).expect("anchors"))
+    });
+    c.bench_function("mask/reconstruct_854x480_reference", |b| {
+        b.iter(|| {
+            recon::reference::reconstruct_b_frame(black_box(&info), &refs, W, H, MB, &cfg)
+                .expect("anchors")
+        })
+    });
+
+    let plane = reconstruct_b_frame(&info, &refs, W, H, MB, &cfg).expect("anchors");
+    c.bench_function("mask/plane_to_mask_854x480_packed", |b| {
+        b.iter(|| plane_to_mask(black_box(&plane), &cfg))
+    });
+    c.bench_function("mask/plane_to_mask_854x480_reference", |b| {
+        b.iter(|| recon::reference::plane_to_mask(black_box(&plane), &cfg))
+    });
+
+    let (pred_bytes, gt_bytes) = (pred.to_byte_vec(), gt.to_byte_vec());
+    c.bench_function("mask/tally_854x480_packed", |b| {
+        b.iter(|| PixelCounts::tally(black_box(&pred), &gt))
+    });
+    c.bench_function("mask/tally_854x480_reference", |b| {
+        b.iter(|| tally_reference::tally_bytes(black_box(&pred_bytes), &gt_bytes))
     });
 }
 
@@ -166,6 +243,6 @@ fn bench_flow_and_oracle(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_codec, bench_reconstruction, bench_nns, bench_conv, bench_agent, bench_flow_and_oracle
+    targets = bench_codec, bench_reconstruction, bench_packed_masks, bench_nns, bench_conv, bench_agent, bench_flow_and_oracle
 }
 criterion_main!(benches);

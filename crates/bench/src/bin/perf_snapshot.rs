@@ -1,16 +1,29 @@
-//! Machine-readable performance snapshot of the NN compute path.
+//! Machine-readable performance snapshot of the NN compute path and the
+//! packed-mask kernels.
 //!
-//! Times the optimised kernels against the naive reference at the paper's
+//! Times the optimised kernels against the naive references at the paper's
 //! deployment resolution (854×480) and the training resolution (64×48),
-//! then writes `BENCH_nn.json` for tooling / CI trend tracking. The JSON is
-//! hand-rolled — the workspace carries no serialisation dependency.
+//! then writes `BENCH_nn.json` (NN kernels) and `BENCH_recon.json` (packed
+//! reconstruction / mean filter / tally / sandwich kernels) for tooling and
+//! CI trend tracking. The JSON is hand-rolled — the workspace carries no
+//! serialisation dependency.
 //!
-//! Usage: `cargo run --release --bin perf_snapshot [out.json]`
+//! Usage:
+//! `cargo run --release --bin perf_snapshot [nn.json] [recon.json] [--min-recon-speedup X]`
+//!
+//! With `--min-recon-speedup X` the run exits 1 if any packed-mask row's
+//! speedup over its byte-wise reference falls below `X`.
 
+use std::collections::BTreeMap;
 use std::time::Instant;
+use vr_dann::{build_sandwich, recon, reconstruct_b_frame, sandwich, ReconConfig};
+use vrd_codec::decoder::BFrameInfo;
+use vrd_codec::{MvRecord, RefMv};
+use vrd_metrics::segmentation::{reference as tally_reference, PixelCounts};
 use vrd_nn::conv::{reference, Conv2d};
 use vrd_nn::layers::{maxpool2_into, relu_in_place, sigmoid_in_place, upsample2_into};
 use vrd_nn::{NnS, Tensor};
+use vrd_video::{mask, Seg2Plane, SegMask};
 
 /// Median wall-clock seconds of `reps` runs of `f`.
 fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -51,10 +64,32 @@ struct Row {
     naive_ms: f64,
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_nn.json".into());
+fn render_json(rows: &[Row]) -> String {
+    let mut json = String::from("{\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  \"{}\": {{\"optimized_ms\": {:.4}, \"naive_ms\": {:.4}, \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.optimized_ms,
+            r.naive_ms,
+            r.naive_ms / r.optimized_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("}\n");
+    json
+}
+
+fn write_or_die(path: &str, json: &str) {
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("wrote {path}");
+}
+
+fn nn_rows() -> Vec<Row> {
     let mut rows = Vec::new();
 
     // --- NN-S refinement at deployment resolution (the headline number).
@@ -112,22 +147,182 @@ fn main() {
         }) * 1e3,
     });
 
-    let mut json = String::from("{\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "  \"{}\": {{\"optimized_ms\": {:.4}, \"naive_ms\": {:.4}, \"speedup\": {:.2}}}{}\n",
-            r.name,
-            r.optimized_ms,
-            r.naive_ms,
-            r.naive_ms / r.optimized_ms,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
+    rows
+}
+
+/// Deployment-resolution mask fixture: 854×480 with pseudo-random blobs.
+fn hd_mask(seed: u64) -> SegMask {
+    const W: usize = 854;
+    const H: usize = 480;
+    SegMask::from_bits(
+        W,
+        H,
+        (0..W * H).map(|i| vrd_video::texture::hash2(i as i64, 43, seed) & 3 == 0),
+    )
+}
+
+/// A full-coverage 16-px MV grid at 854×480 (53 block columns cover the
+/// 848 coded pixels; H.264 streams pad the rest) with word-straddling
+/// sources, half of them bi-predicted.
+fn hd_bframe() -> BFrameInfo {
+    const MB: u32 = 16;
+    let mut mvs = Vec::new();
+    for by in 0..(480 / MB) {
+        for bx in 0..(854 / MB) {
+            let s = vrd_video::texture::hash2(i64::from(bx), i64::from(by), 97);
+            let ref0 = RefMv {
+                frame: 0,
+                src_x: (s % 854) as i32 - 13,
+                src_y: ((s >> 8) % 480) as i32 - 7,
+            };
+            let ref1 = (s & 1 == 0).then_some(RefMv {
+                frame: 4,
+                src_x: ((s >> 16) % 854) as i32 - 13,
+                src_y: ((s >> 24) % 480) as i32 - 7,
+            });
+            mvs.push(MvRecord {
+                dst_x: bx * MB,
+                dst_y: by * MB,
+                ref0,
+                ref1,
+            });
+        }
     }
-    json.push_str("}\n");
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("error: cannot write {out_path}: {e}");
-        std::process::exit(1);
+    BFrameInfo {
+        display_idx: 2,
+        mvs,
+        intra_blocks: vec![],
     }
-    print!("{json}");
-    eprintln!("wrote {out_path}");
+}
+
+fn recon_rows() -> Vec<Row> {
+    const W: usize = 854;
+    const H: usize = 480;
+    let mut rows = Vec::new();
+
+    let a = hd_mask(1);
+    let b = hd_mask(2);
+    let mut refs = BTreeMap::new();
+    refs.insert(0u32, a.clone());
+    refs.insert(4u32, b.clone());
+    let info = hd_bframe();
+    let cfg = ReconConfig::default();
+
+    // --- B-frame reconstruction: shift-and-merge word moves vs per-pixel.
+    let packed = reconstruct_b_frame(&info, &refs, W, H, 16, &cfg).expect("anchors present");
+    let scalar =
+        recon::reference::reconstruct_b_frame(&info, &refs, W, H, 16, &cfg).expect("anchors");
+    assert_eq!(packed, scalar, "reconstruction kernels diverged");
+    rows.push(Row {
+        name: "reconstruct_854x480",
+        optimized_ms: time_median(31, || {
+            std::hint::black_box(reconstruct_b_frame(&info, &refs, W, H, 16, &cfg).unwrap());
+        }) * 1e3,
+        naive_ms: time_median(9, || {
+            std::hint::black_box(
+                recon::reference::reconstruct_b_frame(&info, &refs, W, H, 16, &cfg).unwrap(),
+            );
+        }) * 1e3,
+    });
+
+    // --- Whole-frame bi-reference mean filter: AND/XOR vs per-pixel.
+    assert_eq!(
+        Seg2Plane::mean_filter(&a, &b),
+        mask::reference::mean_filter(&a, &b),
+        "mean filter kernels diverged"
+    );
+    rows.push(Row {
+        name: "mean_filter_854x480",
+        optimized_ms: time_median(31, || {
+            std::hint::black_box(Seg2Plane::mean_filter(&a, &b));
+        }) * 1e3,
+        naive_ms: time_median(9, || {
+            std::hint::black_box(mask::reference::mean_filter(&a, &b));
+        }) * 1e3,
+    });
+
+    // --- IoU tally: popcounts over packed words vs the byte-wise loop the
+    // masks used to be stored as.
+    let (pred_bytes, gt_bytes) = (a.to_byte_vec(), b.to_byte_vec());
+    assert_eq!(
+        PixelCounts::tally(&a, &b),
+        tally_reference::tally_bytes(&pred_bytes, &gt_bytes),
+        "tally kernels diverged"
+    );
+    rows.push(Row {
+        name: "tally_854x480",
+        optimized_ms: time_median(31, || {
+            std::hint::black_box(PixelCounts::tally(&a, &b));
+        }) * 1e3,
+        naive_ms: time_median(31, || {
+            std::hint::black_box(tally_reference::tally_bytes(&pred_bytes, &gt_bytes));
+        }) * 1e3,
+    });
+
+    // --- Sandwich assembly: fused packed→f32 expansion vs per-pixel sets.
+    assert_eq!(
+        build_sandwich(2, &packed, &refs).unwrap().as_slice(),
+        sandwich::reference::build_sandwich(2, &packed, &refs)
+            .unwrap()
+            .as_slice(),
+        "sandwich kernels diverged"
+    );
+    rows.push(Row {
+        name: "sandwich_854x480",
+        optimized_ms: time_median(31, || {
+            std::hint::black_box(build_sandwich(2, &packed, &refs).unwrap());
+        }) * 1e3,
+        naive_ms: time_median(9, || {
+            std::hint::black_box(sandwich::reference::build_sandwich(2, &packed, &refs).unwrap());
+        }) * 1e3,
+    });
+
+    rows
+}
+
+fn main() {
+    let mut nn_path = None;
+    let mut recon_path = None;
+    let mut min_recon_speedup: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--min-recon-speedup" {
+            let v = args.next().and_then(|v| v.parse().ok());
+            match v {
+                Some(v) => min_recon_speedup = Some(v),
+                None => {
+                    eprintln!("error: --min-recon-speedup needs a numeric value");
+                    std::process::exit(2);
+                }
+            }
+        } else if nn_path.is_none() {
+            nn_path = Some(arg);
+        } else {
+            recon_path = Some(arg);
+        }
+    }
+    let nn_path = nn_path.unwrap_or_else(|| "BENCH_nn.json".into());
+    let recon_path = recon_path.unwrap_or_else(|| "BENCH_recon.json".into());
+
+    write_or_die(&nn_path, &render_json(&nn_rows()));
+
+    let recon = recon_rows();
+    write_or_die(&recon_path, &render_json(&recon));
+
+    if let Some(min) = min_recon_speedup {
+        let mut ok = true;
+        for r in &recon {
+            let speedup = r.naive_ms / r.optimized_ms;
+            if speedup < min {
+                eprintln!(
+                    "speedup check failed: {} is {speedup:.2}x, need >= {min:.2}x",
+                    r.name
+                );
+                ok = false;
+            }
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+    }
 }

@@ -13,7 +13,7 @@
 use crate::context::{parallel_map, Context};
 use crate::table::{fmt_pct, Table};
 use vrd_codec::EncodedVideo;
-use vrd_serve::{serve, LatencyStats, ScheduleOutcome, ServeConfig, ServeReport};
+use vrd_serve::{serve, LatencyStats, ScheduleOutcome, ServeConfig, ServeReport, SessionState};
 
 /// The session counts the full sweep offers.
 pub const SESSIONS: [usize; 5] = [1, 2, 4, 6, 8];
@@ -61,7 +61,7 @@ impl From<&ScheduleOutcome> for PolicySummary {
 }
 
 /// One session count's results.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeBenchRow {
     /// Sessions offered.
     pub requested: usize,
@@ -69,6 +69,12 @@ pub struct ServeBenchRow {
     pub admitted: usize,
     /// Sessions admission control rejected.
     pub rejected: usize,
+    /// Names of the admitted sessions, in offered order.
+    pub admitted_sessions: Vec<String>,
+    /// `Some(k)` when admission saturated and this row's admitted set is
+    /// identical to the earlier `k`-session row's — its schedule is a
+    /// verbatim repeat of that row, not new information.
+    pub duplicate_of: Option<usize>,
     /// Projected NPU utilisation over the admitted set.
     pub projected_utilization: f64,
     /// Shared NPU under per-stream FIFO.
@@ -91,6 +97,13 @@ fn row_from_report(requested: usize, report: &ServeReport) -> ServeBenchRow {
         requested,
         admitted: report.admitted,
         rejected: report.rejected,
+        admitted_sessions: report
+            .sessions
+            .iter()
+            .filter(|s| s.state == SessionState::Drained)
+            .map(|s| s.name.clone())
+            .collect(),
+        duplicate_of: None,
         projected_utilization: report.projected_utilization,
         fifo: PolicySummary::from(&report.fifo),
         batched: PolicySummary::from(&report.batched),
@@ -108,20 +121,27 @@ pub fn run_sessions(ctx: &Context, sessions: &[usize]) -> ServeBench {
         sim: ctx.sim,
         ..ServeConfig::default()
     };
-    let rows = sessions
-        .iter()
-        .map(|&k| {
-            let requests: Vec<_> = (0..k)
-                .map(|i| {
-                    let j = i % ctx.davis.len();
-                    (&ctx.davis[j], &encoded[j])
-                })
-                .collect();
-            let report = serve(&ctx.model, &requests, &cfg)
-                .expect("admitted suite sessions serve to completion");
-            row_from_report(k, &report)
-        })
-        .collect();
+    let mut rows: Vec<ServeBenchRow> = Vec::with_capacity(sessions.len());
+    for &k in sessions {
+        let requests: Vec<_> = (0..k)
+            .map(|i| {
+                let j = i % ctx.davis.len();
+                (&ctx.davis[j], &encoded[j])
+            })
+            .collect();
+        let report = serve(&ctx.model, &requests, &cfg)
+            .expect("admitted suite sessions serve to completion");
+        let mut row = row_from_report(k, &report);
+        // When admission saturates, a larger offered count admits the same
+        // sessions as an earlier row and serving is deterministic, so the
+        // whole schedule is a verbatim repeat — mark it instead of letting
+        // the table re-report it as a distinct data point.
+        row.duplicate_of = rows
+            .iter()
+            .find(|r| r.admitted_sessions == row.admitted_sessions)
+            .map(|r| r.requested);
+        rows.push(row);
+    }
     ServeBench { rows }
 }
 
@@ -155,6 +175,7 @@ impl ServeBench {
             "fifo span ms",
             "batch span ms",
             "stalls",
+            "note",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -169,6 +190,10 @@ impl ServeBench {
                 fmt_ms(r.fifo.makespan_ns),
                 fmt_ms(r.batched.makespan_ns),
                 r.batched.decoder_stalls.to_string(),
+                match r.duplicate_of {
+                    Some(k) => format!("saturated (= {k}-session schedule)"),
+                    None => String::new(),
+                },
             ]);
         }
         format!(
@@ -207,13 +232,22 @@ impl ServeBench {
             .rows
             .iter()
             .map(|r| {
+                let admitted_sessions: Vec<String> = r
+                    .admitted_sessions
+                    .iter()
+                    .map(|n| format!("\"{n}\""))
+                    .collect();
                 format!(
                     "    {{\"sessions\":{},\"admitted\":{},\"rejected\":{},\
+                     \"admitted_sessions\":[{}],\"duplicate_of\":{},\
                      \"projected_utilization\":{:.6},\"switches_saved\":{},\
                      \"fifo\":{},\"batched\":{}}}",
                     r.requested,
                     r.admitted,
                     r.rejected,
+                    admitted_sessions.join(","),
+                    r.duplicate_of
+                        .map_or_else(|| "null".to_string(), |k| k.to_string()),
                     r.projected_utilization,
                     r.switches_saved,
                     policy_json(&r.fifo),
@@ -236,12 +270,13 @@ mod tests {
     #[test]
     fn serve_quick_batching_wins_under_contention_and_slo_sheds() {
         let ctx = Context::new(Scale::Quick);
-        let sweep = run_sessions(&ctx, &[1, 4, 8]);
-        assert_eq!(sweep.rows.len(), 3);
+        let sweep = run_sessions(&ctx, &[1, 4, 6, 8]);
+        assert_eq!(sweep.rows.len(), 4);
 
         // One stream: nothing to batch across sessions; policies agree.
-        let solo = sweep.rows[0];
+        let solo = &sweep.rows[0];
         assert_eq!(solo.admitted, 1);
+        assert_eq!(solo.admitted_sessions.len(), 1);
         assert_eq!(solo.switches_saved, 0);
         assert_eq!(solo.fifo.switches, solo.batched.switches);
 
@@ -271,17 +306,37 @@ mod tests {
         }
 
         // Offered load beyond the SLO gets shed at admission.
-        let heavy = sweep.rows[2];
+        let heavy = &sweep.rows[3];
         assert_eq!(heavy.requested, 8);
         assert!(heavy.rejected > 0, "8 offered sessions all admitted");
         assert!(heavy.admitted + heavy.rejected == 8);
+        assert_eq!(heavy.admitted_sessions.len(), heavy.admitted);
+
+        // Admission saturated: the 8-session row admits the same set the
+        // 6-session row did, so it must be flagged as a verbatim repeat of
+        // that schedule instead of re-reported as new data. Rows with
+        // distinct admitted sets must not be flagged.
+        let six = &sweep.rows[2];
+        assert_eq!(six.requested, 6);
+        assert_eq!(heavy.admitted_sessions, six.admitted_sessions);
+        assert_eq!(heavy.duplicate_of, Some(6));
+        for r in &sweep.rows[..3] {
+            assert_eq!(
+                r.duplicate_of, None,
+                "{} sessions wrongly flagged",
+                r.requested
+            );
+        }
 
         let text = sweep.render();
         assert!(text.contains("Serving"));
         assert!(text.contains("batch sw"));
+        assert!(text.contains("saturated (= 6-session schedule)"));
         let json = sweep.to_json();
         assert!(json.contains("\"experiment\": \"serve\""));
         assert!(json.contains("\"switches_saved\""));
         assert!(json.contains("\"p99_ns\""));
+        assert!(json.contains("\"duplicate_of\":6"));
+        assert!(json.contains("\"admitted_sessions\":["));
     }
 }

@@ -5,11 +5,20 @@
 //! frame at the motion vector's source coordinates. Bi-referenced blocks are
 //! combined with the paper's 2-bit mean filter: both references background →
 //! black, both foreground → white, disagreement → gray.
+//!
+//! The kernels here are word-parallel over the packed bitplanes
+//! (`vrd_video::mask`): each macro-block row is fetched as one shift-and-
+//! merge word read from each reference (the software analogue of the agent
+//! unit's coalesced DRAM burst, §IV-B) and combined with two bitwise ops
+//! (`white = a AND b`, `gray = a XOR b`) before being merged into the
+//! destination plane. The original per-pixel loops are retained in
+//! [`reference`] and pinned bit-exact by the proptests in
+//! `tests/recon_equivalence.rs`.
 
 use crate::error::{Result, VrDannError};
 use std::collections::BTreeMap;
 use vrd_codec::decoder::BFrameInfo;
-use vrd_video::{Seg2, Seg2Plane, SegMask};
+use vrd_video::{Seg2Plane, SegMask, MASK_WORD_BITS};
 
 /// Reconstruction options (the defaults are the paper's algorithm; the
 /// alternatives exist for the ablation benchmarks).
@@ -28,6 +37,32 @@ impl Default for ReconConfig {
         Self {
             mean_filter: true,
             gray_is_foreground: true,
+        }
+    }
+}
+
+/// Copies one macro-block into the plane as mean-filtered word spans: each
+/// block row is up to `⌈mb/64⌉` coalesced reads per reference, combined
+/// bitwise. `s1`/`src1` are the second reference; pass the first again for
+/// single-reference blocks (`a AND a = a`, `a XOR a = 0` — a plain copy).
+#[inline]
+fn copy_block(
+    plane: &mut Seg2Plane,
+    s0: &SegMask,
+    src0: (i32, i32),
+    s1: &SegMask,
+    src1: (i32, i32),
+    dst: (usize, usize),
+    mb_size: usize,
+) {
+    for dy in 0..mb_size {
+        let mut dx = 0;
+        while dx < mb_size {
+            let n = (mb_size - dx).min(MASK_WORD_BITS);
+            let a = s0.extract_row_bits_clamped(src0.1 + dy as i32, src0.0 + dx as i32, n);
+            let b = s1.extract_row_bits_clamped(src1.1 + dy as i32, src1.0 + dx as i32, n);
+            plane.write_mean_filtered_row(dst.1 + dy, dst.0 + dx, n, a, b);
+            dx += n;
         }
     }
 }
@@ -98,35 +133,14 @@ pub fn reconstruct_b_frame(
 
     for mv in &info.mvs {
         let s0 = fetch(mv.ref0.frame)?;
+        let src0 = (mv.ref0.src_x, mv.ref0.src_y);
+        let dst = (mv.dst_x as usize, mv.dst_y as usize);
         match (cfg.mean_filter, mv.ref1) {
             (true, Some(r1)) => {
                 let s1 = fetch(r1.frame)?;
-                for dy in 0..mb_size {
-                    for dx in 0..mb_size {
-                        let a =
-                            s0.get_clamped(mv.ref0.src_x + dx as i32, mv.ref0.src_y + dy as i32);
-                        let b = s1.get_clamped(r1.src_x + dx as i32, r1.src_y + dy as i32);
-                        plane.set(
-                            mv.dst_x as usize + dx,
-                            mv.dst_y as usize + dy,
-                            Seg2::from_bits(a, b),
-                        );
-                    }
-                }
+                copy_block(&mut plane, s0, src0, s1, (r1.src_x, r1.src_y), dst, mb_size);
             }
-            _ => {
-                for dy in 0..mb_size {
-                    for dx in 0..mb_size {
-                        let a =
-                            s0.get_clamped(mv.ref0.src_x + dx as i32, mv.ref0.src_y + dy as i32);
-                        plane.set(
-                            mv.dst_x as usize + dx,
-                            mv.dst_y as usize + dy,
-                            Seg2::from_bits(a, a),
-                        );
-                    }
-                }
-            }
+            _ => copy_block(&mut plane, s0, src0, s0, src0, dst, mb_size),
         }
     }
 
@@ -144,12 +158,16 @@ pub fn reconstruct_b_frame(
             })?;
         let seg = &ref_segs[&nearest];
         for &(bx, by) in &info.intra_blocks {
-            for dy in 0..mb_size {
-                for dx in 0..mb_size {
-                    let a = seg.get_clamped(bx as i32 + dx as i32, by as i32 + dy as i32);
-                    plane.set(bx as usize + dx, by as usize + dy, Seg2::from_bits(a, a));
-                }
-            }
+            let src = (bx as i32, by as i32);
+            copy_block(
+                &mut plane,
+                seg,
+                src,
+                seg,
+                src,
+                (bx as usize, by as usize),
+                mb_size,
+            );
         }
     }
 
@@ -158,15 +176,115 @@ pub fn reconstruct_b_frame(
 
 /// Thresholds a reconstruction into a mask without NN-S (the VR-DANN
 /// ablation without refinement, and the source of Fig. 4's noisy example).
+/// A single OR (or copy) over the packed bitplanes.
 pub fn plane_to_mask(plane: &Seg2Plane, cfg: &ReconConfig) -> SegMask {
     plane.to_mask(cfg.gray_is_foreground)
+}
+
+/// Retained per-pixel reconstruction kernels (the pre-packing semantics),
+/// kept as the ground truth the word-parallel path is property-tested and
+/// benchmarked against — the same pattern as `vrd_nn::conv::reference`.
+pub mod reference {
+    use super::{ReconConfig, Result, VrDannError};
+    use std::collections::BTreeMap;
+    use vrd_codec::decoder::BFrameInfo;
+    use vrd_video::{Seg2, Seg2Plane, SegMask};
+
+    /// Per-pixel reference-block copy with scalar clamped reads — the
+    /// scalar ground truth of [`super::reconstruct_b_frame`].
+    ///
+    /// # Errors
+    /// Same contract as the packed kernel.
+    pub fn reconstruct_b_frame(
+        info: &BFrameInfo,
+        ref_segs: &BTreeMap<u32, SegMask>,
+        width: usize,
+        height: usize,
+        mb_size: usize,
+        cfg: &ReconConfig,
+    ) -> Result<Seg2Plane> {
+        let mut plane = Seg2Plane::new(width, height);
+
+        let fetch = |frame: u32| -> Result<&SegMask> {
+            ref_segs.get(&frame).ok_or_else(|| {
+                VrDannError::BadInput(format!(
+                    "B-frame {} references anchor {frame} with no segmentation",
+                    info.display_idx
+                ))
+            })
+        };
+
+        for mv in &info.mvs {
+            let s0 = fetch(mv.ref0.frame)?;
+            match (cfg.mean_filter, mv.ref1) {
+                (true, Some(r1)) => {
+                    let s1 = fetch(r1.frame)?;
+                    for dy in 0..mb_size {
+                        for dx in 0..mb_size {
+                            let a = s0
+                                .get_clamped(mv.ref0.src_x + dx as i32, mv.ref0.src_y + dy as i32);
+                            let b = s1.get_clamped(r1.src_x + dx as i32, r1.src_y + dy as i32);
+                            plane.set(
+                                mv.dst_x as usize + dx,
+                                mv.dst_y as usize + dy,
+                                Seg2::from_bits(a, b),
+                            );
+                        }
+                    }
+                }
+                _ => {
+                    for dy in 0..mb_size {
+                        for dx in 0..mb_size {
+                            let a = s0
+                                .get_clamped(mv.ref0.src_x + dx as i32, mv.ref0.src_y + dy as i32);
+                            plane.set(
+                                mv.dst_x as usize + dx,
+                                mv.dst_y as usize + dy,
+                                Seg2::from_bits(a, a),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        if !info.intra_blocks.is_empty() {
+            let nearest = ref_segs
+                .keys()
+                .min_by_key(|&&k| k.abs_diff(info.display_idx))
+                .copied()
+                .ok_or_else(|| {
+                    VrDannError::BadInput(format!(
+                        "B-frame {} has intra blocks but no reference segmentations",
+                        info.display_idx
+                    ))
+                })?;
+            let seg = &ref_segs[&nearest];
+            for &(bx, by) in &info.intra_blocks {
+                for dy in 0..mb_size {
+                    for dx in 0..mb_size {
+                        let a = seg.get_clamped(bx as i32 + dx as i32, by as i32 + dy as i32);
+                        plane.set(bx as usize + dx, by as usize + dy, Seg2::from_bits(a, a));
+                    }
+                }
+            }
+        }
+
+        Ok(plane)
+    }
+
+    /// Per-pixel threshold of a plane into a mask — the scalar ground truth
+    /// of [`super::plane_to_mask`].
+    pub fn plane_to_mask(plane: &Seg2Plane, cfg: &ReconConfig) -> SegMask {
+        vrd_video::mask::reference::plane_to_mask(plane, cfg.gray_is_foreground)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use vrd_codec::{MvRecord, RefMv};
-    use vrd_video::Rect;
+    use vrd_video::{Rect, Seg2};
 
     fn seg_with(r: Rect) -> SegMask {
         let mut m = SegMask::new(32, 16);
@@ -281,5 +399,38 @@ mod tests {
         };
         let err = reconstruct_b_frame(&info, &refs, 32, 16, 8, &ReconConfig::default());
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn packed_matches_reference_on_unaligned_sources() {
+        // Sources straddling word boundaries and the frame edge, 96-wide so
+        // rows span two words with a 32-bit tail.
+        let mut a = SegMask::new(96, 32);
+        let mut b = SegMask::new(96, 32);
+        a.fill_rect(Rect::new(50, 3, 80, 20));
+        b.fill_rect(Rect::new(60, 0, 96, 31));
+        let mut refs = BTreeMap::new();
+        refs.insert(0u32, a);
+        refs.insert(4u32, b);
+        let info = BFrameInfo {
+            display_idx: 2,
+            mvs: vec![
+                mv((0, 0), 0, (59, -2), Some((4, (61, 5)))),
+                mv((16, 0), 0, (90, 7), None),
+                mv((0, 16), 4, (-6, 28), Some((0, (63, 15)))),
+            ],
+            intra_blocks: vec![(80, 16)],
+        };
+        for cfg in [
+            ReconConfig::default(),
+            ReconConfig {
+                mean_filter: false,
+                ..ReconConfig::default()
+            },
+        ] {
+            let packed = reconstruct_b_frame(&info, &refs, 96, 32, 16, &cfg).unwrap();
+            let scalar = reference::reconstruct_b_frame(&info, &refs, 96, 32, 16, &cfg).unwrap();
+            assert_eq!(packed, scalar);
+        }
     }
 }

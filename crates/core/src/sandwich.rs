@@ -10,12 +10,35 @@ use std::collections::BTreeMap;
 use vrd_nn::Tensor;
 use vrd_video::{Seg2Plane, SegMask};
 
+/// Picks the sandwich's outer channels: the temporally nearest anchors
+/// before and after `display_idx` (one side duplicated at stream
+/// boundaries).
+fn pick_anchors(
+    display_idx: u32,
+    ref_segs: &BTreeMap<u32, SegMask>,
+) -> Result<(&SegMask, &SegMask)> {
+    let prev = ref_segs.range(..display_idx).next_back().map(|(_, m)| m);
+    let next = ref_segs.range(display_idx + 1..).next().map(|(_, m)| m);
+    match (prev, next) {
+        (Some(p), Some(n)) => Ok((p, n)),
+        (Some(p), None) => Ok((p, p)),
+        (None, Some(n)) => Ok((n, n)),
+        (None, None) => Err(VrDannError::BadInput(format!(
+            "B-frame {display_idx} has no reference segmentations for the sandwich"
+        ))),
+    }
+}
+
 /// Builds the 3-channel sandwich tensor for a B-frame.
 ///
 /// `ref_segs` maps anchor display indices to segmentations; the channels are
 /// the temporally nearest anchor before and after `display_idx`. When the
 /// B-frame has anchors on only one side (stream boundaries), that side's
 /// nearest anchor fills both outer channels.
+///
+/// The assembly is fused: each channel expands its packed bitplanes word-at-
+/// a-time straight into its slice of the final CHW buffer, so no
+/// intermediate per-channel tensor or byte raster is materialised.
 ///
 /// # Errors
 /// Returns [`VrDannError::BadInput`] if `ref_segs` is empty.
@@ -24,31 +47,61 @@ pub fn build_sandwich(
     plane: &Seg2Plane,
     ref_segs: &BTreeMap<u32, SegMask>,
 ) -> Result<Tensor> {
-    let prev = ref_segs.range(..display_idx).next_back().map(|(_, m)| m);
-    let next = ref_segs.range(display_idx + 1..).next().map(|(_, m)| m);
-    let (prev, next) = match (prev, next) {
-        (Some(p), Some(n)) => (p, n),
-        (Some(p), None) => (p, p),
-        (None, Some(n)) => (n, n),
-        (None, None) => {
-            return Err(VrDannError::BadInput(format!(
-                "B-frame {display_idx} has no reference segmentations for the sandwich"
-            )));
-        }
-    };
-    Ok(Tensor::stack(&[
-        Tensor::from_mask(prev),
-        Tensor::from_seg2(plane),
-        Tensor::from_mask(next),
-    ]))
+    let (prev, next) = pick_anchors(display_idx, ref_segs)?;
+    let (w, h) = (plane.width(), plane.height());
+    let hw = h * w;
+    let mut data = vec![0.0f32; 3 * hw];
+    let (first, rest) = data.split_at_mut(hw);
+    let (mid, last) = rest.split_at_mut(hw);
+    prev.expand_f32_into(first);
+    plane.expand_f32_into(mid);
+    next.expand_f32_into(last);
+    Ok(Tensor::from_vec(3, h, w, data))
 }
 
 /// Builds a degenerate single-information input for the no-sandwich
 /// ablation: the reconstruction fills all three channels, so NN-S sees no
 /// temporal context.
 pub fn build_reconstruction_only(plane: &Seg2Plane) -> Tensor {
-    let mid = Tensor::from_seg2(plane);
-    Tensor::stack(&[mid.clone(), mid.clone(), mid])
+    let (w, h) = (plane.width(), plane.height());
+    let hw = h * w;
+    let mut data = vec![0.0f32; 3 * hw];
+    plane.expand_f32_into(&mut data[..hw]);
+    let (first, rest) = data.split_at_mut(hw);
+    rest[..hw].copy_from_slice(first);
+    rest[hw..].copy_from_slice(first);
+    Tensor::from_vec(3, h, w, data)
+}
+
+/// Retained per-pixel sandwich assembly — the scalar ground truth the fused
+/// packed expansion is property-tested and benchmarked against.
+pub mod reference {
+    use super::{pick_anchors, Result};
+    use std::collections::BTreeMap;
+    use vrd_nn::Tensor;
+    use vrd_video::{Seg2Plane, SegMask};
+
+    /// Scalar per-pixel sandwich assembly.
+    ///
+    /// # Errors
+    /// Same contract as [`super::build_sandwich`].
+    pub fn build_sandwich(
+        display_idx: u32,
+        plane: &Seg2Plane,
+        ref_segs: &BTreeMap<u32, SegMask>,
+    ) -> Result<Tensor> {
+        let (prev, next) = pick_anchors(display_idx, ref_segs)?;
+        let (w, h) = (plane.width(), plane.height());
+        let mut t = Tensor::zeros(3, h, w);
+        for y in 0..h {
+            for x in 0..w {
+                t.set(0, y, x, f32::from(prev.get(x, y)));
+                t.set(1, y, x, plane.get(x, y).to_f32());
+                t.set(2, y, x, f32::from(next.get(x, y)));
+            }
+        }
+        Ok(t)
+    }
 }
 
 #[cfg(test)]

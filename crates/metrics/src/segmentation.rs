@@ -20,19 +20,21 @@ pub struct PixelCounts {
 impl PixelCounts {
     /// Tallies a prediction against ground truth.
     ///
+    /// Word-parallel over the packed bitplanes: each 64-pixel word pair
+    /// contributes three popcounts (`tp = p AND g`, `fp = p AND NOT g`,
+    /// `fn = NOT p AND g`). The tail bits past each row's width are zero in
+    /// both masks, so the complemented terms cannot miscount them.
+    ///
     /// # Panics
     /// Panics if the masks differ in size.
     pub fn tally(pred: &SegMask, gt: &SegMask) -> Self {
         assert_eq!(pred.width(), gt.width(), "mask width mismatch");
         assert_eq!(pred.height(), gt.height(), "mask height mismatch");
         let mut c = PixelCounts::default();
-        for (&p, &g) in pred.as_slice().iter().zip(gt.as_slice()) {
-            match (p, g) {
-                (1, 1) => c.tp += 1,
-                (1, 0) => c.fp += 1,
-                (0, 1) => c.fn_ += 1,
-                _ => {}
-            }
+        for (&p, &g) in pred.words().iter().zip(gt.words()) {
+            c.tp += u64::from((p & g).count_ones());
+            c.fp += u64::from((p & !g).count_ones());
+            c.fn_ += u64::from((!p & g).count_ones());
         }
         c
     }
@@ -112,6 +114,43 @@ pub fn score_sequence(preds: &[SegMask], gts: &[SegMask]) -> SegScores {
     SegScores {
         f_score: f / preds.len() as f64,
         iou: i / preds.len() as f64,
+    }
+}
+
+/// Retained byte-per-pixel kernels (the pre-packing semantics), kept as the
+/// ground truth the word-parallel tally is property-tested and benchmarked
+/// against — the same pattern as `vrd_nn::conv::reference`.
+pub mod reference {
+    use super::PixelCounts;
+    use vrd_video::SegMask;
+
+    /// Byte-wise confusion tally over row-major 0/1 buffers — the scalar
+    /// ground truth of [`PixelCounts::tally`].
+    ///
+    /// # Panics
+    /// Panics if the buffers differ in length.
+    pub fn tally_bytes(pred: &[u8], gt: &[u8]) -> PixelCounts {
+        assert_eq!(pred.len(), gt.len(), "mask buffer length mismatch");
+        let mut c = PixelCounts::default();
+        for (&p, &g) in pred.iter().zip(gt) {
+            match (p, g) {
+                (1, 1) => c.tp += 1,
+                (1, 0) => c.fp += 1,
+                (0, 1) => c.fn_ += 1,
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Byte-wise tally of packed masks (expands, then counts per pixel).
+    ///
+    /// # Panics
+    /// Panics if the masks differ in size.
+    pub fn tally(pred: &SegMask, gt: &SegMask) -> PixelCounts {
+        assert_eq!(pred.width(), gt.width(), "mask width mismatch");
+        assert_eq!(pred.height(), gt.height(), "mask height mismatch");
+        tally_bytes(&pred.to_byte_vec(), &gt.to_byte_vec())
     }
 }
 

@@ -1,0 +1,40 @@
+//! Property tests pinning the word-parallel popcount tally to the retained
+//! byte-wise reference across random masks and widths that straddle word
+//! boundaries.
+
+use proptest::prelude::*;
+use vrd_metrics::segmentation::{reference, PixelCounts};
+use vrd_video::SegMask;
+
+fn mask_from_seed(w: usize, h: usize, seed: u64) -> SegMask {
+    SegMask::from_bits(
+        w,
+        h,
+        (0..w * h).map(|i| vrd_video::texture::hash2(i as i64, 31, seed) & 1 == 1),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn packed_tally_matches_byte_reference(
+        w in 1usize..200,
+        h in 1usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let pred = mask_from_seed(w, h, seed);
+        let gt = mask_from_seed(w, h, seed ^ 0xfeed);
+        let packed = PixelCounts::tally(&pred, &gt);
+        prop_assert_eq!(packed, reference::tally(&pred, &gt));
+        prop_assert_eq!(
+            packed,
+            reference::tally_bytes(&pred.to_byte_vec(), &gt.to_byte_vec())
+        );
+        // The three counters partition the foreground pixels.
+        let ones_pred = pred.count_ones() as u64;
+        let ones_gt = gt.count_ones() as u64;
+        prop_assert_eq!(packed.tp + packed.fp, ones_pred);
+        prop_assert_eq!(packed.tp + packed.fn_, ones_gt);
+    }
+}

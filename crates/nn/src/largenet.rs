@@ -135,7 +135,9 @@ impl LargeNet {
     pub fn segment(&self, gt: &SegMask, seed: u64) -> SegMask {
         let (w, h) = (gt.width(), gt.height());
         let p = &self.profile;
-        let mut out = SegMask::new(w, h);
+        // The noise passes are inherently per-pixel, so they run over a byte
+        // scratch raster and pack into the bitplane once at the end.
+        let mut out = vec![0u8; w * h];
         // Every output pixel is independent, so both passes split by row
         // across cores on large frames — same bits at any thread count.
         let parallel = w * h >= 1 << 16 && vrd_runtime::max_threads() > 1;
@@ -149,11 +151,10 @@ impl LargeNet {
             }
         };
         if parallel {
-            let rows: Vec<(usize, &mut [u8])> =
-                out.as_mut_slice().chunks_mut(w).enumerate().collect();
+            let rows: Vec<(usize, &mut [u8])> = out.chunks_mut(w).enumerate().collect();
             vrd_runtime::parallel_for_each(rows, |(y, row)| warp_row(y, row));
         } else {
-            for (y, row) in out.as_mut_slice().chunks_mut(w).enumerate() {
+            for (y, row) in out.chunks_mut(w).enumerate() {
                 warp_row(y, row);
             }
         }
@@ -162,11 +163,11 @@ impl LargeNet {
             let snapshot = out.clone();
             let speckle_row = |y: usize, row: &mut [u8]| {
                 for (x, o) in row.iter_mut().enumerate() {
-                    let v = snapshot.get(x, y);
-                    let near_boundary = (x + 1 < w && snapshot.get(x + 1, y) != v)
-                        || (x > 0 && snapshot.get(x - 1, y) != v)
-                        || (y + 1 < h && snapshot.get(x, y + 1) != v)
-                        || (y > 0 && snapshot.get(x, y - 1) != v);
+                    let v = snapshot[y * w + x];
+                    let near_boundary = (x + 1 < w && snapshot[y * w + x + 1] != v)
+                        || (x > 0 && snapshot[y * w + x - 1] != v)
+                        || (y + 1 < h && snapshot[(y + 1) * w + x] != v)
+                        || (y > 0 && snapshot[(y - 1) * w + x] != v);
                     if !near_boundary {
                         continue;
                     }
@@ -178,16 +179,15 @@ impl LargeNet {
                 }
             };
             if parallel {
-                let rows: Vec<(usize, &mut [u8])> =
-                    out.as_mut_slice().chunks_mut(w).enumerate().collect();
+                let rows: Vec<(usize, &mut [u8])> = out.chunks_mut(w).enumerate().collect();
                 vrd_runtime::parallel_for_each(rows, |(y, row)| speckle_row(y, row));
             } else {
-                for (y, row) in out.as_mut_slice().chunks_mut(w).enumerate() {
+                for (y, row) in out.chunks_mut(w).enumerate() {
                     speckle_row(y, row);
                 }
             }
         }
-        out
+        SegMask::from_vec(w, h, out)
     }
 
     /// Detects objects: ground-truth boxes jittered by the profile's
@@ -242,13 +242,9 @@ mod tests {
     fn iou(a: &SegMask, b: &SegMask) -> f64 {
         let mut inter = 0u64;
         let mut uni = 0u64;
-        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
-            if *x == 1 && *y == 1 {
-                inter += 1;
-            }
-            if *x == 1 || *y == 1 {
-                uni += 1;
-            }
+        for (&x, &y) in a.words().iter().zip(b.words()) {
+            inter += u64::from((x & y).count_ones());
+            uni += u64::from((x | y).count_ones());
         }
         inter as f64 / uni.max(1) as f64
     }

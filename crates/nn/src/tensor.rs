@@ -120,38 +120,31 @@ impl Tensor {
         Tensor::from_vec(c, h, w, data)
     }
 
-    /// Converts a binary mask into a 1-channel 0.0/1.0 tensor.
+    /// Converts a binary mask into a 1-channel 0.0/1.0 tensor via the
+    /// packed word-at-a-time expansion.
     pub fn from_mask(mask: &SegMask) -> Tensor {
-        Tensor::from_vec(
-            1,
-            mask.height(),
-            mask.width(),
-            mask.as_slice().iter().map(|&v| v as f32).collect(),
-        )
+        let mut data = vec![0.0; mask.height() * mask.width()];
+        mask.expand_f32_into(&mut data);
+        Tensor::from_vec(1, mask.height(), mask.width(), data)
     }
 
     /// Converts a 2-bit reconstruction plane into a 1-channel tensor with
-    /// the mean-filter values 0.0 / 0.5 / 1.0.
+    /// the mean-filter values 0.0 / 0.5 / 1.0, expanding the two bitplanes
+    /// word-at-a-time.
     pub fn from_seg2(plane: &Seg2Plane) -> Tensor {
-        Tensor::from_vec(
-            1,
-            plane.height(),
-            plane.width(),
-            plane.as_slice().iter().map(|v| v.to_f32()).collect(),
-        )
+        let mut data = vec![0.0; plane.height() * plane.width()];
+        plane.expand_f32_into(&mut data);
+        Tensor::from_vec(1, plane.height(), plane.width(), data)
     }
 
-    /// Thresholds a 1-channel tensor of probabilities into a mask.
+    /// Thresholds a 1-channel tensor of probabilities into a mask, packing
+    /// bits directly without an intermediate byte buffer.
     ///
     /// # Panics
     /// Panics if the tensor has more than one channel.
     pub fn to_mask(&self, threshold: f32) -> SegMask {
         assert_eq!(self.c, 1, "to_mask needs a single-channel tensor");
-        SegMask::from_vec(
-            self.w,
-            self.h,
-            self.data.iter().map(|&v| u8::from(v > threshold)).collect(),
-        )
+        SegMask::from_bits(self.w, self.h, self.data.iter().map(|&v| v > threshold))
     }
 }
 

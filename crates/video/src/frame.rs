@@ -1,13 +1,11 @@
-//! Raster containers: luma frames, binary segmentation masks and the 2-bit
-//! segmentation planes VR-DANN reconstructs B-frames into.
+//! Luma frame raster. The segmentation rasters ([`crate::mask::SegMask`],
+//! [`crate::mask::Seg2Plane`]) are bit-packed and live in [`crate::mask`].
 //!
 //! The codec and the recognition pipelines operate on single-channel luma
 //! frames. The paper's memory-traffic accounting assumes 24-bit colour
 //! pixels; that constant lives in the simulator ([`BYTES_PER_RAW_PIXEL`]) so
 //! the algorithmic crates can stay single-channel without distorting the
 //! DRAM-traffic comparison.
-
-use crate::geom::Rect;
 
 /// Bytes per raw decoded pixel assumed by the traffic model (24-bit colour).
 pub const BYTES_PER_RAW_PIXEL: usize = 3;
@@ -113,260 +111,6 @@ impl Frame {
     }
 }
 
-/// A binary per-pixel segmentation mask (0 = background, 1 = object).
-///
-/// This is the currency of the segmentation task: NN-L produces one per
-/// I/P frame, and the VR-DANN pipeline produces one per B-frame after
-/// refinement. Each pixel conceptually costs **one bit** in the paper's
-/// traffic model (see `vrd-sim`).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SegMask {
-    width: usize,
-    height: usize,
-    data: Vec<u8>,
-}
-
-impl SegMask {
-    /// Creates an all-background mask.
-    ///
-    /// # Panics
-    /// Panics if either dimension is zero.
-    pub fn new(width: usize, height: usize) -> Self {
-        assert!(width > 0 && height > 0, "mask dimensions must be non-zero");
-        Self {
-            width,
-            height,
-            data: vec![0; width * height],
-        }
-    }
-
-    /// Wraps an existing 0/1 buffer.
-    ///
-    /// # Panics
-    /// Panics on size mismatch or if any value is not 0 or 1.
-    pub fn from_vec(width: usize, height: usize, data: Vec<u8>) -> Self {
-        assert_eq!(data.len(), width * height, "mask buffer size mismatch");
-        assert!(data.iter().all(|&v| v <= 1), "mask values must be 0 or 1");
-        Self {
-            width,
-            height,
-            data,
-        }
-    }
-
-    /// Mask width in pixels.
-    pub fn width(&self) -> usize {
-        self.width
-    }
-
-    /// Mask height in pixels.
-    pub fn height(&self) -> usize {
-        self.height
-    }
-
-    /// Raw 0/1 slice in row-major order.
-    pub fn as_slice(&self) -> &[u8] {
-        &self.data
-    }
-
-    /// Mutable raw slice. Values written must stay 0/1.
-    pub fn as_mut_slice(&mut self) -> &mut [u8] {
-        &mut self.data
-    }
-
-    /// Value at `(x, y)` (0 or 1).
-    ///
-    /// # Panics
-    /// Panics if the coordinates are out of bounds.
-    #[inline]
-    pub fn get(&self, x: usize, y: usize) -> u8 {
-        self.data[y * self.width + x]
-    }
-
-    /// Value at `(x, y)` with coordinates clamped into the mask.
-    #[inline]
-    pub fn get_clamped(&self, x: i32, y: i32) -> u8 {
-        let cx = x.clamp(0, self.width as i32 - 1) as usize;
-        let cy = y.clamp(0, self.height as i32 - 1) as usize;
-        self.data[cy * self.width + cx]
-    }
-
-    /// Sets the value at `(x, y)` to 0 or 1.
-    ///
-    /// # Panics
-    /// Panics if coordinates are out of bounds or `v > 1`.
-    #[inline]
-    pub fn set(&mut self, x: usize, y: usize, v: u8) {
-        assert!(v <= 1, "mask values must be 0 or 1");
-        self.data[y * self.width + x] = v;
-    }
-
-    /// Number of foreground pixels.
-    pub fn count_ones(&self) -> usize {
-        self.data.iter().filter(|&&v| v == 1).count()
-    }
-
-    /// Tight bounding box of the foreground, or `None` if the mask is empty.
-    pub fn bounding_box(&self) -> Option<Rect> {
-        let (mut x0, mut y0) = (self.width as i32, self.height as i32);
-        let (mut x1, mut y1) = (0i32, 0i32);
-        let mut any = false;
-        for y in 0..self.height {
-            let row = &self.data[y * self.width..(y + 1) * self.width];
-            for (x, &v) in row.iter().enumerate() {
-                if v == 1 {
-                    any = true;
-                    x0 = x0.min(x as i32);
-                    y0 = y0.min(y as i32);
-                    x1 = x1.max(x as i32 + 1);
-                    y1 = y1.max(y as i32 + 1);
-                }
-            }
-        }
-        any.then(|| Rect::new(x0, y0, x1, y1))
-    }
-
-    /// Fills the rectangle (clamped to the mask) with foreground.
-    pub fn fill_rect(&mut self, r: Rect) {
-        let r = r.clamped(self.width, self.height);
-        for y in r.y0..r.y1 {
-            for x in r.x0..r.x1 {
-                self.data[y as usize * self.width + x as usize] = 1;
-            }
-        }
-    }
-}
-
-/// One pixel of a reconstructed (pre-refinement) B-frame segmentation.
-///
-/// The hardware stores 2 bits per pixel (§IV-D of the paper): `00` black,
-/// `01`/`10` gray (the two reference blocks disagreed), `11` white.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
-#[repr(u8)]
-pub enum Seg2 {
-    /// Background in every contributing reference block (`00`).
-    #[default]
-    Black = 0,
-    /// The two reference blocks disagreed (`01`/`10`): the mean filter output
-    /// is 0.5.
-    Gray = 1,
-    /// Foreground in every contributing reference block (`11`).
-    White = 2,
-}
-
-impl Seg2 {
-    /// Mean-filter value in `[0, 1]` used as the NN-S input channel.
-    pub fn to_f32(self) -> f32 {
-        match self {
-            Seg2::Black => 0.0,
-            Seg2::Gray => 0.5,
-            Seg2::White => 1.0,
-        }
-    }
-
-    /// Combines the 1-bit values of the (up to two) reference pixels exactly
-    /// like the hardware mean filter: `0+0 → Black`, `1+1 → White`, mixed →
-    /// `Gray`.
-    pub fn from_bits(a: u8, b: u8) -> Self {
-        match (a & 1) + (b & 1) {
-            0 => Seg2::Black,
-            1 => Seg2::Gray,
-            _ => Seg2::White,
-        }
-    }
-
-    /// The number of hardware bits per pixel of this representation.
-    pub const BITS: usize = 2;
-}
-
-impl std::fmt::Display for Seg2 {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            Seg2::Black => "black",
-            Seg2::Gray => "gray",
-            Seg2::White => "white",
-        };
-        f.write_str(s)
-    }
-}
-
-/// A 2-bit-per-pixel reconstructed segmentation plane (the contents of a
-/// `tmp_B` buffer after reconstruction).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Seg2Plane {
-    width: usize,
-    height: usize,
-    data: Vec<Seg2>,
-}
-
-impl Seg2Plane {
-    /// Creates an all-black plane.
-    ///
-    /// # Panics
-    /// Panics if either dimension is zero.
-    pub fn new(width: usize, height: usize) -> Self {
-        assert!(width > 0 && height > 0, "plane dimensions must be non-zero");
-        Self {
-            width,
-            height,
-            data: vec![Seg2::Black; width * height],
-        }
-    }
-
-    /// Plane width in pixels.
-    pub fn width(&self) -> usize {
-        self.width
-    }
-
-    /// Plane height in pixels.
-    pub fn height(&self) -> usize {
-        self.height
-    }
-
-    /// Raw values in row-major order.
-    pub fn as_slice(&self) -> &[Seg2] {
-        &self.data
-    }
-
-    /// Value at `(x, y)`.
-    ///
-    /// # Panics
-    /// Panics if the coordinates are out of bounds.
-    #[inline]
-    pub fn get(&self, x: usize, y: usize) -> Seg2 {
-        self.data[y * self.width + x]
-    }
-
-    /// Sets the value at `(x, y)`.
-    ///
-    /// # Panics
-    /// Panics if the coordinates are out of bounds.
-    #[inline]
-    pub fn set(&mut self, x: usize, y: usize, v: Seg2) {
-        self.data[y * self.width + x] = v;
-    }
-
-    /// Thresholds the plane into a binary mask (gray counts as foreground
-    /// when `gray_is_foreground` is set).
-    pub fn to_mask(&self, gray_is_foreground: bool) -> SegMask {
-        let data = self
-            .data
-            .iter()
-            .map(|&v| match v {
-                Seg2::Black => 0,
-                Seg2::Gray => u8::from(gray_is_foreground),
-                Seg2::White => 1,
-            })
-            .collect();
-        SegMask::from_vec(self.width, self.height, data)
-    }
-
-    /// Storage size in bits (2 bits per pixel, as in the tmp_B buffers).
-    pub fn storage_bits(&self) -> usize {
-        self.data.len() * Seg2::BITS
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,52 +137,5 @@ mod tests {
         let b = Frame::from_vec(2, 2, vec![10, 10, 10, 10]);
         assert!((a.mean_abs_diff(&b) - (10.0 + 0.0 + 10.0 + 20.0) / 4.0).abs() < 1e-9);
         assert_eq!(a.mean_abs_diff(&a), 0.0);
-    }
-
-    #[test]
-    fn mask_counting_and_bbox() {
-        let mut m = SegMask::new(8, 6);
-        assert_eq!(m.bounding_box(), None);
-        m.fill_rect(Rect::new(2, 1, 5, 4));
-        assert_eq!(m.count_ones(), 9);
-        assert_eq!(m.bounding_box(), Some(Rect::new(2, 1, 5, 4)));
-        assert_eq!(m.get(2, 1), 1);
-        assert_eq!(m.get(1, 1), 0);
-    }
-
-    #[test]
-    fn mask_fill_rect_clamps() {
-        let mut m = SegMask::new(4, 4);
-        m.fill_rect(Rect::new(-2, -2, 2, 2));
-        assert_eq!(m.count_ones(), 4);
-        assert_eq!(m.bounding_box(), Some(Rect::new(0, 0, 2, 2)));
-    }
-
-    #[test]
-    #[should_panic(expected = "mask values must be 0 or 1")]
-    fn mask_rejects_non_binary() {
-        let mut m = SegMask::new(2, 2);
-        m.set(0, 0, 2);
-    }
-
-    #[test]
-    fn seg2_mean_filter_semantics() {
-        assert_eq!(Seg2::from_bits(0, 0), Seg2::Black);
-        assert_eq!(Seg2::from_bits(1, 0), Seg2::Gray);
-        assert_eq!(Seg2::from_bits(0, 1), Seg2::Gray);
-        assert_eq!(Seg2::from_bits(1, 1), Seg2::White);
-        assert_eq!(Seg2::Gray.to_f32(), 0.5);
-    }
-
-    #[test]
-    fn seg2_plane_threshold_and_storage() {
-        let mut p = Seg2Plane::new(3, 2);
-        p.set(0, 0, Seg2::White);
-        p.set(1, 0, Seg2::Gray);
-        assert_eq!(p.storage_bits(), 12);
-        let strict = p.to_mask(false);
-        assert_eq!(strict.count_ones(), 1);
-        let lenient = p.to_mask(true);
-        assert_eq!(lenient.count_ones(), 2);
     }
 }

@@ -35,6 +35,7 @@
 pub mod davis;
 pub mod frame;
 pub mod geom;
+pub mod mask;
 pub mod object;
 pub mod pgm;
 pub mod scene;
@@ -43,8 +44,9 @@ pub mod texture;
 pub mod vid;
 
 pub use davis::SuiteConfig;
-pub use frame::{Frame, Seg2, Seg2Plane, SegMask, BYTES_PER_RAW_PIXEL};
+pub use frame::{Frame, BYTES_PER_RAW_PIXEL};
 pub use geom::{Detection, Point, Rect, Vec2};
+pub use mask::{MaskError, Seg2, Seg2Plane, SegMask, MASK_WORD_BITS};
 pub use object::{Deformation, SceneObject, Shape, Trajectory};
 pub use pgm::{frame_to_pgm, mask_to_pgm, overlay};
 pub use scene::{RenderedFrame, Scene};

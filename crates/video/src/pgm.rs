@@ -6,7 +6,8 @@
 //! every image tool — without pulling in an image dependency. The `vrddump`
 //! binary writes whole sequences.
 
-use crate::frame::{Frame, SegMask};
+use crate::frame::Frame;
+use crate::mask::SegMask;
 
 /// Serialises a frame as a binary PGM (P5) image.
 ///
@@ -34,7 +35,7 @@ pub fn frame_to_pgm(frame: &Frame) -> Vec<u8> {
 pub fn mask_to_pgm(mask: &SegMask) -> Vec<u8> {
     let mut out = format!("P5\n{} {}\n255\n", mask.width(), mask.height()).into_bytes();
     out.extend(
-        mask.as_slice()
+        mask.to_byte_vec()
             .iter()
             .map(|&v| if v == 1 { 255 } else { 0 }),
     );

@@ -6,8 +6,9 @@
 //! the three artefacts every experiment in the paper needs (raw video for
 //! the encoder, masks for IoU/F-score, boxes for mAP).
 
-use crate::frame::{Frame, SegMask};
+use crate::frame::Frame;
 use crate::geom::{Rect, Vec2};
+use crate::mask::SegMask;
 use crate::object::SceneObject;
 use crate::texture::Texture;
 

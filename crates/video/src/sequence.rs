@@ -5,8 +5,9 @@
 //! carry their motion statistics so experiments can group them into the
 //! paper's *fast / medium / slow* classes (Fig. 11).
 
-use crate::frame::{Frame, SegMask};
+use crate::frame::Frame;
 use crate::geom::Rect;
+use crate::mask::SegMask;
 use crate::scene::Scene;
 
 /// The paper's object-speed grouping for detection accuracy (Fig. 11).

@@ -49,8 +49,8 @@ proptest! {
         let mut gt = SegMask::new(16, 16);
         for i in 0..256usize {
             let h = vrd_video::texture::hash2(i as i64, 0, seed);
-            if h & 1 == 1 { pred.as_mut_slice()[i] = 1; }
-            if h & 2 == 2 { gt.as_mut_slice()[i] = 1; }
+            if h & 1 == 1 { pred.set(i % 16, i / 16, 1); }
+            if h & 2 == 2 { gt.set(i % 16, i / 16, 1); }
         }
         let c = PixelCounts::tally(&pred, &gt);
         prop_assert!(c.iou() <= c.f_score() + 1e-12);
@@ -97,7 +97,7 @@ proptest! {
         let mut reference = SegMask::new(w, h);
         for i in 0..w * h {
             if vrd_video::texture::hash2(i as i64, 9, seed) & 1 == 1 {
-                reference.as_mut_slice()[i] = 1;
+                reference.set(i % w, i / w, 1);
             }
         }
         let mvs: Vec<MvRecord> = (0..h).step_by(mb).flat_map(|y| {
