@@ -12,7 +12,7 @@ use vrd_flow::{estimate, FlowConfig};
 use vrd_metrics::segmentation::reference as tally_reference;
 use vrd_metrics::PixelCounts;
 use vrd_nn::conv::{reference as conv_reference, Conv2d};
-use vrd_nn::{LargeNet, LargeNetProfile, NnS, Tensor};
+use vrd_nn::{LargeNet, LargeNetProfile, NnS, QuantConv2d, Requant, Tensor};
 use vrd_sim::{agent, AgentConfig, Dram, DramConfig};
 use vrd_video::davis::{davis_sequence, SuiteConfig};
 use vrd_video::SegMask;
@@ -201,6 +201,48 @@ fn bench_conv(c: &mut Criterion) {
     });
 }
 
+/// Deployment-resolution quantized kernels vs their pinned f32
+/// counterparts: one fused 8→8 conv layer and the full NN-S refinement
+/// (ISSUE acceptance: int8 NN-S ≥3× over the f32 path at 854×480).
+fn bench_quant(c: &mut Criterion) {
+    const W: usize = 854;
+    const H: usize = 480;
+    let mut nns = NnS::new(8, 42);
+    let hd = Tensor::from_vec(
+        3,
+        H,
+        W,
+        (0..3 * H * W).map(|v| (v % 97) as f32 / 96.0).collect(),
+    );
+    nns.calibrate(&[&hd]);
+    let q = nns.quantize();
+    c.bench_function("nns/infer_int8_854x480", |b| {
+        b.iter(|| q.infer(black_box(&hd)))
+    });
+
+    let conv = Conv2d::new(8, 8, 3, 7);
+    let xf = Tensor::from_vec(
+        8,
+        H,
+        W,
+        (0..8 * H * W).map(|v| (v % 97) as f32 / 96.0).collect(),
+    );
+    c.bench_function("conv/forward_854x480", |b| {
+        b.iter(|| conv.forward_inference(black_box(&xf)))
+    });
+    let qconv = QuantConv2d::from_conv(&conv);
+    let xq: Vec<u8> = xf
+        .as_slice()
+        .iter()
+        .map(|&v| (v * 127.0 + 0.5) as u8)
+        .collect();
+    let rq = vec![Requant::from_real(0.01, 0); 8];
+    let mut out = vec![0u8; 8 * H * W];
+    c.bench_function("conv/forward_int8_854x480", |b| {
+        b.iter(|| qconv.forward_requant(black_box(&xq), H, W, &rq, &mut out))
+    });
+}
+
 fn bench_agent(c: &mut Criterion) {
     let (rec, _) = recognition_fixture();
     let info = rec.b_frames.first().expect("stream has B-frames");
@@ -243,6 +285,6 @@ fn bench_flow_and_oracle(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_codec, bench_reconstruction, bench_packed_masks, bench_nns, bench_conv, bench_agent, bench_flow_and_oracle
+    targets = bench_codec, bench_reconstruction, bench_packed_masks, bench_nns, bench_conv, bench_quant, bench_agent, bench_flow_and_oracle
 }
 criterion_main!(benches);

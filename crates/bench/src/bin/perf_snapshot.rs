@@ -9,10 +9,13 @@
 //! serialisation dependency.
 //!
 //! Usage:
-//! `cargo run --release --bin perf_snapshot [nn.json] [recon.json] [--min-recon-speedup X]`
+//! `cargo run --release --bin perf_snapshot [nn.json] [recon.json] [quant.json]
+//!     [--min-recon-speedup X] [--min-quant-speedup X]`
 //!
 //! With `--min-recon-speedup X` the run exits 1 if any packed-mask row's
-//! speedup over its byte-wise reference falls below `X`.
+//! speedup over its byte-wise reference falls below `X`; with
+//! `--min-quant-speedup X` likewise if any `BENCH_quant.json` row's int8
+//! speedup over the optimised f32 path falls below `X`.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -22,7 +25,7 @@ use vrd_codec::{MvRecord, RefMv};
 use vrd_metrics::segmentation::{reference as tally_reference, PixelCounts};
 use vrd_nn::conv::{reference, Conv2d};
 use vrd_nn::layers::{maxpool2_into, relu_in_place, sigmoid_in_place, upsample2_into};
-use vrd_nn::{NnS, Tensor};
+use vrd_nn::{NnS, QuantConv2d, Requant, Tensor};
 use vrd_video::{mask, Seg2Plane, SegMask};
 
 /// Median wall-clock seconds of `reps` runs of `f`.
@@ -144,6 +147,92 @@ fn nn_rows() -> Vec<Row> {
         }) * 1e3,
         naive_ms: time_median(31, || {
             std::hint::black_box(reference::backward(&conv_t, &x, &gout));
+        }) * 1e3,
+    });
+
+    rows
+}
+
+struct QuantRow {
+    name: &'static str,
+    f32_ms: f64,
+    int8_ms: f64,
+}
+
+fn render_quant_json(rows: &[QuantRow]) -> String {
+    let mut json = String::from("{\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  \"{}\": {{\"f32_ms\": {:.4}, \"int8_ms\": {:.4}, \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.f32_ms,
+            r.int8_ms,
+            r.f32_ms / r.int8_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("}\n");
+    json
+}
+
+fn quant_rows() -> Vec<QuantRow> {
+    let mut rows = Vec::new();
+
+    // --- NN-S inference at deployment resolution: the optimised f32 path
+    // (the PR 1 kernels, the previous production path) vs the calibrated
+    // int8 path. Both run the full network including quantize/sigmoid, so
+    // this is the end-to-end per-B-frame refinement cost.
+    let mut nns = NnS::new(8, 42);
+    let hd = Tensor::from_vec(
+        3,
+        480,
+        854,
+        (0..3 * 480 * 854)
+            .map(|v| match v % 7 {
+                0..=2 => 0.0,
+                3 | 4 => 0.5,
+                _ => 1.0,
+            })
+            .collect(),
+    );
+    nns.calibrate(&[&hd]);
+    let q = nns.quantize();
+    rows.push(QuantRow {
+        name: "nns_infer_854x480",
+        f32_ms: time_median(5, || {
+            std::hint::black_box(nns.infer(&hd));
+        }) * 1e3,
+        int8_ms: time_median(9, || {
+            std::hint::black_box(q.infer(&hd));
+        }) * 1e3,
+    });
+
+    // --- One 8→8 3×3 conv layer at deployment resolution: the optimised
+    // f32 forward vs the fused quantized forward+requant (the inner loop
+    // the NPU's MAC array maps to).
+    let conv = Conv2d::new(8, 8, 3, 7);
+    let xf = Tensor::from_vec(
+        8,
+        480,
+        854,
+        (0..8 * 480 * 854).map(|v| (v % 97) as f32 / 96.0).collect(),
+    );
+    let qconv = QuantConv2d::from_conv(&conv);
+    let xq: Vec<u8> = xf
+        .as_slice()
+        .iter()
+        .map(|&v| ((v * 127.0) as i32).clamp(0, 127) as u8)
+        .collect();
+    let rq = vec![Requant::from_real(0.01, 0); 8];
+    let mut out_q = vec![0u8; 8 * 480 * 854];
+    rows.push(QuantRow {
+        name: "conv_forward_854x480",
+        f32_ms: time_median(5, || {
+            std::hint::black_box(conv.forward_inference(&xf));
+        }) * 1e3,
+        int8_ms: time_median(9, || {
+            qconv.forward_requant(&xq, 480, 854, &rq, &mut out_q);
+            std::hint::black_box(&out_q);
         }) * 1e3,
     });
 
@@ -283,34 +372,43 @@ fn recon_rows() -> Vec<Row> {
 fn main() {
     let mut nn_path = None;
     let mut recon_path = None;
+    let mut quant_path = None;
     let mut min_recon_speedup: Option<f64> = None;
+    let mut min_quant_speedup: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--min-recon-speedup" {
+        if arg == "--min-recon-speedup" || arg == "--min-quant-speedup" {
             let v = args.next().and_then(|v| v.parse().ok());
             match v {
-                Some(v) => min_recon_speedup = Some(v),
+                Some(v) if arg == "--min-recon-speedup" => min_recon_speedup = Some(v),
+                Some(v) => min_quant_speedup = Some(v),
                 None => {
-                    eprintln!("error: --min-recon-speedup needs a numeric value");
+                    eprintln!("error: {arg} needs a numeric value");
                     std::process::exit(2);
                 }
             }
         } else if nn_path.is_none() {
             nn_path = Some(arg);
-        } else {
+        } else if recon_path.is_none() {
             recon_path = Some(arg);
+        } else {
+            quant_path = Some(arg);
         }
     }
     let nn_path = nn_path.unwrap_or_else(|| "BENCH_nn.json".into());
     let recon_path = recon_path.unwrap_or_else(|| "BENCH_recon.json".into());
+    let quant_path = quant_path.unwrap_or_else(|| "BENCH_quant.json".into());
 
     write_or_die(&nn_path, &render_json(&nn_rows()));
 
     let recon = recon_rows();
     write_or_die(&recon_path, &render_json(&recon));
 
+    let quant = quant_rows();
+    write_or_die(&quant_path, &render_quant_json(&quant));
+
+    let mut ok = true;
     if let Some(min) = min_recon_speedup {
-        let mut ok = true;
         for r in &recon {
             let speedup = r.naive_ms / r.optimized_ms;
             if speedup < min {
@@ -321,8 +419,20 @@ fn main() {
                 ok = false;
             }
         }
-        if !ok {
-            std::process::exit(1);
+    }
+    if let Some(min) = min_quant_speedup {
+        for r in &quant {
+            let speedup = r.f32_ms / r.int8_ms;
+            if speedup < min {
+                eprintln!(
+                    "quant speedup check failed: {} is {speedup:.2}x, need >= {min:.2}x",
+                    r.name
+                );
+                ok = false;
+            }
         }
+    }
+    if !ok {
+        std::process::exit(1);
     }
 }

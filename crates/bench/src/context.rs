@@ -6,7 +6,7 @@
 //! CI runs stay fast; [`Scale::Full`] is the paper-scale configuration every
 //! number in `EXPERIMENTS.md` was produced with.
 
-use vr_dann::{SegmentationRun, TrainTask, VrDann, VrDannConfig};
+use vr_dann::{ComputeMode, SegmentationRun, TrainTask, VrDann, VrDannConfig};
 use vrd_codec::{CodecConfig, EncodedVideo};
 use vrd_metrics::{score_sequence, SegScores};
 use vrd_sim::{ExecMode, ParallelOptions, SimConfig, SimReport};
@@ -83,10 +83,17 @@ pub struct Context {
 impl Context {
     /// Builds the context: generates suites and trains NN-S (the slow step).
     pub fn new(scale: Scale) -> Self {
+        Self::new_with(scale, ComputeMode::F32Reference)
+    }
+
+    /// [`Context::new`] with an explicit NN-S compute mode — training is
+    /// mode-independent (always f32), only inference switches paths.
+    pub fn new_with(scale: Scale, compute: ComputeMode) -> Self {
         let suite_cfg = scale.suite_config();
         let train = davis_train_suite(&suite_cfg, scale.train_sequences());
         let model = VrDann::train(&train, TrainTask::Segmentation, VrDannConfig::default())
-            .expect("training the default pipeline succeeds");
+            .expect("training the default pipeline succeeds")
+            .with_compute(compute);
         let mut davis = davis_val_suite(&suite_cfg);
         davis.truncate(scale.val_sequences());
         Self {

@@ -49,7 +49,7 @@ use vrd_codec::{
     ConcealReason, DecodeOutcome, DecodedUnit, EncodedVideo, FrameSource, FrameType, StreamInfo,
     UnitPayload,
 };
-use vrd_nn::{LargeNet, NnS};
+use vrd_nn::{ComputeMode, LargeNet, NnS, QuantNnS};
 use vrd_video::texture::hash2;
 use vrd_video::{Detection, SegMask, Sequence};
 
@@ -490,6 +490,10 @@ pub struct PipelineEngine<'a, T, P> {
     mb: usize,
     nns_ops: u64,
     nnl_ops: u64,
+    // Quantized twin of `nns`, built at prime time when the configuration
+    // selects `ComputeMode::Int8` (weight quantization is done once, not
+    // per frame).
+    nns_q: Option<QuantNnS>,
     ref_segs: BTreeMap<u32, SegMask>,
     anchor_window: VecDeque<u32>,
     frames: Vec<(TraceFrame, ByteClass)>,
@@ -512,6 +516,7 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
             mb: 0,
             nns_ops: 0,
             nnl_ops: 0,
+            nns_q: None,
             ref_segs: BTreeMap::new(),
             anchor_window: VecDeque::new(),
             frames: Vec::new(),
@@ -532,8 +537,12 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
         self.w = info.width;
         self.h = info.height;
         self.mb = info.mb_size;
+        // The NPU is charged the same MAC count in both compute modes (the
+        // paper's MAC array runs low precision natively), so traces are
+        // byte-identical across `ComputeMode`s.
         self.nns_ops = 2 * self.nns.macs(self.h, self.w);
         self.nnl_ops = self.task.nnl_ops();
+        self.nns_q = (self.cfg.compute == ComputeMode::Int8).then(|| self.nns.quantize());
         for &display in prepopulate {
             let mask = self.task.infer_anchor(display, false);
             self.ref_segs.insert(display, mask);
@@ -694,7 +703,10 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
                     } else {
                         build_reconstruction_only(&plane)
                     };
-                    self.nns.infer(&input).to_mask(0.5)
+                    match &self.nns_q {
+                        Some(q) => q.infer(&input).to_mask(0.5),
+                        None => self.nns.infer(&input).to_mask(0.5),
+                    }
                 } else {
                     plane_to_mask(&plane, &self.cfg.recon)
                 };

@@ -53,6 +53,7 @@ pub use error::{Result, VrDannError};
 pub use recon::{plane_to_mask, reconstruct_b_frame, ReconConfig};
 pub use sandwich::{build_reconstruction_only, build_sandwich};
 pub use trace::{ComputeKind, ConcealmentStats, SchemeKind, SchemeTrace, TraceFrame};
+pub use vrd_nn::ComputeMode;
 pub use vrdann::{
     DetectionRun, ResilienceOptions, SegmentationRun, TrainTask, VrDann, VrDannConfig,
 };

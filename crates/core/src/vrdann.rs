@@ -21,7 +21,7 @@ use vrd_codec::{
     CodecConfig, Decoder, EncodedVideo, Encoder, FrameSource, ResilientFrameSource,
     StrictFrameSource,
 };
-use vrd_nn::{trainer, LargeNet, LargeNetProfile, NnS, Sample, Tensor, TrainConfig};
+use vrd_nn::{trainer, ComputeMode, LargeNet, LargeNetProfile, NnS, Sample, Tensor, TrainConfig};
 use vrd_video::{Detection, SegMask, Sequence};
 
 /// Full pipeline configuration.
@@ -55,6 +55,12 @@ pub struct VrDannConfig {
     /// and segmented by NN-L instead of reconstructed — trading performance
     /// for accuracy on fast motion.
     pub fallback_mv_threshold: Option<f32>,
+    /// Which compute path NN-S inference runs on:
+    /// [`ComputeMode::F32Reference`] is the pinned full-precision path,
+    /// [`ComputeMode::Int8`] the quantized MAC-array-faithful one. The
+    /// NPU-ops accounting is identical in both modes, so traces never
+    /// change — only the arithmetic inside the refinement does.
+    pub compute: ComputeMode,
 }
 
 impl Default for VrDannConfig {
@@ -70,6 +76,7 @@ impl Default for VrDannConfig {
             detect_profile: LargeNetProfile::selsa(),
             seed: 0xda77,
             fallback_mv_threshold: None,
+            compute: ComputeMode::F32Reference,
         }
     }
 }
@@ -215,7 +222,20 @@ impl VrDann {
         }
         let mut nns = NnS::new(cfg.nns_hidden, cfg.seed);
         trainer::train(&mut nns, &samples, &cfg.train);
+        // Calibrate the quantized path's activation scales on (a slice of)
+        // the training inputs. This only observes activations — weights and
+        // the f32 inference path are untouched.
+        let calib: Vec<&Tensor> = samples.iter().take(32).map(|s| &s.input).collect();
+        nns.calibrate(&calib);
         Ok(Self { cfg, nns })
+    }
+
+    /// Returns the pipeline with its NN-S compute path switched (builder
+    /// style: `model.clone().with_compute(ComputeMode::Int8)`).
+    #[must_use]
+    pub fn with_compute(mut self, compute: ComputeMode) -> Self {
+        self.cfg.compute = compute;
+        self
     }
 
     /// The pipeline configuration.
@@ -526,6 +546,39 @@ mod tests {
         noop.cfg.fallback_mv_threshold = Some(1e6);
         let run_noop = noop.run_segmentation(&seq, &encoded).unwrap();
         assert_eq!(nnl_frames(&run_noop), nnl_frames(&run_plain));
+    }
+
+    #[test]
+    fn int8_mode_matches_f32_work_and_tracks_masks() {
+        let (model, cfg) = tiny_model(TrainTask::Segmentation);
+        assert!(model.nns().act_scales().is_some(), "training calibrates");
+        let seq = davis_sequence("cows", &cfg).unwrap();
+        let encoded = model.encode(&seq).unwrap();
+        let f32_run = model.run_segmentation(&seq, &encoded).unwrap();
+        let int8 = model.clone().with_compute(ComputeMode::Int8);
+        let int8_run = int8.run_segmentation(&seq, &encoded).unwrap();
+        // The NPU accounting is mode-invariant: identical traces.
+        assert_eq!(f32_run.trace, int8_run.trace);
+        assert_eq!(f32_run.masks.len(), int8_run.masks.len());
+        // The masks themselves must stay close: quantization may flip
+        // borderline pixels but not reshape the segmentation.
+        let total: usize = f32_run.masks.iter().map(|m| m.width() * m.height()).sum();
+        let flipped: usize = f32_run
+            .masks
+            .iter()
+            .zip(&int8_run.masks)
+            .map(|(a, b)| {
+                a.words()
+                    .iter()
+                    .zip(b.words())
+                    .map(|(x, y)| (x ^ y).count_ones() as usize)
+                    .sum::<usize>()
+            })
+            .sum();
+        assert!(
+            (flipped as f64) < 0.01 * total as f64,
+            "{flipped}/{total} mask pixels flipped under int8"
+        );
     }
 
     #[test]

@@ -80,6 +80,21 @@ impl Conv2d {
         self.w.len() + self.b.len()
     }
 
+    /// Input channel count.
+    pub fn cin(&self) -> usize {
+        self.cin
+    }
+
+    /// Output channel count.
+    pub fn cout(&self) -> usize {
+        self.cout
+    }
+
+    /// Kernel size (odd; the layer is same-padded).
+    pub fn kernel_size(&self) -> usize {
+        self.k
+    }
+
     /// Accumulated weight and bias gradients (for tests and reductions).
     pub fn grads(&self) -> (&[f32], &[f32]) {
         (&self.gw, &self.gb)

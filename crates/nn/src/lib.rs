@@ -30,6 +30,7 @@ pub mod largenet;
 pub mod layers;
 pub mod loss;
 pub mod nns;
+pub mod quant;
 pub mod serialize;
 pub mod tensor;
 pub mod trainer;
@@ -39,6 +40,7 @@ pub use largenet::{LargeNet, LargeNetProfile, FLOWNET_OPS_PER_PIXEL, NNL_OPS_PER
 pub use layers::{concat, sigmoid, split, MaxPool2, Relu, Upsample2};
 pub use loss::{bce_with_logits, mse};
 pub use nns::{NnS, SANDWICH_CHANNELS};
+pub use quant::{ActScales, ComputeMode, QuantConv2d, QuantNnS, Requant};
 pub use serialize::{load_nns, save_nns};
 pub use tensor::Tensor;
 pub use trainer::{train, Optimizer, Sample, TrainConfig};

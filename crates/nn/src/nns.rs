@@ -12,6 +12,7 @@ use crate::layers::{
     Upsample2,
 };
 use crate::loss::bce_with_logits;
+use crate::quant::{ActScales, QuantNnS};
 use crate::tensor::Tensor;
 use vrd_runtime::BufferPool;
 
@@ -45,6 +46,7 @@ pub struct NnS {
     relu2: Relu,
     conv3: Conv2d,
     cache_a1: Option<Tensor>,
+    act_scales: Option<ActScales>,
 }
 
 impl NnS {
@@ -63,6 +65,7 @@ impl NnS {
             relu2: Relu::new(),
             conv3: Conv2d::new(2 * hidden, 1, 3, seed ^ 0x03),
             cache_a1: None,
+            act_scales: None,
         }
     }
 
@@ -91,7 +94,72 @@ impl NnS {
             relu2: Relu::new(),
             conv3,
             cache_a1: None,
+            act_scales: None,
         }
+    }
+
+    /// Calibrated activation scales, if [`NnS::calibrate`] ran (or a
+    /// deserialised model carried them).
+    pub fn act_scales(&self) -> Option<ActScales> {
+        self.act_scales
+    }
+
+    /// Attaches activation scales (used by the deserialiser; normal code
+    /// calls [`NnS::calibrate`]).
+    pub fn set_act_scales(&mut self, scales: ActScales) {
+        self.act_scales = Some(scales);
+    }
+
+    /// Observes activation ranges on a calibration set and stores the
+    /// resulting [`ActScales`], tightening the quantized path's resolution
+    /// versus the conservative weight-norm bound. Runs the inference
+    /// layers only (no gradients); inputs with odd dimensions are skipped
+    /// by the same even-dimension rule as [`NnS::infer`].
+    ///
+    /// # Panics
+    /// Panics if any input has the wrong channel count or odd dimensions.
+    pub fn calibrate(&mut self, inputs: &[&Tensor]) {
+        let (mut in_max, mut a1_max, mut a2_max) = (0.0f32, 0.0f32, 0.0f32);
+        let abs_max = |s: &[f32]| s.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        for x in inputs {
+            assert_eq!(
+                x.channels(),
+                SANDWICH_CHANNELS,
+                "NN-S expects the 3-channel sandwich input"
+            );
+            let (h, w) = (x.height(), x.width());
+            assert!(h % 2 == 0 && w % 2 == 0, "max-pool needs even dimensions");
+            let (hw, hid) = (h * w, self.hidden);
+            in_max = in_max.max(abs_max(x.as_slice()));
+            let mut a1 = SCRATCH.take(hid * hw);
+            self.conv1.forward_into(x.as_slice(), h, w, &mut a1);
+            relu_in_place(&mut a1);
+            a1_max = a1_max.max(abs_max(&a1));
+            let mut d = SCRATCH.take(hid * hw / 4);
+            maxpool2_into(&a1, hid, h, w, &mut d);
+            let mut a2 = SCRATCH.take(hid * hw / 4);
+            self.conv2.forward_into(&d, h / 2, w / 2, &mut a2);
+            relu_in_place(&mut a2);
+            a2_max = a2_max.max(abs_max(&a2));
+        }
+        self.act_scales = Some(ActScales::from_maxes(in_max, a1_max, a2_max));
+    }
+
+    /// Builds the quantized twin of this model ([`QuantNnS`]), using the
+    /// calibrated activation scales when present. Quantize once and reuse:
+    /// the weight quantization is the expensive part.
+    pub fn quantize(&self) -> QuantNnS {
+        QuantNnS::from_nns(self)
+    }
+
+    /// One-shot quantized inference — [`NnS::quantize`] then
+    /// [`QuantNnS::infer`]. Steady-state pipelines should hold the
+    /// [`QuantNnS`] instead of re-quantizing per frame.
+    ///
+    /// # Panics
+    /// Panics on a wrong channel count or odd spatial dimensions.
+    pub fn infer_quantized(&self, x: &Tensor) -> Tensor {
+        self.quantize().infer(x)
     }
 
     /// Total trainable parameter count.

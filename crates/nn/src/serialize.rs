@@ -8,11 +8,16 @@
 
 use crate::conv::Conv2d;
 use crate::nns::{NnS, SANDWICH_CHANNELS};
+use crate::quant::ActScales;
 
 /// Magic bytes of a serialised NN-S model.
 pub const MAGIC: [u8; 4] = *b"VRNS";
 /// Format version.
 pub const VERSION: u8 = 1;
+/// Magic bytes of the optional calibration trailer: activation scales for
+/// the quantized inference path, appended after the f32 parameters so
+/// pre-quantization files (which simply end after conv3) keep loading.
+pub const SCALES_MAGIC: [u8; 4] = *b"QSC1";
 
 fn put_f32s(out: &mut Vec<u8>, vals: &[f32]) {
     out.extend_from_slice(&(vals.len() as u32).to_le_bytes());
@@ -86,6 +91,12 @@ pub fn save_nns(model: &NnS) -> Vec<u8> {
     put_conv(&mut out, c1);
     put_conv(&mut out, c2);
     put_conv(&mut out, c3);
+    if let Some(s) = model.act_scales() {
+        out.extend_from_slice(&SCALES_MAGIC);
+        out.extend_from_slice(&s.input.to_le_bytes());
+        out.extend_from_slice(&s.a1.to_le_bytes());
+        out.extend_from_slice(&s.a2.to_le_bytes());
+    }
     out
 }
 
@@ -108,10 +119,26 @@ pub fn load_nns(buf: &[u8]) -> Result<NnS, String> {
     let c1 = get_conv(buf, &mut pos, SANDWICH_CHANNELS, hidden, 3)?;
     let c2 = get_conv(buf, &mut pos, hidden, hidden, 3)?;
     let c3 = get_conv(buf, &mut pos, 2 * hidden, 1, 3)?;
-    if pos != buf.len() {
-        return Err(format!("{} trailing bytes", buf.len() - pos));
+    let mut model = NnS::from_convs(hidden, c1, c2, c3);
+    let rest = &buf[pos..];
+    if rest.is_empty() {
+        // Pre-quantization file: no calibration trailer.
+        return Ok(model);
     }
-    Ok(NnS::from_convs(hidden, c1, c2, c3))
+    if rest.len() != 16 || rest[..4] != SCALES_MAGIC {
+        return Err(format!("{} trailing bytes", rest.len()));
+    }
+    let f = |i: usize| f32::from_le_bytes(rest[4 + 4 * i..8 + 4 * i].try_into().expect("4 bytes"));
+    let scales = ActScales {
+        input: f(0),
+        a1: f(1),
+        a2: f(2),
+    };
+    scales
+        .validate()
+        .map_err(|e| format!("calibration trailer: {e}"))?;
+    model.set_act_scales(scales);
+    Ok(model)
 }
 
 #[cfg(test)]
@@ -139,6 +166,56 @@ mod tests {
     fn save_is_deterministic() {
         let model = NnS::new(8, 7);
         assert_eq!(save_nns(&model), save_nns(&model));
+    }
+
+    #[test]
+    fn roundtrips_calibration_scales() {
+        let mut model = NnS::new(4, 11);
+        let x = Tensor::from_vec(3, 8, 8, (0..192).map(|v| v as f32 / 192.0).collect());
+        model.calibrate(&[&x]);
+        let scales = model.act_scales().expect("calibrated");
+        let bytes = save_nns(&model);
+        let loaded = load_nns(&bytes).expect("loads");
+        assert_eq!(loaded.act_scales(), Some(scales));
+        // The quantized twin is byte-for-byte reproducible after reload.
+        assert_eq!(
+            model.quantize().infer(&x).as_slice(),
+            loaded.quantize().infer(&x).as_slice()
+        );
+    }
+
+    #[test]
+    fn old_format_without_trailer_still_loads() {
+        // A model never calibrated serialises to the original format and a
+        // calibrated model's bytes are exactly that plus the 16B trailer.
+        let mut model = NnS::new(4, 5);
+        let plain = save_nns(&model);
+        let loaded = load_nns(&plain).expect("pre-quantization format loads");
+        assert!(loaded.act_scales().is_none());
+        let x = Tensor::from_vec(3, 8, 8, (0..192).map(|v| v as f32 / 250.0).collect());
+        model.calibrate(&[&x]);
+        let with_trailer = save_nns(&model);
+        assert_eq!(with_trailer.len(), plain.len() + 16);
+        assert_eq!(&with_trailer[..plain.len()], &plain[..]);
+    }
+
+    #[test]
+    fn rejects_corrupt_trailer() {
+        let mut model = NnS::new(4, 5);
+        let x = Tensor::from_vec(3, 8, 8, vec![0.5; 192]);
+        model.calibrate(&[&x]);
+        let good = save_nns(&model);
+        let mut bad_magic = good.clone();
+        let n = bad_magic.len();
+        bad_magic[n - 16] = b'X';
+        assert!(load_nns(&bad_magic).is_err());
+        let mut short = good.clone();
+        short.truncate(n - 1);
+        assert!(load_nns(&short).is_err());
+        let mut bad_scale = good;
+        // input scale := -1.0
+        bad_scale[n - 12..n - 8].copy_from_slice(&(-1.0f32).to_le_bytes());
+        assert!(load_nns(&bad_scale).is_err());
     }
 
     #[test]

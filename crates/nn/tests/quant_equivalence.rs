@@ -1,0 +1,182 @@
+//! Property tests pinning the quantized conv kernels to the naive `i32`
+//! reference: the dispatched path (AVX2 where detected, portable AXPY
+//! otherwise) and the exported portable path must be **bit-exact** with the
+//! triple-loop reference — integer accumulation makes this an equality, not
+//! a tolerance. Shapes sweep odd channel counts, 1×1 and 3×3 kernels, and
+//! widths straddling the 16-lane SIMD block so padding edges, the vector
+//! interior and the scalar tail are all exercised.
+
+use proptest::prelude::*;
+use vrd_nn::quant::{self, QuantConv2d, Requant};
+
+/// Deterministic f32 weights spanning both signs, derived from a seed.
+fn fill_weights(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as f32 + 1.0) * (seed % 97 + 1) as f32;
+            (x * 0.618_034).sin() * 4.0
+        })
+        .collect()
+}
+
+/// Deterministic 7-bit activations derived from a seed.
+fn fill_acts(len: usize, seed: u64) -> Vec<u8> {
+    (0..len)
+        .map(|i| (vrd_video::texture::hash2(i as i64, 3, seed) % 128) as u8)
+        .collect()
+}
+
+/// Builds the conv + input for one generated case. `ksel` picks the kernel
+/// (0 → 1×1, otherwise 3×3); `w` is rounded up to even like real frames.
+fn build_case(
+    cin: usize,
+    cout: usize,
+    ksel: usize,
+    h: usize,
+    w: usize,
+    seed: u64,
+) -> (QuantConv2d, usize, usize, Vec<u8>) {
+    let k = if ksel == 0 { 1 } else { 3 };
+    let w = if w.is_multiple_of(2) { w } else { w + 1 };
+    let weights = fill_weights(cout * cin * k * k, seed);
+    let conv = QuantConv2d::from_weights(cin, cout, k, &weights);
+    let x = fill_acts(cin * h * w, seed ^ 0xace5);
+    (conv, h, w, x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // Dispatched forward (SIMD when available) == naive reference, bit-exact.
+    #[test]
+    fn dispatched_forward_matches_reference(
+        cin in 1usize..9,
+        cout in 1usize..5,
+        ksel in 0usize..2,
+        h in 1usize..12,
+        w in 1usize..48,
+        seed in 0u64..1_000_000,
+    ) {
+        let (conv, h, w, x) = build_case(cin, cout, ksel, h, w, seed);
+        let mut fast = vec![0i32; conv.cout() * h * w];
+        conv.forward_i32(&x, h, w, &mut fast);
+        let naive = quant::reference::forward_i32(&conv, &x, h, w);
+        prop_assert_eq!(fast, naive);
+    }
+
+    // Portable fallback == naive reference, bit-exact — pinned explicitly
+    // so AVX2 machines still cover the non-SIMD kernel.
+    #[test]
+    fn portable_forward_matches_reference(
+        cin in 1usize..9,
+        cout in 1usize..5,
+        ksel in 0usize..2,
+        h in 1usize..12,
+        w in 1usize..48,
+        seed in 0u64..1_000_000,
+    ) {
+        let (conv, h, w, x) = build_case(cin, cout, ksel, h, w, seed);
+        let portable = quant::reference::forward_i32_portable(&conv, &x, h, w);
+        let naive = quant::reference::forward_i32(&conv, &x, h, w);
+        prop_assert_eq!(portable, naive);
+    }
+
+    // Fused requantization == reference accumulate-then-requantize.
+    #[test]
+    fn requantized_forward_matches_reference(
+        cin in 1usize..9,
+        cout in 1usize..5,
+        ksel in 0usize..2,
+        h in 1usize..12,
+        w in 1usize..48,
+        seed in 0u64..1_000_000,
+        m in 1e-6f64..1.0,
+        bias in -1000i32..1000,
+    ) {
+        let (conv, h, w, x) = build_case(cin, cout, ksel, h, w, seed);
+        let rq: Vec<Requant> = (0..conv.cout())
+            .map(|co| Requant::from_real(m * (co + 1) as f64, bias + co as i32))
+            .collect();
+        let mut fast = vec![0u8; conv.cout() * h * w];
+        conv.forward_requant(&x, h, w, &rq, &mut fast);
+        let naive = quant::reference::forward_requant(&conv, &x, h, w, &rq);
+        prop_assert_eq!(fast, naive);
+    }
+
+    // Requantization saturates instead of wrapping at accumulator extremes
+    // and agrees with a direct f64 evaluation everywhere.
+    #[test]
+    fn requant_saturates_and_rounds(
+        m in 1e-9f64..100.0,
+        bias in (i32::MIN / 2)..(i32::MAX / 2),
+        acc in i32::MIN..i32::MAX,
+    ) {
+        let rq = Requant::from_real(m, bias);
+        let got = rq.apply(acc) as i64;
+        prop_assert!((0..=127).contains(&got));
+        // The fixed-point decomposition carries 31 significant bits; allow
+        // one ULP of the exact real-arithmetic result.
+        let exact = ((acc as f64 + bias as f64) * m).round().clamp(0.0, 127.0) as i64;
+        prop_assert!(
+            (got - exact).abs() <= 1,
+            "m={} bias={} acc={}: fixed-point {} vs exact {}",
+            m, bias, acc, got, exact
+        );
+    }
+}
+
+/// Deterministic edge shapes the random sweep may never land on: widths
+/// exactly at/around the 16-lane block boundary with 3×3 padding.
+#[test]
+fn simd_block_boundary_widths() {
+    let cin = 3;
+    let conv = QuantConv2d::from_weights(cin, 2, 3, &fill_weights(cin * 2 * 9, 31));
+    for wid in [2usize, 16, 18, 20, 34, 36, 48, 50] {
+        let h = 6;
+        let x = fill_acts(cin * h * wid, wid as u64);
+        let mut fast = vec![0i32; 2 * h * wid];
+        conv.forward_i32(&x, h, wid, &mut fast);
+        assert_eq!(
+            fast,
+            quant::reference::forward_i32(&conv, &x, h, wid),
+            "width {wid}"
+        );
+    }
+}
+
+/// A 1×1 kernel has no padding edges at all — the whole row is interior.
+#[test]
+fn one_by_one_kernel_is_interior_only() {
+    let w = [0.5f32, -1.25, 2.0];
+    let conv = QuantConv2d::from_weights(3, 1, 1, &w);
+    let (h, wid) = (4, 33);
+    let x = fill_acts(3 * h * wid, 9);
+    let mut fast = vec![0i32; h * wid];
+    conv.forward_i32(&x, h, wid, &mut fast);
+    assert_eq!(fast, quant::reference::forward_i32(&conv, &x, h, wid));
+}
+
+/// Saturating requantization clamps extreme accumulators to the 7-bit
+/// range instead of wrapping — both kernels, same values.
+#[test]
+fn requant_extremes_clamp_in_both_kernels() {
+    // One huge positive weight and one huge negative weight per channel
+    // drive accumulators far past the representable output range.
+    let weights = [1000.0f32, -1000.0];
+    let conv = QuantConv2d::from_weights(1, 2, 1, &weights);
+    let (h, wid) = (2, 20);
+    let x = vec![127u8; h * wid];
+    let rq = vec![Requant::from_real(1.0, 0); 2];
+    let mut fast = vec![0u8; 2 * h * wid];
+    conv.forward_requant(&x, h, wid, &rq, &mut fast);
+    let naive = quant::reference::forward_requant(&conv, &x, h, wid, &rq);
+    assert_eq!(fast, naive);
+    assert!(
+        fast[..h * wid].iter().all(|&v| v == 127),
+        "positive saturates"
+    );
+    assert!(
+        fast[h * wid..].iter().all(|&v| v == 0),
+        "negative clamps to 0"
+    );
+}

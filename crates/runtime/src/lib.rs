@@ -7,8 +7,10 @@
 //! * [`parallel_map`] — order-preserving map over a slice on all cores;
 //! * [`parallel_for_each`] — consume a vec of independent work items (e.g.
 //!   disjoint `&mut` output slices) across cores;
-//! * [`BufferPool`] — reusable `f32` scratch buffers, so per-frame inference
-//!   stops paying an allocation per intermediate tensor.
+//! * [`BufferPool`] — reusable scratch buffers (`f32` by default; the
+//!   quantized inference path pools `u8` activations and `i32`
+//!   accumulators), so per-frame inference stops paying an allocation per
+//!   intermediate tensor.
 //!
 //! Everything here is **deterministic by construction**: work items are
 //! independent, outputs go to pre-assigned slots, and no reduction order
@@ -137,30 +139,35 @@ where
     });
 }
 
-/// A pool of reusable `f32` scratch buffers.
+/// A pool of reusable scratch buffers (`f32` unless another element type is
+/// named; the quantized NN path pools `u8` activations and `i32`
+/// accumulators).
 ///
-/// `take` hands out a zero-filled buffer of the requested length (reusing a
-/// retired allocation when one is available); dropping the returned
-/// [`PooledBuf`] recycles it. The pool holds at most a fixed number of
-/// retired buffers so long-running processes do not accumulate memory.
-#[derive(Debug, Default)]
-pub struct BufferPool {
-    free: Mutex<Vec<Vec<f32>>>,
+/// `take` hands out a buffer of the requested length filled with
+/// `T::default()` (reusing a retired allocation when one is available);
+/// dropping the returned [`PooledBuf`] recycles it. The pool holds at most
+/// a fixed number of retired buffers so long-running processes do not
+/// accumulate memory.
+#[derive(Debug)]
+pub struct BufferPool<T = f32> {
+    free: Mutex<Vec<Vec<T>>>,
 }
 
 /// Retired buffers kept per pool.
 const POOL_CAP: usize = 16;
 
-impl BufferPool {
+impl<T> BufferPool<T> {
     /// An empty pool (usable in `static` position).
     pub const fn new() -> Self {
         Self {
             free: Mutex::new(Vec::new()),
         }
     }
+}
 
-    /// A zero-filled scratch buffer of length `len`.
-    pub fn take(&self, len: usize) -> PooledBuf<'_> {
+impl<T: Copy + Default> BufferPool<T> {
+    /// A `T::default()`-filled scratch buffer of length `len`.
+    pub fn take(&self, len: usize) -> PooledBuf<'_, T> {
         let mut buf = self
             .free
             .lock()
@@ -168,11 +175,11 @@ impl BufferPool {
             .pop()
             .unwrap_or_default();
         buf.clear();
-        buf.resize(len, 0.0);
+        buf.resize(len, T::default());
         PooledBuf { buf, pool: self }
     }
 
-    fn recycle(&self, buf: Vec<f32>) {
+    fn recycle(&self, buf: Vec<T>) {
         let mut free = self
             .free
             .lock()
@@ -183,28 +190,34 @@ impl BufferPool {
     }
 }
 
-/// A scratch buffer borrowed from a [`BufferPool`]; recycled on drop.
-#[derive(Debug)]
-pub struct PooledBuf<'p> {
-    buf: Vec<f32>,
-    pool: &'p BufferPool,
+impl<T> Default for BufferPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
-impl std::ops::Deref for PooledBuf<'_> {
-    type Target = [f32];
+/// A scratch buffer borrowed from a [`BufferPool`]; recycled on drop.
+#[derive(Debug)]
+pub struct PooledBuf<'p, T: Copy + Default = f32> {
+    buf: Vec<T>,
+    pool: &'p BufferPool<T>,
+}
 
-    fn deref(&self) -> &[f32] {
+impl<T: Copy + Default> std::ops::Deref for PooledBuf<'_, T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
         &self.buf
     }
 }
 
-impl std::ops::DerefMut for PooledBuf<'_> {
-    fn deref_mut(&mut self) -> &mut [f32] {
+impl<T: Copy + Default> std::ops::DerefMut for PooledBuf<'_, T> {
+    fn deref_mut(&mut self) -> &mut [T] {
         &mut self.buf
     }
 }
 
-impl Drop for PooledBuf<'_> {
+impl<T: Copy + Default> Drop for PooledBuf<'_, T> {
     fn drop(&mut self) {
         self.pool.recycle(std::mem::take(&mut self.buf));
     }

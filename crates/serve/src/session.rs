@@ -170,7 +170,7 @@ pub fn drive_session(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vr_dann::{TrainTask, VrDannConfig};
+    use vr_dann::{ComputeMode, TrainTask, VrDannConfig};
     use vrd_video::davis::{davis_sequence, davis_train_suite, SuiteConfig};
 
     fn tiny_model() -> (VrDann, SuiteConfig) {
@@ -212,6 +212,29 @@ mod tests {
             assert_eq!(item.uses_large_model, tf.kind.uses_large_model());
         }
         assert!(driven.isolated_ns > 0.0);
+    }
+
+    #[test]
+    fn int8_session_emits_identical_work() {
+        // The NPU accounting is compute-mode-invariant: a session driven on
+        // the quantized path puts byte-identical work on the scheduler, so
+        // admission control and SLO accounting never depend on the mode.
+        let (model, cfg) = tiny_model();
+        let seq = davis_sequence("cows", &cfg).unwrap();
+        let encoded = model.encode(&seq).unwrap();
+        let spec = SessionSpec {
+            start_offset_ns: 0.0,
+            frame_interval_ns: 1e6,
+        };
+        let sim = SimConfig::default();
+        let f32_run = drive_session(&model, 0, &seq, &encoded, &spec, &sim).unwrap();
+        let int8_model = model.clone().with_compute(ComputeMode::Int8);
+        let int8_run = drive_session(&int8_model, 0, &seq, &encoded, &spec, &sim).unwrap();
+        assert_eq!(f32_run.items, int8_run.items);
+        assert_eq!(f32_run.frames, int8_run.frames);
+        assert_eq!(f32_run.total_ops, int8_run.total_ops);
+        assert_eq!(f32_run.switches_in_order, int8_run.switches_in_order);
+        assert_eq!(f32_run.isolated_ns, int8_run.isolated_ns);
     }
 
     #[test]
