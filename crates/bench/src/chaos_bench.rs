@@ -1,0 +1,512 @@
+//! Chaos sweep: the serving workload replayed under seeded fault timelines.
+//!
+//! Reuses the `serve_bench` workload (K concurrent DAVIS-like sessions on
+//! one shared virtual NPU) but replays the admitted work through
+//! [`vrd_serve::schedule_chaos`] against deterministic fault plans. Each
+//! session count pays the real NN-L/NN-S compute **once** (via
+//! [`vrd_serve::admit_and_drive`]); every scenario is then a pure replay of
+//! the same stamped work:
+//!
+//! * `clean` — a quiet fault profile. Must be byte-identical to the plain
+//!   [`vrd_serve::schedule`] replay under both policies: the fault
+//!   branches change no arithmetic when nothing fires.
+//! * `itemfail10-shed` — 10 % work-item failures (plus the profile's
+//!   transient stalls) under the PR-4 shed-only posture: one attempt per
+//!   item, misses dropped at the deadline.
+//! * `itemfail10-ladder` — the same fault timeline with the full recovery
+//!   stack: bounded-backoff retries and the graceful-degradation ladder.
+//! * `crash-shed` — a single NPU crash/recover window with no checkpoints:
+//!   sessions with device-resident work die.
+//! * `crash-restore` — the same crash with checkpoint restore: every
+//!   session resumes after the outage plus the restore penalty.
+//!
+//! The acceptance gates (enforced by the `chaos_bench` binary and the
+//! quick-scale test) mirror the resilience claims: on contended rows the
+//! ladder delivers ≥ 95 % of offered frames where shed-only serves ≤ 80 %,
+//! and checkpoints turn "sessions lost" into "zero lost, all frames
+//! delivered". Everything is deterministic: reruns are byte-identical.
+
+use crate::context::{parallel_map, Context};
+use crate::table::{fmt_pct, Table};
+use vrd_codec::EncodedVideo;
+use vrd_serve::{
+    admit_and_drive, schedule, schedule_chaos, ChaosConfig, ChaosOutcome, DrivenSession,
+    LatencyStats, NpuFaultProfile, RecoveryConfig, SchedConfig, SchedPolicy, ScheduleOutcome,
+    ServeConfig,
+};
+
+/// The session counts the sweep offers (the serve sweep's contended tail
+/// plus a light row so the fault scenarios are also exercised uncontended).
+pub const SESSIONS: [usize; 3] = [1, 4, 6];
+
+/// Work-item failure rate of the head-line fault scenario.
+pub const FAIL_RATE: f64 = 0.10;
+
+/// Seed for every fault lottery in the sweep.
+pub const CHAOS_SEED: u64 = 0xC4A0_5EED;
+
+/// One scenario's chaos replay, flattened for reporting.
+#[derive(Debug, Clone)]
+pub struct ScenarioSummary {
+    /// Scenario name (`clean`, `itemfail10-shed`, ...).
+    pub name: &'static str,
+    /// Work items offered across the admitted sessions.
+    pub frames_offered: usize,
+    /// Frames delivered at their session's own fidelity.
+    pub frames_full: usize,
+    /// Frames delivered degraded (ladder rung or copy-forward).
+    pub frames_degraded: usize,
+    /// Frames dropped at the deadline.
+    pub frames_shed: usize,
+    /// Frames lost to a crash kill.
+    pub frames_lost: usize,
+    /// Delivered fraction of the offered load.
+    pub delivered_frac: f64,
+    /// Sessions killed by the crash window.
+    pub sessions_lost: usize,
+    /// Checkpoint restores paid.
+    pub restores: usize,
+    /// Failed attempts that were retried.
+    pub retries: usize,
+    /// Items whose retry budget ran out.
+    pub retry_exhausted: usize,
+    /// Deadline misses delivered as copy-forward.
+    pub watchdog_degraded: usize,
+    /// Ladder rungs stepped down across sessions.
+    pub downgrades: usize,
+    /// Ladder rungs stepped back up across sessions.
+    pub upgrades: usize,
+    /// Transient stalls drawn.
+    pub stalls: usize,
+    /// Crash windows hit.
+    pub crashes: usize,
+    /// Service time burnt by failed attempts and crash-voided work.
+    pub wasted_ns: f64,
+    /// Wall time to the last NPU event.
+    pub makespan_ns: f64,
+    /// Arrival → delivery latency over delivered frames.
+    pub latency: LatencyStats,
+}
+
+impl ScenarioSummary {
+    fn new(name: &'static str, o: &ChaosOutcome) -> Self {
+        Self {
+            name,
+            frames_offered: o.frames_offered,
+            frames_full: o.frames_full,
+            frames_degraded: o.frames_degraded,
+            frames_shed: o.frames_shed,
+            frames_lost: o.frames_lost,
+            delivered_frac: o.delivered_fraction(),
+            sessions_lost: o.sessions_lost,
+            restores: o.session_restores,
+            retries: o.retries,
+            retry_exhausted: o.retry_exhausted,
+            watchdog_degraded: o.watchdog_degraded,
+            downgrades: o.per_session.iter().map(|p| p.degradation.downgrades).sum(),
+            upgrades: o.per_session.iter().map(|p| p.degradation.upgrades).sum(),
+            stalls: o.stalls,
+            crashes: o.crashes,
+            wasted_ns: o.wasted_ns,
+            makespan_ns: o.makespan_ns,
+            latency: o.latency,
+        }
+    }
+}
+
+/// One session count's chaos results (all replays under the batching
+/// policy — the serving discipline the subsystem actually runs).
+#[derive(Debug, Clone)]
+pub struct ChaosBenchRow {
+    /// Sessions offered.
+    pub requested: usize,
+    /// Sessions the SLO admitted.
+    pub admitted: usize,
+    /// Whether the quiet-profile chaos replay reproduced the plain
+    /// [`schedule`] replay bit-for-bit under **both** policies.
+    pub clean_matches_plain: bool,
+    /// The shedding deadline the fault scenarios ran with, derived from
+    /// the clean replay's latency distribution (just above the p50) so
+    /// quick and full scales stress comparably.
+    pub deadline_ns: f64,
+    /// When the single crash window opens, on the NPU clock.
+    pub crash_at_ns: f64,
+    /// How long the NPU stays down.
+    pub crash_down_ns: f64,
+    /// Scenario replays, fixed order: clean, itemfail10-shed,
+    /// itemfail10-ladder, crash-shed, crash-restore.
+    pub scenarios: Vec<ScenarioSummary>,
+}
+
+impl ChaosBenchRow {
+    /// Looks a scenario up by name.
+    pub fn scenario(&self, name: &str) -> &ScenarioSummary {
+        self.scenarios
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no scenario named {name}"))
+    }
+}
+
+/// The complete chaos sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosBench {
+    /// One row per offered session count, ascending.
+    pub rows: Vec<ChaosBenchRow>,
+}
+
+/// Quiet chaos must reproduce the plain replay's arithmetic exactly.
+fn matches_plain(c: &ChaosOutcome, p: &ScheduleOutcome) -> bool {
+    c.frames_full == p.frames_served
+        && c.frames_degraded == 0
+        && c.frames_shed == p.frames_shed
+        && c.frames_lost == 0
+        && c.switches == p.switches
+        && c.switch_ns == p.switch_ns
+        && c.busy_ns == p.busy_ns
+        && c.makespan_ns == p.makespan_ns
+        && c.max_queue_depth == p.max_queue_depth
+        && c.mean_queue_depth == p.mean_queue_depth
+        && c.decoder_stalls == p.decoder_stalls
+        && c.latency == p.latency
+}
+
+fn run_row(requested: usize, driven: &[DrivenSession], cfg: &ServeConfig) -> ChaosBenchRow {
+    let sim = &cfg.sim;
+    let quiet = ChaosConfig {
+        faults: NpuFaultProfile::none(),
+        recovery: RecoveryConfig::default(),
+    };
+
+    // Clean identity: the quiet replay against the plain scheduler, both
+    // policies, the serve-bench configuration (no deadline).
+    let mut clean_matches_plain = true;
+    let mut clean_batch: Option<ChaosOutcome> = None;
+    for policy in [SchedPolicy::Fifo, SchedPolicy::Batch] {
+        let plain = schedule(driven, policy, &cfg.sched, sim).expect("plain replay");
+        let chaos =
+            schedule_chaos(driven, policy, &cfg.sched, sim, &quiet).expect("quiet chaos replay");
+        clean_matches_plain &= matches_plain(&chaos, &plain);
+        if policy == SchedPolicy::Batch {
+            clean_batch = Some(chaos);
+        }
+    }
+    let clean = clean_batch.expect("batch policy replayed");
+
+    // The fault scenarios' deadline scales with the clean tail latency
+    // (just past the p95, so only genuinely late frames are at risk and
+    // quick and full runs shed under comparable relative pressure). The
+    // crash window opens at the median work-item hand-over instant — by
+    // construction the NPU has device-resident work then, whatever the
+    // scale — and stays down for a makespan-relative outage.
+    let deadline_ns = (0.9 * clean.latency.p50_ns + 0.1 * clean.latency.p95_ns).max(1.0);
+    let mut ready: Vec<f64> = driven
+        .iter()
+        .flat_map(|d| d.items.iter().map(|i| i.ready_ns))
+        .collect();
+    ready.sort_by(f64::total_cmp);
+    let crash_at_ns = ready.get(ready.len() / 2).copied().unwrap_or(0.0) + 1.0;
+    let crash_down_ns = 0.1 * clean.makespan_ns;
+
+    let deadline_cfg = SchedConfig {
+        shed_after_ns: Some(deadline_ns),
+        ..cfg.sched
+    };
+    let faults = NpuFaultProfile::chaos(FAIL_RATE, CHAOS_SEED);
+    let crash = NpuFaultProfile::single_crash(crash_at_ns, crash_down_ns);
+
+    let replay = |sched: &SchedConfig, faults: &NpuFaultProfile, recovery: RecoveryConfig| {
+        let chaos = ChaosConfig {
+            faults: faults.clone(),
+            recovery,
+        };
+        schedule_chaos(driven, SchedPolicy::Batch, sched, sim, &chaos).expect("chaos replay")
+    };
+
+    let scenarios = vec![
+        ScenarioSummary::new("clean", &clean),
+        ScenarioSummary::new(
+            "itemfail10-shed",
+            &replay(&deadline_cfg, &faults, RecoveryConfig::shed_only()),
+        ),
+        ScenarioSummary::new(
+            "itemfail10-ladder",
+            &replay(&deadline_cfg, &faults, RecoveryConfig::default()),
+        ),
+        ScenarioSummary::new(
+            "crash-shed",
+            &replay(&cfg.sched, &crash, RecoveryConfig::shed_only()),
+        ),
+        ScenarioSummary::new(
+            "crash-restore",
+            &replay(&cfg.sched, &crash, RecoveryConfig::default()),
+        ),
+    ];
+
+    ChaosBenchRow {
+        requested,
+        admitted: driven.len(),
+        clean_matches_plain,
+        deadline_ns,
+        crash_at_ns,
+        crash_down_ns,
+        scenarios,
+    }
+}
+
+/// Runs the sweep at the given offered-session counts.
+pub fn run_sessions(ctx: &Context, sessions: &[usize]) -> ChaosBench {
+    let encoded: Vec<EncodedVideo> = parallel_map(&ctx.davis, |seq| {
+        ctx.model.encode(seq).expect("suite sequences encode")
+    });
+    let cfg = ServeConfig {
+        sim: ctx.sim,
+        ..ServeConfig::default()
+    };
+    let mut rows = Vec::with_capacity(sessions.len());
+    for &k in sessions {
+        let requests: Vec<_> = (0..k)
+            .map(|i| {
+                let j = i % ctx.davis.len();
+                (&ctx.davis[j], &encoded[j])
+            })
+            .collect();
+        // The real compute, paid once; every scenario replays this work.
+        let (_, driven, _) =
+            admit_and_drive(&ctx.model, &requests, &cfg).expect("admitted suite sessions drive");
+        rows.push(run_row(k, &driven, &cfg));
+    }
+    ChaosBench { rows }
+}
+
+/// Runs the full sweep (all counts in [`SESSIONS`]).
+pub fn run(ctx: &Context) -> ChaosBench {
+    run_sessions(ctx, &SESSIONS)
+}
+
+fn fmt_ms(ns: f64) -> String {
+    format!("{:.3}", ns / 1e6)
+}
+
+impl ChaosBench {
+    /// Rows with enough admitted sessions for the NPU to be contended —
+    /// where the resilience gates apply (≥ 4, the serve-bench regime).
+    pub fn contended_rows(&self) -> impl Iterator<Item = &ChaosBenchRow> {
+        self.rows.iter().filter(|r| r.admitted >= 4)
+    }
+
+    /// Every acceptance-gate violation in the sweep (empty = pass).
+    ///
+    /// Gates, per contended row: the quiet replay is bit-identical to the
+    /// plain scheduler; at a 10 % work-item fault rate the shed-only
+    /// posture serves ≤ 80 % while the recovery stack delivers ≥ 95 %;
+    /// a single NPU crash kills sessions without checkpoints and loses
+    /// nothing with them.
+    pub fn acceptance_failures(&self) -> Vec<String> {
+        let mut fails = Vec::new();
+        let mut contended = 0usize;
+        for r in self.contended_rows() {
+            contended += 1;
+            let k = r.requested;
+            if !r.clean_matches_plain {
+                fails.push(format!("{k} sessions: quiet chaos != plain schedule"));
+            }
+            let shed = r.scenario("itemfail10-shed");
+            if shed.delivered_frac > 0.80 {
+                fails.push(format!(
+                    "{k} sessions: shed-only served {:.1}% > 80% at {:.0}% faults",
+                    100.0 * shed.delivered_frac,
+                    100.0 * FAIL_RATE
+                ));
+            }
+            let ladder = r.scenario("itemfail10-ladder");
+            if ladder.delivered_frac < 0.95 {
+                fails.push(format!(
+                    "{k} sessions: recovery stack delivered {:.1}% < 95%",
+                    100.0 * ladder.delivered_frac
+                ));
+            }
+            let crash = r.scenario("crash-shed");
+            if crash.sessions_lost == 0 {
+                fails.push(format!(
+                    "{k} sessions: crash without checkpoints killed nobody"
+                ));
+            }
+            let restore = r.scenario("crash-restore");
+            if restore.sessions_lost != 0
+                || restore.frames_lost != 0
+                || restore.frames_full + restore.frames_degraded + restore.frames_shed
+                    != restore.frames_offered
+            {
+                fails.push(format!(
+                    "{k} sessions: checkpointed crash lost {} sessions / {} frames",
+                    restore.sessions_lost, restore.frames_lost
+                ));
+            }
+        }
+        if contended == 0 {
+            fails.push("no row admitted >= 4 sessions".to_string());
+        }
+        fails
+    }
+
+    /// Renders the chaos table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "sessions",
+            "scenario",
+            "delivered",
+            "full",
+            "degraded",
+            "shed",
+            "lost",
+            "sess lost",
+            "restores",
+            "retries",
+            "p99 ms",
+            "span ms",
+        ]);
+        for r in &self.rows {
+            for s in &r.scenarios {
+                t.row(vec![
+                    r.requested.to_string(),
+                    s.name.to_string(),
+                    fmt_pct(s.delivered_frac),
+                    s.frames_full.to_string(),
+                    s.frames_degraded.to_string(),
+                    s.frames_shed.to_string(),
+                    s.frames_lost.to_string(),
+                    s.sessions_lost.to_string(),
+                    s.restores.to_string(),
+                    s.retries.to_string(),
+                    fmt_ms(s.latency.p99_ns),
+                    fmt_ms(s.makespan_ns),
+                ]);
+            }
+        }
+        format!(
+            "Chaos: fault-injected serving, shed-only vs retry/checkpoint/ladder recovery\n{}",
+            t.render()
+        )
+    }
+
+    /// Machine-readable JSON of the sweep (hand-rolled — the workspace
+    /// carries no serialisation dependency).
+    pub fn to_json(&self) -> String {
+        fn scenario_json(s: &ScenarioSummary) -> String {
+            format!(
+                "{{\"name\":\"{}\",\"frames_offered\":{},\"frames_full\":{},\
+                 \"frames_degraded\":{},\"frames_shed\":{},\"frames_lost\":{},\
+                 \"delivered_frac\":{:.6},\"sessions_lost\":{},\"restores\":{},\
+                 \"retries\":{},\"retry_exhausted\":{},\"watchdog_degraded\":{},\
+                 \"downgrades\":{},\"upgrades\":{},\"stalls\":{},\"crashes\":{},\
+                 \"wasted_ns\":{:.1},\"makespan_ns\":{:.1},\
+                 \"latency\":{{\"mean_ns\":{:.1},\"p50_ns\":{:.1},\"p95_ns\":{:.1},\
+                 \"p99_ns\":{:.1},\"max_ns\":{:.1}}}}}",
+                s.name,
+                s.frames_offered,
+                s.frames_full,
+                s.frames_degraded,
+                s.frames_shed,
+                s.frames_lost,
+                s.delivered_frac,
+                s.sessions_lost,
+                s.restores,
+                s.retries,
+                s.retry_exhausted,
+                s.watchdog_degraded,
+                s.downgrades,
+                s.upgrades,
+                s.stalls,
+                s.crashes,
+                s.wasted_ns,
+                s.makespan_ns,
+                s.latency.mean_ns,
+                s.latency.p50_ns,
+                s.latency.p95_ns,
+                s.latency.p99_ns,
+                s.latency.max_ns,
+            )
+        }
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let scenarios: Vec<String> = r.scenarios.iter().map(scenario_json).collect();
+                format!(
+                    "    {{\"sessions\":{},\"admitted\":{},\"clean_matches_plain\":{},\
+                     \"deadline_ns\":{:.1},\"crash_at_ns\":{:.1},\"crash_down_ns\":{:.1},\
+                     \"scenarios\":[\n      {}\n    ]}}",
+                    r.requested,
+                    r.admitted,
+                    r.clean_matches_plain,
+                    r.deadline_ns,
+                    r.crash_at_ns,
+                    r.crash_down_ns,
+                    scenarios.join(",\n      "),
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"experiment\": \"chaos\",\n  \"seed\": {},\n  \"fail_rate\": {:.2},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            CHAOS_SEED,
+            FAIL_RATE,
+            rows.join(",\n")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn chaos_quick_gates_hold_and_reports_render() {
+        let ctx = Context::new(Scale::Quick);
+        let sweep = run_sessions(&ctx, &[1, 4]);
+        assert_eq!(sweep.rows.len(), 2);
+
+        // Every acceptance gate holds at quick scale — the same predicate
+        // the binary exits nonzero on.
+        let fails = sweep.acceptance_failures();
+        assert!(fails.is_empty(), "acceptance gates failed: {fails:?}");
+
+        // The quiet replay reproduces the plain scheduler on every row,
+        // contended or not.
+        for r in &sweep.rows {
+            assert!(r.clean_matches_plain, "{} sessions drifted", r.requested);
+            let clean = r.scenario("clean");
+            assert_eq!(clean.frames_full, clean.frames_offered);
+            assert_eq!(clean.retries + clean.stalls + clean.crashes, 0);
+        }
+
+        // The contended row separates the postures: shed-only loses real
+        // frames, the recovery stack delivers (degraded allowed), the
+        // checkpointed crash pays restores instead of losing sessions.
+        let r = &sweep.rows[1];
+        assert!(r.admitted >= 4, "quick scale no longer contends at K=4");
+        let shed = r.scenario("itemfail10-shed");
+        assert!(shed.frames_shed > 0);
+        let ladder = r.scenario("itemfail10-ladder");
+        assert!(ladder.retries > 0);
+        assert!(ladder.delivered_frac >= 0.95);
+        assert!(r.scenario("crash-shed").sessions_lost > 0);
+        let restore = r.scenario("crash-restore");
+        assert_eq!(restore.sessions_lost, 0);
+        assert!(restore.restores > 0);
+
+        // Deterministic: a rerun over the same context is byte-identical.
+        let again = run_sessions(&ctx, &[1, 4]);
+        assert_eq!(sweep.to_json(), again.to_json());
+
+        let text = sweep.render();
+        assert!(text.contains("Chaos"));
+        assert!(text.contains("itemfail10-ladder"));
+        assert!(text.contains("crash-restore"));
+        let json = sweep.to_json();
+        assert!(json.contains("\"experiment\": \"chaos\""));
+        assert!(json.contains("\"clean_matches_plain\":true"));
+        assert!(json.contains("\"delivered_frac\""));
+    }
+}

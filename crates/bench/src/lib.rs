@@ -24,11 +24,13 @@
 //! | [`nns_width`] | extra: NN-S width design-space sweep |
 //! | [`resilience`] | extra: accuracy vs injected bitstream loss |
 //! | [`serve_bench`] | extra: multi-session serving, FIFO vs batching |
+//! | [`chaos_bench`] | extra: fault-injected serving, recovery vs shed-only |
 //!
 //! Binaries (`cargo run --release --bin fig10`, …) print the tables;
 //! `--quick` switches to the reduced scale.
 
 pub mod ablation;
+pub mod chaos_bench;
 pub mod context;
 pub mod fig03;
 pub mod fig07;

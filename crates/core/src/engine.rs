@@ -368,6 +368,17 @@ impl TaskPolicy for DetTask<'_> {
     }
 }
 
+/// Saved state of a [`FaultPolicy`], captured by
+/// [`PipelineEngine::checkpoint`]: the concealment counters and the NN-S
+/// fault lottery's generator position. Restoring it rewinds the lottery, so
+/// a replayed span of units redraws exactly the faults it drew the first
+/// time instead of double-counting them.
+#[derive(Debug, Clone)]
+pub struct PolicyCheckpoint {
+    stats: ConcealmentStats,
+    rng: Option<StdRng>,
+}
+
 /// The fault axis of the engine: whether damage is concealed or fatal, and
 /// the NN-S soft-error lottery.
 pub trait FaultPolicy {
@@ -381,6 +392,12 @@ pub trait FaultPolicy {
     /// Draws the per-B-frame NN-S fault lottery (always `false` when
     /// strict; one draw per reconstructed B-frame, in decode order).
     fn draw_nns_fault(&mut self) -> bool;
+
+    /// Saves the policy's counters and lottery position.
+    fn save(&self) -> PolicyCheckpoint;
+
+    /// Restores a previously [`save`](FaultPolicy::save)d state.
+    fn load(&mut self, ckpt: &PolicyCheckpoint);
 
     /// Final counters for the run report.
     fn into_stats(self) -> ConcealmentStats;
@@ -401,6 +418,17 @@ impl FaultPolicy for StrictPolicy {
 
     fn draw_nns_fault(&mut self) -> bool {
         false
+    }
+
+    fn save(&self) -> PolicyCheckpoint {
+        PolicyCheckpoint {
+            stats: self.stats,
+            rng: None,
+        }
+    }
+
+    fn load(&mut self, ckpt: &PolicyCheckpoint) {
+        self.stats = ckpt.stats;
     }
 
     fn into_stats(self) -> ConcealmentStats {
@@ -441,8 +469,59 @@ impl FaultPolicy for ConcealingPolicy {
             .is_some_and(|rng| rng.random_range(0.0f64..1.0) < self.rate)
     }
 
+    fn save(&self) -> PolicyCheckpoint {
+        PolicyCheckpoint {
+            stats: self.stats,
+            rng: self.rng.clone(),
+        }
+    }
+
+    fn load(&mut self, ckpt: &PolicyCheckpoint) {
+        self.stats = ckpt.stats;
+        self.rng = ckpt.rng.clone();
+    }
+
     fn into_stats(self) -> ConcealmentStats {
         self.stats
+    }
+}
+
+/// A snapshot of the engine's resumable streaming state: the O(GOP)
+/// reference-mask window, the anchor eviction queue, the pending-refetch
+/// flag, the fault policy's counters and lottery position, and the length
+/// of the trace at capture time.
+///
+/// [`PipelineEngine::checkpoint`] captures it; [`PipelineEngine::restore`]
+/// rolls the same engine back to it, after which re-[`step`]ping the units
+/// decoded since the checkpoint reproduces the original run byte-for-byte
+/// (every inference lane is display-seeded, every store idempotent per
+/// display index). This is what lets a serving layer resume a stream whose
+/// accelerator crashed mid-flight instead of dropping it: the host keeps
+/// the checkpoint, re-primes the recovered NPU, and replays forward.
+///
+/// The snapshot is O(GOP): `MASK_WINDOW` reference masks plus scalars —
+/// never the decoded video or the per-frame outputs.
+///
+/// [`step`]: PipelineEngine::step
+#[derive(Debug, Clone)]
+pub struct EngineCheckpoint {
+    ref_segs: BTreeMap<u32, SegMask>,
+    anchor_window: VecDeque<u32>,
+    pending_refetch: bool,
+    frames_len: usize,
+    policy: PolicyCheckpoint,
+}
+
+impl EngineCheckpoint {
+    /// Reference masks held in the snapshot (bounded by the engine's
+    /// O(GOP) window).
+    pub fn reference_count(&self) -> usize {
+        self.ref_segs.len()
+    }
+
+    /// Trace frames the engine had emitted when the snapshot was taken.
+    pub fn frames_emitted(&self) -> usize {
+        self.frames_len
     }
 }
 
@@ -548,6 +627,61 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
             self.ref_segs.insert(display, mask);
         }
         self.primed = true;
+    }
+
+    /// Snapshots the engine's resumable streaming state (see
+    /// [`EngineCheckpoint`]). O(GOP) cost: clones the reference-mask window
+    /// and scalars only.
+    ///
+    /// # Errors
+    /// Returns [`VrDannError::BadInput`] if the engine was never primed —
+    /// there is no stream state to snapshot.
+    pub fn checkpoint(&self) -> Result<EngineCheckpoint> {
+        if !self.primed {
+            return Err(VrDannError::BadInput(
+                "engine checkpointed before prime() established the stream".into(),
+            ));
+        }
+        Ok(EngineCheckpoint {
+            ref_segs: self.ref_segs.clone(),
+            anchor_window: self.anchor_window.clone(),
+            pending_refetch: self.pending_refetch,
+            frames_len: self.frames.len(),
+            policy: self.policy.save(),
+        })
+    }
+
+    /// Rolls this engine back to `ckpt`: the reference window, anchor
+    /// eviction queue, refetch flag and fault-lottery position return to
+    /// their snapshot values and the trace is truncated to the snapshot
+    /// length. Task outputs recorded after the checkpoint are left in place
+    /// — re-stepping the same units overwrites them with identical values
+    /// (all stores are keyed by display index and all inference lanes are
+    /// display-seeded), which is exactly the crash-replay contract.
+    ///
+    /// # Errors
+    /// Returns [`VrDannError::BadInput`] if the engine is unprimed or the
+    /// checkpoint is ahead of this engine's trace (it belongs to a
+    /// different or longer-lived run).
+    pub fn restore(&mut self, ckpt: &EngineCheckpoint) -> Result<()> {
+        if !self.primed {
+            return Err(VrDannError::BadInput(
+                "engine restored before prime() established the stream".into(),
+            ));
+        }
+        if ckpt.frames_len > self.frames.len() {
+            return Err(VrDannError::BadInput(format!(
+                "checkpoint at trace length {} is ahead of the engine ({} frames emitted)",
+                ckpt.frames_len,
+                self.frames.len()
+            )));
+        }
+        self.frames.truncate(ckpt.frames_len);
+        self.ref_segs = ckpt.ref_segs.clone();
+        self.anchor_window = ckpt.anchor_window.clone();
+        self.pending_refetch = ckpt.pending_refetch;
+        self.policy.load(&ckpt.policy);
+        Ok(())
     }
 
     /// The [`StepWork`] view of the trace frame just pushed (if any).

@@ -46,8 +46,8 @@ pub mod vrdann;
 
 pub use components::{boxes_to_mask, extract_components};
 pub use engine::{
-    ConcealingPolicy, DetTask, EngineRun, FaultPolicy, PipelineEngine, SegTask, StepWork,
-    StrictPolicy, TaskPolicy,
+    ConcealingPolicy, DetTask, EngineCheckpoint, EngineRun, FaultPolicy, PipelineEngine,
+    PolicyCheckpoint, SegTask, StepWork, StrictPolicy, TaskPolicy,
 };
 pub use error::{Result, VrDannError};
 pub use recon::{plane_to_mask, reconstruct_b_frame, ReconConfig};

@@ -1,0 +1,238 @@
+//! Checkpoint/restore tests for the resumable pipeline engine.
+//!
+//! The serving layer's crash-recovery story rests on one contract: an
+//! engine rolled back to an [`EngineCheckpoint`] and re-stepped over the
+//! units decoded since produces *exactly* the run it would have produced
+//! uncrashed — outputs, trace and concealment counters. These tests pin
+//! that contract for the strict engine, for the concealing engine with a
+//! live NN-S fault lottery (the lottery position is part of the snapshot),
+//! and for the error paths.
+
+use vr_dann::engine::SegTask;
+use vr_dann::{
+    ConcealingPolicy, PipelineEngine, ResilienceOptions, StrictPolicy, TrainTask, VrDann,
+    VrDannConfig,
+};
+use vrd_codec::faults::{inject, packetize, FaultConfig};
+use vrd_codec::{BFrameMode, CodecConfig, FrameSource, ResilientFrameSource, StrictFrameSource};
+use vrd_nn::LargeNet;
+use vrd_video::davis::{davis_sequence, davis_train_suite, SuiteConfig};
+
+fn tiny_model() -> (VrDann, SuiteConfig) {
+    let cfg = SuiteConfig::tiny();
+    let train = davis_train_suite(&cfg, 2);
+    let vr_cfg = VrDannConfig {
+        nns_hidden: 4,
+        codec: CodecConfig {
+            b_frames: BFrameMode::Fixed(3),
+            ..CodecConfig::default()
+        },
+        ..VrDannConfig::default()
+    };
+    (
+        VrDann::train(&train, TrainTask::Segmentation, vr_cfg).unwrap(),
+        cfg,
+    )
+}
+
+fn seg_task<'a>(
+    model: &VrDann,
+    seq: &'a vrd_video::Sequence,
+    info: &vrd_codec::StreamInfo,
+) -> SegTask<'a> {
+    SegTask::new(
+        seq,
+        LargeNet::new(model.config().segment_profile),
+        model.config().seed,
+        info,
+    )
+}
+
+/// Straight run vs crash-at-`m`-restore-to-`k` replay over the same strict
+/// stream: the replayed run must be byte-identical.
+#[test]
+fn strict_restore_replays_identically() {
+    let (model, cfg) = tiny_model();
+    let seq = davis_sequence("cows", &cfg).unwrap();
+    let encoded = model.encode(&seq).unwrap();
+
+    // Reference: one uninterrupted run.
+    let mut source = StrictFrameSource::new(&encoded.bitstream).unwrap();
+    let info = source.info();
+    let mut engine = PipelineEngine::new(
+        model.config(),
+        model.nns(),
+        seg_task(&model, &seq, &info),
+        StrictPolicy::default(),
+    );
+    engine.prime(&info, &[]);
+    while let Some(unit) = source.next_unit() {
+        engine.step(unit.unwrap()).unwrap();
+    }
+    let straight = engine
+        .finish(source.totals(), source.peak_live_frames())
+        .unwrap();
+
+    // Crashed run: checkpoint after unit k, keep going to unit m, then
+    // "lose the NPU", restore, and replay from k on a fresh decode walk.
+    let (k, m) = (5usize, 11usize);
+    let mut source = StrictFrameSource::new(&encoded.bitstream).unwrap();
+    let mut engine = PipelineEngine::new(
+        model.config(),
+        model.nns(),
+        seg_task(&model, &seq, &info),
+        StrictPolicy::default(),
+    );
+    engine.prime(&info, &[]);
+    let mut ckpt = None;
+    for i in 0.. {
+        let Some(unit) = source.next_unit() else {
+            break;
+        };
+        engine.step(unit.unwrap()).unwrap();
+        if i + 1 == k {
+            ckpt = Some(engine.checkpoint().unwrap());
+        }
+        if i + 1 == m {
+            break;
+        }
+    }
+    let ckpt = ckpt.unwrap();
+    assert_eq!(ckpt.frames_emitted(), k);
+    assert!(ckpt.reference_count() > 0);
+    engine.restore(&ckpt).unwrap();
+
+    // Recovery: a fresh decoder walk, skipping the k units already
+    // reflected in the checkpoint, feeds the restored engine to the end.
+    let mut source = StrictFrameSource::new(&encoded.bitstream).unwrap();
+    for _ in 0..k {
+        source.next_unit().unwrap().unwrap();
+    }
+    while let Some(unit) = source.next_unit() {
+        engine.step(unit.unwrap()).unwrap();
+    }
+    let replayed = engine
+        .finish(source.totals(), source.peak_live_frames())
+        .unwrap();
+
+    assert_eq!(replayed.outputs, straight.outputs);
+    assert_eq!(replayed.trace, straight.trace);
+    assert_eq!(replayed.concealment, straight.concealment);
+}
+
+/// The concealing engine's NN-S fault lottery and concealment counters are
+/// part of the snapshot: a replayed span redraws the same faults and does
+/// not double-count concealments.
+#[test]
+fn concealing_restore_rewinds_lottery_and_counters() {
+    let (model, cfg) = tiny_model();
+    let seq = davis_sequence("dog", &cfg).unwrap();
+    let encoded = model.encode(&seq).unwrap();
+    let ps = packetize(&encoded.bitstream).unwrap();
+    let (damaged, log) = inject(&ps, &FaultConfig::b_mv_loss(0.4, 23));
+    assert!(!log.events.is_empty(), "rate 0.4 planted nothing");
+    let opts = ResilienceOptions {
+        nns_failure_rate: 0.3,
+        ..ResilienceOptions::default()
+    };
+
+    let run = |crash_at: Option<(usize, usize)>| {
+        let mut source = ResilientFrameSource::new(&damaged).unwrap();
+        let info = source.info();
+        let prepopulate = source.usable_anchor_displays().to_vec();
+        let mut engine = PipelineEngine::new(
+            model.config(),
+            model.nns(),
+            seg_task(&model, &seq, &info),
+            ConcealingPolicy::new(&opts),
+        );
+        engine.prime(&info, &prepopulate);
+        match crash_at {
+            None => {
+                while let Some(unit) = source.next_unit() {
+                    engine.step(unit.unwrap()).unwrap();
+                }
+                engine
+                    .finish(source.totals(), source.peak_live_frames())
+                    .unwrap()
+            }
+            Some((k, m)) => {
+                let mut ckpt = None;
+                for i in 0.. {
+                    let Some(unit) = source.next_unit() else {
+                        break;
+                    };
+                    engine.step(unit.unwrap()).unwrap();
+                    if i + 1 == k {
+                        ckpt = Some(engine.checkpoint().unwrap());
+                    }
+                    if i + 1 == m {
+                        break;
+                    }
+                }
+                engine.restore(&ckpt.unwrap()).unwrap();
+                let mut source = ResilientFrameSource::new(&damaged).unwrap();
+                for _ in 0..k {
+                    source.next_unit().unwrap().unwrap();
+                }
+                while let Some(unit) = source.next_unit() {
+                    engine.step(unit.unwrap()).unwrap();
+                }
+                engine
+                    .finish(source.totals(), source.peak_live_frames())
+                    .unwrap()
+            }
+        }
+    };
+
+    let straight = run(None);
+    assert!(
+        !straight.concealment.is_clean(),
+        "injected stream concealed nothing"
+    );
+    let replayed = run(Some((4, 10)));
+    assert_eq!(replayed.outputs, straight.outputs);
+    assert_eq!(replayed.trace, straight.trace);
+    assert_eq!(replayed.concealment, straight.concealment);
+}
+
+#[test]
+fn checkpoint_and_restore_guard_their_preconditions() {
+    let (model, cfg) = tiny_model();
+    let seq = davis_sequence("cows", &cfg).unwrap();
+    let encoded = model.encode(&seq).unwrap();
+    let mut source = StrictFrameSource::new(&encoded.bitstream).unwrap();
+    let info = source.info();
+
+    // Unprimed engines have no stream state to snapshot or restore.
+    let unprimed = PipelineEngine::new(
+        model.config(),
+        model.nns(),
+        seg_task(&model, &seq, &info),
+        StrictPolicy::default(),
+    );
+    assert!(unprimed.checkpoint().is_err());
+
+    // A checkpoint taken ahead of an engine's own trace is rejected.
+    let mut engine = PipelineEngine::new(
+        model.config(),
+        model.nns(),
+        seg_task(&model, &seq, &info),
+        StrictPolicy::default(),
+    );
+    engine.prime(&info, &[]);
+    for _ in 0..4 {
+        engine.step(source.next_unit().unwrap().unwrap()).unwrap();
+    }
+    let ahead = engine.checkpoint().unwrap();
+    let mut fresh = PipelineEngine::new(
+        model.config(),
+        model.nns(),
+        seg_task(&model, &seq, &info),
+        StrictPolicy::default(),
+    );
+    fresh.prime(&info, &[]);
+    assert!(fresh.restore(&ahead).is_err());
+    // Restoring within the same engine's past is fine.
+    assert!(engine.restore(&ahead).is_ok());
+}

@@ -10,7 +10,7 @@
 //! or the projected p99 frame latency blows the SLO; admission is strictly
 //! in request order, so the decision sequence is deterministic.
 
-use vr_dann::VrDann;
+use vr_dann::{ComputeMode, VrDann};
 use vrd_codec::EncodedVideo;
 use vrd_nn::LargeNet;
 use vrd_sim::SimConfig;
@@ -77,8 +77,13 @@ pub struct AdmissionProjection {
 pub struct SessionDemand {
     /// One NN-L inference at the session's resolution, in nanoseconds.
     pub nnl_ns: f64,
-    /// One NN-S inference at the session's resolution, in nanoseconds.
+    /// One NN-S inference at the session's resolution, in nanoseconds —
+    /// already scaled for the session's compute mode (int8 NN-S runs
+    /// [`vrd_sim::NpuConfig::int8_speedup`]× faster, so an int8 stream
+    /// claims genuinely less of the NPU).
     pub nns_ns: f64,
+    /// The NN-S compute mode this demand was estimated for.
+    pub compute: ComputeMode,
     /// Anchor (I/P) frames in the stream.
     pub anchors: usize,
     /// B-frames in the stream.
@@ -89,7 +94,11 @@ pub struct SessionDemand {
 
 impl SessionDemand {
     /// Estimates demand for one request from its encode statistics (anchors
-    /// run NN-L, B-frames run NN-S — the VR-DANN compute split).
+    /// run NN-L, B-frames run NN-S — the VR-DANN compute split). The NN-S
+    /// term is compute-mode-aware: quantized sessions are billed at the
+    /// int8 service rate, so admitting int8 (or ladder-degraded) streams
+    /// frees real headroom for more sessions instead of being charged as
+    /// if they ran f32.
     pub fn estimate(
         model: &VrDann,
         seq: &Sequence,
@@ -98,13 +107,19 @@ impl SessionDemand {
         sim: &SimConfig,
     ) -> Self {
         let ops_per_ns = sim.npu_ops_per_ns();
+        let compute = model.config().compute;
+        let nns_ops_per_ns = match compute {
+            ComputeMode::Int8 => sim.npu_int8_ops_per_ns(),
+            _ => ops_per_ns,
+        };
         let nnl_ops = LargeNet::new(model.config().segment_profile).ops(seq.width(), seq.height());
         let nns_ops = 2 * model.nns().macs(seq.height(), seq.width());
         let n = encoded.stats.n_frames;
         let b = encoded.stats.b_frames.min(n);
         Self {
             nnl_ns: nnl_ops as f64 / ops_per_ns,
-            nns_ns: nns_ops as f64 / ops_per_ns,
+            nns_ns: nns_ops as f64 / nns_ops_per_ns,
+            compute,
             anchors: n - b,
             b_frames: b,
             frame_interval_ns,
@@ -203,6 +218,7 @@ mod tests {
         SessionDemand {
             nnl_ns: 570_000.0,
             nns_ns: 500.0,
+            compute: ComputeMode::F32Reference,
             anchors: 6,
             b_frames: 10,
             frame_interval_ns: interval_ns,
@@ -270,6 +286,49 @@ mod tests {
         assert!(fast.switch_utilization(24, &sim) > slow.switch_utilization(24, &sim));
         // A bigger batch window amortises switches further.
         assert!(fast.switch_utilization(48, &sim) < fast.switch_utilization(24, &sim));
+    }
+
+    #[test]
+    fn int8_demand_claims_less_of_the_npu() {
+        let sim = SimConfig::default();
+        // A B-heavy stream where NN-S dominates the compute term, so the
+        // mode actually moves the needle.
+        let f32_d = SessionDemand {
+            nnl_ns: 570_000.0,
+            nns_ns: 40_000.0,
+            compute: ComputeMode::F32Reference,
+            anchors: 2,
+            b_frames: 60,
+            frame_interval_ns: 150_000.0,
+        };
+        let int8_d = SessionDemand {
+            nns_ns: f32_d.nns_ns / sim.npu.int8_speedup,
+            compute: ComputeMode::Int8,
+            ..f32_d
+        };
+        assert!(int8_d.compute_utilization() < f32_d.compute_utilization());
+
+        // The freed headroom is real: the controller admits strictly more
+        // int8 sessions than f32 ones under the same ceiling.
+        let slo = SloConfig {
+            target_p99_ns: f64::INFINITY,
+            max_utilization: 0.9,
+        };
+        let count = |d: &SessionDemand| {
+            let mut ctl = AdmissionController::new(slo, 24, sim);
+            let mut n = 0usize;
+            while ctl.try_admit(d).is_ok() {
+                n += 1;
+                assert!(n < 1_000, "never saturated");
+            }
+            n
+        };
+        assert!(
+            count(&int8_d) > count(&f32_d),
+            "int8 {} vs f32 {}",
+            count(&int8_d),
+            count(&f32_d)
+        );
     }
 
     #[test]

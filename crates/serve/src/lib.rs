@@ -22,15 +22,31 @@
 //!   per-session queues and backpressure, using `vrd-sim`'s cost model for
 //!   service and switch times;
 //! * [`metrics`] — latency percentile accounting (p50/p95/p99);
+//! * [`faults`] — deterministic virtual-NPU fault injection: transient
+//!   stalls, per-attempt work-item failures and full-device
+//!   crash/recover windows, all counter-hashed so fault patterns are
+//!   independent of scheduling order;
+//! * [`error`] — the serving-layer error type, with session and
+//!   scheduler-clock context on every variant;
 //! * [`server`] — the façade tying it together: admit, drive every session
 //!   on `vrd-runtime`'s thread pool, schedule under both policies, and
 //!   report per-session and global outcomes.
 //!
+//! On top of the plain replay, [`sched::schedule_chaos`] replays the same
+//! admitted work against an [`faults::NpuFaultProfile`]: work-item
+//! failures retry with bounded exponential backoff, crashed sessions
+//! restore from host-side engine checkpoints
+//! ([`session::drive_session_checkpointed`]), and a graceful-degradation
+//! ladder ([`sched::DegradeLevel`]) trades per-frame fidelity for
+//! throughput instead of shedding.
+//!
 //! Everything is deterministic: the same requests and configuration produce
-//! byte-identical reports, which is what lets `serve_bench` pin its output
-//! in CI.
+//! byte-identical reports — fault-injected or not — which is what lets
+//! `serve_bench` and `chaos_bench` pin their outputs in CI.
 
 pub mod admission;
+pub mod error;
+pub mod faults;
 pub mod metrics;
 pub mod sched;
 pub mod server;
@@ -39,7 +55,16 @@ pub mod session;
 pub use admission::{
     AdmissionController, AdmissionProjection, RejectReason, SessionDemand, SloConfig,
 };
+pub use error::{Result, ServeError};
+pub use faults::{CrashWindow, NpuFaultKind, NpuFaultProfile};
 pub use metrics::LatencyStats;
-pub use sched::{schedule, SchedConfig, SchedPolicy, ScheduleOutcome, SessionSchedStats};
-pub use server::{serve, ServeConfig, ServeReport, SessionReport};
-pub use session::{drive_session, DrivenSession, SessionSpec, SessionState, WorkItem};
+pub use sched::{
+    schedule, schedule_chaos, ChaosConfig, ChaosOutcome, DegradationStats, DegradeLevel,
+    LadderConfig, RecoveryConfig, SchedConfig, SchedPolicy, ScheduleOutcome, SessionChaosStats,
+    SessionSchedStats,
+};
+pub use server::{admit_and_drive, serve, ServeConfig, ServeReport, SessionReport};
+pub use session::{
+    drive_session, drive_session_checkpointed, DrivenSession, SessionCheckpoint, SessionSpec,
+    SessionState, WorkItem,
+};

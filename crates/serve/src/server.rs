@@ -12,9 +12,10 @@
 use crate::admission::{
     AdmissionController, AdmissionProjection, RejectReason, SessionDemand, SloConfig,
 };
+use crate::error::{Result, ServeError};
 use crate::sched::{schedule, SchedConfig, SchedPolicy, ScheduleOutcome};
 use crate::session::{drive_session, DrivenSession, SessionSpec, SessionState};
-use vr_dann::{Result, VrDann};
+use vr_dann::VrDann;
 use vrd_codec::EncodedVideo;
 use vrd_nn::LargeNet;
 use vrd_sim::SimConfig;
@@ -106,17 +107,24 @@ impl ServeReport {
     }
 }
 
-/// Serves one window of sessions: admission in request order, admitted
-/// sessions driven concurrently, the merged work replayed under FIFO and
-/// batching. Deterministic for fixed inputs and configuration.
+/// The admit-and-drive front half of [`serve`]: admission decisions in
+/// request order plus every admitted session driven to exhaustion. Exposed
+/// so fault-injection harnesses (`chaos_bench`) can pay the compute once
+/// and replay the same driven work under many fault plans.
 ///
 /// # Errors
-/// Propagates decode/engine failures from any admitted session.
-pub fn serve(
+/// Returns [`ServeError::Session`] when an admitted session's decode or
+/// engine fails.
+#[allow(clippy::type_complexity)]
+pub fn admit_and_drive(
     model: &VrDann,
     requests: &[SessionJob<'_>],
     cfg: &ServeConfig,
-) -> Result<ServeReport> {
+) -> Result<(
+    Vec<std::result::Result<AdmissionProjection, RejectReason>>,
+    Vec<DrivenSession>,
+    f64,
+)> {
     let ops_per_ns = cfg.sim.npu_ops_per_ns();
 
     // Admission pass: request order, deterministic.
@@ -144,19 +152,40 @@ pub fn serve(
 
     // Drive every admitted session concurrently — the real compute phase.
     let threads = cfg.threads.unwrap_or_else(vrd_runtime::max_threads);
-    let driven: Vec<Result<DrivenSession>> =
+    let driven: Vec<vr_dann::Result<DrivenSession>> =
         vrd_runtime::parallel_map_with(&admitted_jobs, threads, |&(session, r, spec)| {
             let (seq, encoded) = requests[r];
             drive_session(model, session, seq, encoded, &spec, &cfg.sim)
         });
     let mut sessions_driven = Vec::with_capacity(driven.len());
-    for d in driven {
-        sessions_driven.push(d?);
+    for (d, &(session, r, _)) in driven.into_iter().zip(&admitted_jobs) {
+        sessions_driven.push(d.map_err(|source| ServeError::Session {
+            session,
+            name: requests[r].0.name.clone(),
+            source,
+        })?);
     }
+    Ok((decisions, sessions_driven, controller.utilization()))
+}
+
+/// Serves one window of sessions: admission in request order, admitted
+/// sessions driven concurrently, the merged work replayed under FIFO and
+/// batching. Deterministic for fixed inputs and configuration.
+///
+/// # Errors
+/// Propagates decode/engine failures from any admitted session (with the
+/// session's identity attached) and scheduler invariant violations.
+pub fn serve(
+    model: &VrDann,
+    requests: &[SessionJob<'_>],
+    cfg: &ServeConfig,
+) -> Result<ServeReport> {
+    let (decisions, sessions_driven, projected_utilization) =
+        admit_and_drive(model, requests, cfg)?;
 
     // Replay the merged work under both disciplines.
-    let fifo = schedule(&sessions_driven, SchedPolicy::Fifo, &cfg.sched, &cfg.sim);
-    let batched = schedule(&sessions_driven, SchedPolicy::Batch, &cfg.sched, &cfg.sim);
+    let fifo = schedule(&sessions_driven, SchedPolicy::Fifo, &cfg.sched, &cfg.sim)?;
+    let batched = schedule(&sessions_driven, SchedPolicy::Batch, &cfg.sched, &cfg.sim)?;
 
     // Stitch per-request reports back into request order.
     let mut reports = Vec::with_capacity(requests.len());
@@ -194,7 +223,7 @@ pub fn serve(
     Ok(ServeReport {
         admitted: sessions_driven.len(),
         rejected: requests.len() - sessions_driven.len(),
-        projected_utilization: controller.utilization(),
+        projected_utilization,
         sessions: reports,
         fifo,
         batched,

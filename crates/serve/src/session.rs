@@ -15,7 +15,7 @@
 //! hand-over instant the shared-NPU scheduler replays.
 
 use vr_dann::engine::{SegTask, StrictPolicy};
-use vr_dann::{PipelineEngine, Result, VrDann};
+use vr_dann::{ComputeMode, EngineCheckpoint, PipelineEngine, Result, VrDann};
 use vrd_codec::{EncodedVideo, FrameSource, FrameType, StrictFrameSource};
 use vrd_nn::LargeNet;
 use vrd_sim::{simulate_stream, ExecMode, ParallelOptions, SimConfig};
@@ -61,6 +61,24 @@ pub struct WorkItem {
     pub ready_ns: f64,
 }
 
+/// A host-side recovery point for one driven session: everything needed to
+/// resume the decode → engine → stamp loop after the shared NPU crashes.
+/// The engine snapshot holds the O(GOP) reference-mask window; the decoder
+/// lane resumes from `decode_clock_ns` skipping `units_consumed` units, so
+/// a replayed tail re-emits byte-identical work items.
+#[derive(Debug, Clone)]
+pub struct SessionCheckpoint {
+    /// Work items already emitted when the snapshot was taken.
+    pub items_emitted: usize,
+    /// Decoded units already consumed from the bitstream.
+    pub units_consumed: usize,
+    /// Decoder-lane clock at the snapshot.
+    pub decode_clock_ns: f64,
+    /// The engine's resumable state (reference window, anchor ring,
+    /// concealment counters).
+    pub engine: EngineCheckpoint,
+}
+
 /// Everything driving one session produced: the stamped work items for the
 /// shared-NPU scheduler plus the engine's run summary.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +87,11 @@ pub struct DrivenSession {
     pub name: String,
     /// Index into the admitted set.
     pub session: usize,
+    /// Compute mode the session's model runs NN-S in. The stamped work is
+    /// mode-invariant (see `int8_session_emits_identical_work`); the chaos
+    /// scheduler uses this as the session's degradation-ladder floor and
+    /// the admission controller folds it into utilisation estimates.
+    pub compute: ComputeMode,
     /// NPU work in emission order, decode-lane times stamped.
     pub items: Vec<WorkItem>,
     /// Frames the engine produced output for.
@@ -101,6 +124,38 @@ pub fn drive_session(
     encoded: &EncodedVideo,
     spec: &SessionSpec,
     sim: &SimConfig,
+) -> Result<DrivenSession> {
+    drive_core(model, session, seq, encoded, spec, sim, None)
+}
+
+/// [`drive_session`] that also snapshots a [`SessionCheckpoint`] after
+/// every NN-L anchor — the natural recovery points: each anchor refreshes
+/// the reference window the following B-frames lean on, so restoring at an
+/// anchor bounds the replay to one GOP.
+///
+/// # Errors
+/// Propagates bitstream decode errors and engine reconstruction failures.
+pub fn drive_session_checkpointed(
+    model: &VrDann,
+    session: usize,
+    seq: &Sequence,
+    encoded: &EncodedVideo,
+    spec: &SessionSpec,
+    sim: &SimConfig,
+) -> Result<(DrivenSession, Vec<SessionCheckpoint>)> {
+    let mut ckpts = Vec::new();
+    let driven = drive_core(model, session, seq, encoded, spec, sim, Some(&mut ckpts))?;
+    Ok((driven, ckpts))
+}
+
+fn drive_core(
+    model: &VrDann,
+    session: usize,
+    seq: &Sequence,
+    encoded: &EncodedVideo,
+    spec: &SessionSpec,
+    sim: &SimConfig,
+    mut checkpoints: Option<&mut Vec<SessionCheckpoint>>,
 ) -> Result<DrivenSession> {
     let mut source = StrictFrameSource::new(&encoded.bitstream)?;
     let info = source.info();
@@ -142,6 +197,16 @@ pub fn drive_session(
             arrival_ns: arrival,
             ready_ns: t_decode,
         });
+        if work.uses_large_model {
+            if let Some(sink) = checkpoints.as_deref_mut() {
+                sink.push(SessionCheckpoint {
+                    items_emitted: items.len(),
+                    units_consumed: k,
+                    decode_clock_ns: t_decode,
+                    engine: engine.checkpoint()?,
+                });
+            }
+        }
     }
     let totals = source.totals();
     let peak = source.peak_live_frames();
@@ -158,6 +223,7 @@ pub fn drive_session(
     Ok(DrivenSession {
         name: seq.name.clone(),
         session,
+        compute: model.config().compute,
         frames: run.outputs.len(),
         peak_live_frames: run.peak_live_frames,
         total_ops: run.trace.total_ops(),
@@ -235,6 +301,114 @@ mod tests {
         assert_eq!(f32_run.total_ops, int8_run.total_ops);
         assert_eq!(f32_run.switches_in_order, int8_run.switches_in_order);
         assert_eq!(f32_run.isolated_ns, int8_run.isolated_ns);
+        // The mode itself is carried for the chaos ladder and admission.
+        assert_eq!(f32_run.compute, ComputeMode::F32Reference);
+        assert_eq!(int8_run.compute, ComputeMode::Int8);
+    }
+
+    #[test]
+    fn checkpointed_drive_is_identical_and_snapshots_every_anchor() {
+        let (model, cfg) = tiny_model();
+        let seq = davis_sequence("cows", &cfg).unwrap();
+        let encoded = model.encode(&seq).unwrap();
+        let spec = SessionSpec {
+            start_offset_ns: 0.0,
+            frame_interval_ns: 1e6,
+        };
+        let sim = SimConfig::default();
+        let plain = drive_session(&model, 0, &seq, &encoded, &spec, &sim).unwrap();
+        let (driven, ckpts) =
+            drive_session_checkpointed(&model, 0, &seq, &encoded, &spec, &sim).unwrap();
+        assert_eq!(driven, plain, "checkpointing must not perturb the drive");
+        let anchors = plain.items.iter().filter(|i| i.uses_large_model).count();
+        assert_eq!(ckpts.len(), anchors);
+        for w in ckpts.windows(2) {
+            assert!(w[0].items_emitted < w[1].items_emitted);
+            assert!(w[0].units_consumed < w[1].units_consumed);
+            assert!(w[0].decode_clock_ns <= w[1].decode_clock_ns);
+        }
+        for c in &ckpts {
+            assert_eq!(c.engine.frames_emitted(), c.items_emitted);
+        }
+    }
+
+    #[test]
+    fn crash_resume_from_checkpoint_reemits_identical_tail() {
+        // Simulate an NPU crash mid-session: the host rolls the engine
+        // back to the last anchor checkpoint and replays the decode walk
+        // from there. The re-emitted tail must be byte-identical — work
+        // kinds, ops AND decoder-lane stamps.
+        let (model, cfg) = tiny_model();
+        let seq = davis_sequence("dog", &cfg).unwrap();
+        let encoded = model.encode(&seq).unwrap();
+        let spec = SessionSpec {
+            start_offset_ns: 250.0,
+            frame_interval_ns: 1.5e6,
+        };
+        let sim = SimConfig::default();
+        let (straight, ckpts) =
+            drive_session_checkpointed(&model, 2, &seq, &encoded, &spec, &sim).unwrap();
+        assert!(ckpts.len() >= 2, "need a mid-stream anchor to resume from");
+        let ckpt = &ckpts[ckpts.len() / 2];
+        assert!(ckpt.items_emitted < straight.items.len());
+
+        // Re-drive up to the crash point on a live engine, then restore.
+        let mut source = StrictFrameSource::new(&encoded.bitstream).unwrap();
+        let info = source.info();
+        let task = SegTask::new(
+            &seq,
+            LargeNet::new(model.config().segment_profile),
+            model.config().seed,
+            &info,
+        );
+        let mut engine =
+            PipelineEngine::new(model.config(), model.nns(), task, StrictPolicy::default());
+        engine.prime(&info, &[]);
+        for _ in 0..ckpt.units_consumed + 2 {
+            if let Some(unit) = source.next_unit() {
+                engine.step(unit.unwrap()).unwrap();
+            }
+        }
+        engine.restore(&ckpt.engine).unwrap();
+
+        // Recovery walk: fresh source, skip the consumed units, resume the
+        // decoder-lane clock from the snapshot.
+        let mut source = StrictFrameSource::new(&encoded.bitstream).unwrap();
+        for _ in 0..ckpt.units_consumed {
+            source.next_unit().unwrap().unwrap();
+        }
+        let px = (info.width * info.height) as f64;
+        let mut t_decode = ckpt.decode_clock_ns;
+        let mut k = ckpt.units_consumed;
+        let mut tail: Vec<WorkItem> = Vec::new();
+        while let Some(unit) = source.next_unit() {
+            let arrival = spec.start_offset_ns + k as f64 * spec.frame_interval_ns;
+            k += 1;
+            let Some(work) = engine.step(unit.unwrap()).unwrap() else {
+                continue;
+            };
+            let cpp = if work.full_decode {
+                sim.decoder.cycles_per_pixel_full
+            } else {
+                sim.decoder.cycles_per_pixel_mv
+            };
+            t_decode = t_decode.max(arrival) + px * cpp / sim.decoder.freq_hz * 1e9;
+            tail.push(WorkItem {
+                session: 2,
+                idx: ckpt.items_emitted + tail.len(),
+                display: work.display,
+                ftype: work.ftype,
+                ops: work.ops,
+                uses_large_model: work.uses_large_model,
+                arrival_ns: arrival,
+                ready_ns: t_decode,
+            });
+        }
+        assert_eq!(tail, straight.items[ckpt.items_emitted..]);
+        let run = engine
+            .finish(source.totals(), source.peak_live_frames())
+            .unwrap();
+        assert_eq!(run.outputs.len(), straight.frames);
     }
 
     #[test]

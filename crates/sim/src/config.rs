@@ -19,6 +19,14 @@ pub struct NpuConfig {
     pub buffer_bytes: usize,
     /// Fixed kernel-swap latency of a model switch, in nanoseconds.
     pub kernel_swap_ns: f64,
+    /// Throughput multiplier of the quantized int8 NN-S path over the f32
+    /// reference path. 4.0 matches the measured end-to-end NN-S speedup of
+    /// the AVX2 `vpmaddwd` kernels (PR 6: 4.5× at 854×480, gated ≥3× in
+    /// CI), rounded down to stay conservative. Consumers that model
+    /// precision-aware service time (the serving layer's degradation
+    /// ladder, compute-mode-aware admission) divide NN-S service time by
+    /// this factor for `ComputeMode::Int8` streams.
+    pub int8_speedup: f64,
 }
 
 impl Default for NpuConfig {
@@ -28,6 +36,7 @@ impl Default for NpuConfig {
             utilization: 0.41,
             buffer_bytes: 8 << 20,
             kernel_swap_ns: 100_000.0,
+            int8_speedup: 4.0,
         }
     }
 }
@@ -216,6 +225,12 @@ impl SimConfig {
     /// the kernel swap dominates).
     pub fn switch_to_small_ns(&self) -> f64 {
         self.cost.nns_weight_bytes as f64 / self.dram_bytes_per_ns() + self.npu.kernel_swap_ns
+    }
+
+    /// Effective NPU throughput on int8-quantized NN-S work, in ops/ns
+    /// (the f32 throughput scaled by [`NpuConfig::int8_speedup`]).
+    pub fn npu_int8_ops_per_ns(&self) -> f64 {
+        self.npu_ops_per_ns() * self.npu.int8_speedup
     }
 }
 
