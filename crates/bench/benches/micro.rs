@@ -12,6 +12,7 @@ use vrd_flow::{estimate, FlowConfig};
 use vrd_metrics::segmentation::reference as tally_reference;
 use vrd_metrics::PixelCounts;
 use vrd_nn::conv::{reference as conv_reference, Conv2d};
+use vrd_nn::featwarp::{self, FeatureMap, WarpSource, FEATURE_CHANNELS, FEATURE_STRIDE};
 use vrd_nn::{LargeNet, LargeNetProfile, NnS, QuantConv2d, Requant, Tensor};
 use vrd_sim::{agent, AgentConfig, Dram, DramConfig};
 use vrd_video::davis::{davis_sequence, SuiteConfig};
@@ -151,6 +152,60 @@ fn bench_packed_masks(c: &mut Criterion) {
     });
 }
 
+/// Deployment-resolution feature warp: every 16-px block of an 854×480
+/// frame resampled from two reference feature maps with word-straddling
+/// pixel MVs — the per-B-frame cost of the feature-propagation baseline.
+fn bench_featwarp(c: &mut Criterion) {
+    const W: usize = 854;
+    const H: usize = 480;
+    const MB: usize = 16;
+    let filled = |salt: u64| {
+        let mut m = FeatureMap::zeros(W, H, FEATURE_STRIDE, FEATURE_CHANNELS);
+        for (i, v) in m.tensor_mut().as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as u64 ^ salt) % 97) as f32 / 96.0;
+        }
+        m
+    };
+    let (a, b) = (filled(3), filled(11));
+    type WarpBlock = (usize, usize, i32, i32, Option<(i32, i32)>);
+    let blocks: Vec<WarpBlock> = (0..H / MB)
+        .flat_map(|by| (0..W / MB).map(move |bx| (bx, by)))
+        .map(|(bx, by)| {
+            let s = vrd_video::texture::hash2(bx as i64, by as i64, 131);
+            (
+                bx * MB,
+                by * MB,
+                (s % 61) as i32 - 30,
+                ((s >> 8) % 61) as i32 - 30,
+                (s & 1 == 0)
+                    .then_some((((s >> 16) % 61) as i32 - 30, ((s >> 24) % 61) as i32 - 30)),
+            )
+        })
+        .collect();
+    let warp_frame = |out: &mut FeatureMap, optimized: bool| {
+        for &(dx_px, dy_px, dx, dy, second) in &blocks {
+            let first = WarpSource { feat: &a, dx, dy };
+            let second = second.map(|(dx, dy)| WarpSource { feat: &b, dx, dy });
+            if optimized {
+                featwarp::warp_block(out, dx_px, dy_px, MB, first, second);
+            } else {
+                featwarp::reference::warp_block(out, dx_px, dy_px, MB, first, second);
+            }
+        }
+    };
+    let mut out = FeatureMap::zeros(W, H, FEATURE_STRIDE, FEATURE_CHANNELS);
+    c.bench_function("featwarp/warp_854x480", |bch| {
+        bch.iter(|| {
+            warp_frame(black_box(&mut out), true);
+        })
+    });
+    c.bench_function("featwarp/warp_854x480_reference", |bch| {
+        bch.iter(|| {
+            warp_frame(black_box(&mut out), false);
+        })
+    });
+}
+
 fn bench_nns(c: &mut Criterion) {
     let mut nns = NnS::new(8, 42);
     let input = Tensor::zeros(3, 48, 64);
@@ -285,6 +340,6 @@ fn bench_flow_and_oracle(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_codec, bench_reconstruction, bench_packed_masks, bench_nns, bench_conv, bench_quant, bench_agent, bench_flow_and_oracle
+    targets = bench_codec, bench_reconstruction, bench_packed_masks, bench_featwarp, bench_nns, bench_conv, bench_quant, bench_agent, bench_flow_and_oracle
 }
 criterion_main!(benches);

@@ -14,6 +14,7 @@ fn main() {
     println!("{}", fig11::run(&ctx).render());
     println!("{}", fig12::run(&ctx).render());
     println!("{}", fig13::run(&ctx).render());
+    println!("{}", featprop::run(&ctx).render());
     println!("{}", fig14::run(&ctx).render());
     println!("{}", fig15::run(&ctx).render());
     println!("{}", fig16::run(&ctx).render());

@@ -1,0 +1,9 @@
+//! Prints the feature-propagation baseline comparison: fig13-style
+//! performance/energy rows plus the accuracy-vs-NPU-load point for the
+//! Jain & Gonzalez scheme. Pass --quick for the reduced scale.
+use vrd_bench::{featprop, Context, Scale};
+
+fn main() {
+    let ctx = Context::new(Scale::from_args());
+    println!("{}", featprop::run(&ctx).render());
+}

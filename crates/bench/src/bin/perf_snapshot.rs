@@ -3,19 +3,23 @@
 //!
 //! Times the optimised kernels against the naive references at the paper's
 //! deployment resolution (854×480) and the training resolution (64×48),
-//! then writes `BENCH_nn.json` (NN kernels) and `BENCH_recon.json` (packed
-//! reconstruction / mean filter / tally / sandwich kernels) for tooling and
-//! CI trend tracking. The JSON is hand-rolled — the workspace carries no
-//! serialisation dependency.
+//! then writes `BENCH_nn.json` (NN kernels), `BENCH_recon.json` (packed
+//! reconstruction / mean filter / tally / sandwich kernels) and
+//! `BENCH_featprop.json` (the feature-warp kernel of the
+//! feature-propagation baseline) for tooling and CI trend tracking. The
+//! JSON is hand-rolled — the workspace carries no serialisation dependency.
 //!
 //! Usage:
 //! `cargo run --release --bin perf_snapshot [nn.json] [recon.json] [quant.json]
-//!     [--min-recon-speedup X] [--min-quant-speedup X]`
+//!     [featprop.json] [--min-recon-speedup X] [--min-quant-speedup X]
+//!     [--min-warp-speedup X]`
 //!
 //! With `--min-recon-speedup X` the run exits 1 if any packed-mask row's
 //! speedup over its byte-wise reference falls below `X`; with
 //! `--min-quant-speedup X` likewise if any `BENCH_quant.json` row's int8
-//! speedup over the optimised f32 path falls below `X`.
+//! speedup over the optimised f32 path falls below `X`; with
+//! `--min-warp-speedup X` likewise for the feature-warp kernel against its
+//! naive per-cell reference.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -24,6 +28,7 @@ use vrd_codec::decoder::BFrameInfo;
 use vrd_codec::{MvRecord, RefMv};
 use vrd_metrics::segmentation::{reference as tally_reference, PixelCounts};
 use vrd_nn::conv::{reference, Conv2d};
+use vrd_nn::featwarp::{self, FeatureMap, WarpSource, FEATURE_CHANNELS, FEATURE_STRIDE};
 use vrd_nn::layers::{maxpool2_into, relu_in_place, sigmoid_in_place, upsample2_into};
 use vrd_nn::{NnS, QuantConv2d, Requant, Tensor};
 use vrd_video::{mask, Seg2Plane, SegMask};
@@ -369,19 +374,89 @@ fn recon_rows() -> Vec<Row> {
     rows
 }
 
+/// Full-frame feature warp at deployment resolution: every 16-px block of
+/// an 854×480 frame resampled from two cached anchor maps, half of the
+/// blocks bi-predicted — the per-B-frame kernel cost of the
+/// feature-propagation baseline.
+fn featprop_rows() -> Vec<Row> {
+    const W: usize = 854;
+    const H: usize = 480;
+    const MB: usize = 16;
+    let filled = |salt: u64| {
+        let mut m = FeatureMap::zeros(W, H, FEATURE_STRIDE, FEATURE_CHANNELS);
+        for (i, v) in m.tensor_mut().as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as u64 ^ salt) % 97) as f32 / 96.0;
+        }
+        m
+    };
+    let (a, b) = (filled(3), filled(11));
+    type WarpBlock = (usize, usize, i32, i32, Option<(i32, i32)>);
+    let blocks: Vec<WarpBlock> = (0..H / MB)
+        .flat_map(|by| (0..W / MB).map(move |bx| (bx, by)))
+        .map(|(bx, by)| {
+            let s = vrd_video::texture::hash2(bx as i64, by as i64, 131);
+            (
+                bx * MB,
+                by * MB,
+                (s % 61) as i32 - 30,
+                ((s >> 8) % 61) as i32 - 30,
+                (s & 1 == 0)
+                    .then_some((((s >> 16) % 61) as i32 - 30, ((s >> 24) % 61) as i32 - 30)),
+            )
+        })
+        .collect();
+    let warp_frame = |out: &mut FeatureMap, optimized: bool| {
+        for &(dx_px, dy_px, dx, dy, second) in &blocks {
+            let first = WarpSource { feat: &a, dx, dy };
+            let second = second.map(|(dx, dy)| WarpSource { feat: &b, dx, dy });
+            if optimized {
+                featwarp::warp_block(out, dx_px, dy_px, MB, first, second);
+            } else {
+                featwarp::reference::warp_block(out, dx_px, dy_px, MB, first, second);
+            }
+        }
+    };
+    let mut fast = FeatureMap::zeros(W, H, FEATURE_STRIDE, FEATURE_CHANNELS);
+    let mut slow = FeatureMap::zeros(W, H, FEATURE_STRIDE, FEATURE_CHANNELS);
+    warp_frame(&mut fast, true);
+    warp_frame(&mut slow, false);
+    assert_eq!(
+        fast.tensor().as_slice(),
+        slow.tensor().as_slice(),
+        "warp kernels diverged"
+    );
+    vec![Row {
+        name: "featwarp_854x480",
+        optimized_ms: time_median(31, || {
+            warp_frame(&mut fast, true);
+            std::hint::black_box(&fast);
+        }) * 1e3,
+        naive_ms: time_median(9, || {
+            warp_frame(&mut slow, false);
+            std::hint::black_box(&slow);
+        }) * 1e3,
+    }]
+}
+
 fn main() {
     let mut nn_path = None;
     let mut recon_path = None;
     let mut quant_path = None;
+    let mut featprop_path = None;
     let mut min_recon_speedup: Option<f64> = None;
     let mut min_quant_speedup: Option<f64> = None;
+    let mut min_warp_speedup: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--min-recon-speedup" || arg == "--min-quant-speedup" {
+        if arg == "--min-recon-speedup"
+            || arg == "--min-quant-speedup"
+            || arg == "--min-warp-speedup"
+        {
             let v = args.next().and_then(|v| v.parse().ok());
             match v {
                 Some(v) if arg == "--min-recon-speedup" => min_recon_speedup = Some(v),
-                Some(v) => min_quant_speedup = Some(v),
+                Some(v) if arg == "--min-quant-speedup" => min_quant_speedup = Some(v),
+                Some(v) => min_warp_speedup = Some(v),
                 None => {
                     eprintln!("error: {arg} needs a numeric value");
                     std::process::exit(2);
@@ -391,13 +466,16 @@ fn main() {
             nn_path = Some(arg);
         } else if recon_path.is_none() {
             recon_path = Some(arg);
-        } else {
+        } else if quant_path.is_none() {
             quant_path = Some(arg);
+        } else {
+            featprop_path = Some(arg);
         }
     }
     let nn_path = nn_path.unwrap_or_else(|| "BENCH_nn.json".into());
     let recon_path = recon_path.unwrap_or_else(|| "BENCH_recon.json".into());
     let quant_path = quant_path.unwrap_or_else(|| "BENCH_quant.json".into());
+    let featprop_path = featprop_path.unwrap_or_else(|| "BENCH_featprop.json".into());
 
     write_or_die(&nn_path, &render_json(&nn_rows()));
 
@@ -407,6 +485,9 @@ fn main() {
     let quant = quant_rows();
     write_or_die(&quant_path, &render_quant_json(&quant));
 
+    let featprop = featprop_rows();
+    write_or_die(&featprop_path, &render_json(&featprop));
+
     let mut ok = true;
     if let Some(min) = min_recon_speedup {
         for r in &recon {
@@ -414,6 +495,18 @@ fn main() {
             if speedup < min {
                 eprintln!(
                     "speedup check failed: {} is {speedup:.2}x, need >= {min:.2}x",
+                    r.name
+                );
+                ok = false;
+            }
+        }
+    }
+    if let Some(min) = min_warp_speedup {
+        for r in &featprop {
+            let speedup = r.naive_ms / r.optimized_ms;
+            if speedup < min {
+                eprintln!(
+                    "warp speedup check failed: {} is {speedup:.2}x, need >= {min:.2}x",
                     r.name
                 );
                 ok = false;

@@ -1,0 +1,161 @@
+//! Feature-space propagation (Jain & Gonzalez) in the Fig. 13 frame:
+//! suite-averaged performance/energy of the FeatProp baseline next to DFF
+//! and VR-DANN-parallel, all normalised to FAVOS, plus the
+//! accuracy-vs-NPU-load point that places each scheme on the paper's
+//! central tradeoff — how much NPU compute buys how much accuracy.
+
+use crate::context::{parallel_map, Context};
+use crate::table::{fmt_x, Table};
+use vr_dann::baselines::{run_dff, run_favos, DFF_KEY_INTERVAL};
+use vrd_sim::{simulate, ExecMode, ParallelOptions};
+
+/// One scheme's position: speed/efficiency vs FAVOS, plus the accuracy and
+/// NPU-load coordinates (FAVOS = 1.0 load by construction).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchemePoint {
+    /// FAVOS time / scheme time (higher = faster).
+    pub performance: f64,
+    /// FAVOS energy / scheme energy (higher = more efficient).
+    pub energy: f64,
+    /// Suite-mean IoU of the scheme's masks.
+    pub iou: f64,
+    /// Scheme NPU ops / FAVOS NPU ops (lower = lighter).
+    pub npu_load: f64,
+}
+
+/// The complete comparison.
+#[derive(Debug, Clone, Default)]
+pub struct FeatPropBench {
+    /// FAVOS itself (performance/energy/load 1.0; the accuracy reference).
+    pub favos: SchemePoint,
+    /// DFF: flow-warped *outputs*, key-frame NN-L.
+    pub dff: SchemePoint,
+    /// Feature propagation: warped *intermediate activations*, head-only
+    /// B-frames.
+    pub featprop: SchemePoint,
+    /// VR-DANN-parallel: mask-space reconstruction + NN-S refinement.
+    pub parallel: SchemePoint,
+}
+
+/// Runs the suite experiment.
+pub fn run(ctx: &Context) -> FeatPropBench {
+    let per_video = parallel_map(&ctx.davis, |seq| {
+        let (encoded, vr) = ctx.run_vrdann(seq);
+        let fp = ctx
+            .model
+            .run_feature_propagation(seq, &encoded)
+            .expect("suite sequences propagate in feature space");
+        let favos = run_favos(seq, &encoded, 1);
+        let dff = run_dff(seq, &encoded, DFF_KEY_INTERVAL, 1);
+
+        let favos_sim = ctx.sim_in_order(&favos.trace);
+        let favos_ops = favos.trace.total_ops().max(1) as f64;
+        let point = |r: &vrd_sim::SimReport, run: &vr_dann::SegmentationRun| SchemePoint {
+            performance: favos_sim.total_ns / r.total_ns,
+            energy: favos_sim.energy.total_mj() / r.energy.total_mj(),
+            iou: ctx.score(seq, &run.masks).iou,
+            npu_load: run.trace.total_ops() as f64 / favos_ops,
+        };
+        (
+            point(&favos_sim, &favos),
+            point(&ctx.sim_in_order(&dff.trace), &dff),
+            point(&ctx.sim_in_order(&fp.trace), &fp),
+            point(
+                &simulate(
+                    &vr.trace,
+                    ExecMode::VrDannParallel(ParallelOptions::default()),
+                    &ctx.sim,
+                ),
+                &vr,
+            ),
+        )
+    });
+    let n = per_video.len().max(1) as f64;
+    type Tuple = (SchemePoint, SchemePoint, SchemePoint, SchemePoint);
+    let mean = |f: fn(&Tuple) -> SchemePoint| {
+        let sum = per_video
+            .iter()
+            .map(f)
+            .fold(SchemePoint::default(), |acc, p| SchemePoint {
+                performance: acc.performance + p.performance,
+                energy: acc.energy + p.energy,
+                iou: acc.iou + p.iou,
+                npu_load: acc.npu_load + p.npu_load,
+            });
+        SchemePoint {
+            performance: sum.performance / n,
+            energy: sum.energy / n,
+            iou: sum.iou / n,
+            npu_load: sum.npu_load / n,
+        }
+    };
+    FeatPropBench {
+        favos: mean(|t| t.0),
+        dff: mean(|t| t.1),
+        featprop: mean(|t| t.2),
+        parallel: mean(|t| t.3),
+    }
+}
+
+impl FeatPropBench {
+    /// Renders the fig13-style rows plus the accuracy-vs-load points.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "scheme",
+            "performance",
+            "energy reduction",
+            "IoU",
+            "NPU load",
+        ]);
+        for (name, p) in [
+            ("FAVOS (baseline)", self.favos),
+            ("DFF", self.dff),
+            ("FeatProp (Jain-Gonzalez)", self.featprop),
+            ("VR-DANN-parallel", self.parallel),
+        ] {
+            t.row(vec![
+                name.to_string(),
+                fmt_x(p.performance),
+                fmt_x(p.energy),
+                format!("{:.3}", p.iou),
+                format!("{:.2}", p.npu_load),
+            ]);
+        }
+        format!(
+            "Feature propagation vs the mask-space schemes (normalised to FAVOS).\n         FeatProp: {} at {:.2}x FAVOS NPU load; VR-DANN-parallel: {} at {:.2}x\n{}",
+            fmt_x(self.featprop.performance),
+            self.featprop.npu_load,
+            fmt_x(self.parallel.performance),
+            self.parallel.npu_load,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn featprop_quick_sits_between_dff_and_vrdann() {
+        let ctx = Context::new(Scale::Quick);
+        let b = run(&ctx);
+        // Performance: head-only B-frames beat DFF's FlowNet warps but a
+        // quarter of NN-L per B-frame cannot touch VR-DANN's tiny NN-S.
+        assert!(b.featprop.performance > b.dff.performance);
+        assert!(b.featprop.performance > 1.0, "FeatProp must beat FAVOS");
+        assert!(b.parallel.performance > b.featprop.performance);
+        // NPU load: FeatProp is lighter than FAVOS but clearly heavier
+        // than VR-DANN (a quarter-NN-L head vs NN-S per B-frame) — the
+        // accuracy-vs-load point the comparison exists for.
+        assert!(b.featprop.npu_load < 1.0);
+        assert!(b.featprop.npu_load > 1.2 * b.parallel.npu_load);
+        // Accuracy: anchors are bit-identical across schemes, so the gap
+        // is purely the propagation method; warped features must beat
+        // DFF's flow-warped outputs and stay near the FAVOS reference.
+        assert!(b.featprop.iou > b.dff.iou, "features should beat DFF");
+        assert!(b.favos.iou >= b.featprop.iou - 0.005);
+        assert!(b.render().contains("FeatProp"));
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`fig11`] | Fig. 11: detection mAP by speed group |
 //! | [`fig12`] | Fig. 12: per-video cycles + TOPS |
 //! | [`fig13`] | Fig. 13: averaged performance & energy (+ HD fps) |
+//! | [`featprop`] | extra: feature-propagation baseline, accuracy vs NPU load |
 //! | [`fig14`] | Fig. 14: DRAM traffic breakdown |
 //! | [`fig15`] | Fig. 15: B-ratio sweep |
 //! | [`fig16`] | Fig. 16: search-interval sweep |
@@ -32,6 +33,7 @@
 pub mod ablation;
 pub mod chaos_bench;
 pub mod context;
+pub mod featprop;
 pub mod fig03;
 pub mod fig07;
 pub mod fig09;

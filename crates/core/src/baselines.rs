@@ -42,6 +42,7 @@ fn run_per_frame_nnl(
         trace,
         concealment: ConcealmentStats::default(),
         peak_live_frames: seq.len(),
+        peak_live_features: 0,
     }
 }
 
@@ -105,6 +106,7 @@ pub fn run_dff(
         trace,
         concealment: ConcealmentStats::default(),
         peak_live_frames: seq.len(),
+        peak_live_features: 0,
     }
 }
 

@@ -161,6 +161,9 @@ pub struct EngineRun<O> {
     pub concealment: ConcealmentStats,
     /// Peak number of reconstructed pixel frames the source held alive.
     pub peak_live_frames: usize,
+    /// Peak number of cached backbone feature maps the task held alive
+    /// (0 unless the task propagates in feature space).
+    pub peak_live_features: usize,
 }
 
 /// The task axis of the engine: what NN-L produces on anchors, what a
@@ -171,6 +174,40 @@ pub trait TaskPolicy {
 
     /// Whether the §VI-A adaptive fallback applies (segmentation only).
     const SUPPORTS_FALLBACK: bool;
+
+    /// The scheme label stamped on the run's trace. Defaults to VR-DANN —
+    /// only tasks that replace the B-frame ladder wholesale (feature
+    /// propagation) report something else.
+    fn scheme(&self) -> SchemeKind {
+        SchemeKind::VrDann
+    }
+
+    /// Feature-space propagation hook. A propagating task consumes the
+    /// B-frame's MV payload entirely in feature space (warp cached
+    /// backbone features, run the head, store the result) and returns
+    /// `Some(ops)` — the head-only NPU cost — which makes the engine emit
+    /// a [`ComputeKind::FeatHead`] trace frame and skip the mask-space
+    /// reconstruction ladder. The default (`None`) routes the B-frame
+    /// through reconstruction + NN-S unchanged.
+    ///
+    /// # Errors
+    /// `Some(Err(..))` aborts the run (e.g. the payload references an
+    /// anchor whose features left the window — impossible on a conforming
+    /// stream, fatal on a corrupt one).
+    fn propagate(&mut self, _info: &BFrameInfo) -> Option<Result<u64>> {
+        None
+    }
+
+    /// Drops per-anchor task state older than `oldest`, called in
+    /// lock-step with the engine's reference-mask window eviction so
+    /// cached features obey the same O(GOP) bound as the masks.
+    fn evict_below(&mut self, _oldest: u32) {}
+
+    /// High-water mark of live cached feature maps (0 for tasks that keep
+    /// none) — the bounded-memory accounting hook for feature windows.
+    fn peak_live_features(&self) -> usize {
+        0
+    }
 
     /// Operations of one NN-L inference at the stream's resolution.
     fn nnl_ops(&self) -> u64;
@@ -735,6 +772,9 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
                             // (fallback masks between evicted anchors
                             // can never win a nearest lookup again).
                             self.ref_segs = self.ref_segs.split_off(&front);
+                            // Cached backbone features ride the same
+                            // window: evicting the mask evicts the map.
+                            self.task.evict_below(front);
                         }
                     }
                 }
@@ -792,6 +832,32 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
                             ));
                             return Ok(self.emitted(before));
                         }
+                    }
+                }
+
+                // Feature-space propagation: a propagating task consumes
+                // the MV payload here (warp cached features + head-only
+                // inference) and the mask-space reconstruction ladder
+                // below never runs. Only fully trusted payloads qualify —
+                // a concealing run routes damaged frames to the ladder,
+                // whose sanitisation machinery knows how to degrade.
+                if !P::CONCEALING || unit.outcome == DecodeOutcome::Ok {
+                    if let Some(head) = self.task.propagate(&info_b) {
+                        let ops = head?;
+                        self.frames.push((
+                            TraceFrame {
+                                display,
+                                ftype: FrameType::B,
+                                kind: ComputeKind::FeatHead {
+                                    ops,
+                                    mvs: info_b.mvs,
+                                },
+                                full_decode: false,
+                                bitstream_bytes: 0,
+                            },
+                            ByteClass::BAvg,
+                        ));
+                        return Ok(self.emitted(before));
                     }
                 }
 
@@ -920,6 +986,8 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
             })
             .collect();
 
+        let scheme = self.task.scheme();
+        let peak_live_features = self.task.peak_live_features();
         let outputs = if P::CONCEALING {
             self.task.finalize_concealed()
         } else {
@@ -928,7 +996,7 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
         Ok(EngineRun {
             outputs,
             trace: SchemeTrace {
-                scheme: SchemeKind::VrDann,
+                scheme,
                 width: self.w,
                 height: self.h,
                 mb_size: self.mb,
@@ -936,6 +1004,7 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
             },
             concealment: self.policy.into_stats(),
             peak_live_frames,
+            peak_live_features,
         })
     }
 

@@ -39,6 +39,7 @@ pub mod baselines;
 pub mod components;
 pub mod engine;
 pub mod error;
+pub mod featprop;
 pub mod recon;
 pub mod sandwich;
 pub mod trace;
@@ -50,6 +51,7 @@ pub use engine::{
     PolicyCheckpoint, SegTask, StepWork, StrictPolicy, TaskPolicy,
 };
 pub use error::{Result, VrDannError};
+pub use featprop::FeatPropTask;
 pub use recon::{plane_to_mask, reconstruct_b_frame, ReconConfig};
 pub use sandwich::{build_reconstruction_only, build_sandwich};
 pub use trace::{ComputeKind, ConcealmentStats, SchemeKind, SchemeTrace, TraceFrame};

@@ -25,6 +25,10 @@ pub enum SchemeKind {
     Euphrates,
     /// SELSA: sequence-level aggregation, large network on every frame.
     Selsa,
+    /// Feature-space propagation (Jain & Gonzalez): full backbone+head on
+    /// anchors, MV-warped backbone features + head-only inference on
+    /// B-frames.
+    FeatProp,
     /// VR-DANN (this paper).
     VrDann,
 }
@@ -37,6 +41,7 @@ impl std::fmt::Display for SchemeKind {
             SchemeKind::Dff => "DFF",
             SchemeKind::Euphrates => "Euphrates",
             SchemeKind::Selsa => "SELSA",
+            SchemeKind::FeatProp => "FeatProp",
             SchemeKind::VrDann => "VR-DANN",
         };
         f.write_str(s)
@@ -67,6 +72,16 @@ pub enum ComputeKind {
     /// Euphrates non-key frame: average-MV rectangle shift (work is
     /// negligible next to any NN inference).
     BoxShift,
+    /// Feature-propagation B-frame: cached backbone features warped by the
+    /// agent unit with the frame's MV records, then the network head alone
+    /// on the NPU — billed distinctly from both NN-L and NN-S.
+    FeatHead {
+        /// Operations of the head-only inference.
+        ops: u64,
+        /// Motion-vector records the agent unit streams for the feature
+        /// warp.
+        mvs: Vec<MvRecord>,
+    },
 }
 
 impl ComputeKind {
@@ -77,12 +92,20 @@ impl ComputeKind {
             ComputeKind::NnSRefine { ops, .. } => *ops,
             ComputeKind::FlowWarp { ops } => *ops,
             ComputeKind::BoxShift => 0,
+            ComputeKind::FeatHead { ops, .. } => *ops,
         }
     }
 
     /// Whether the NPU must have the large network's weights loaded.
+    ///
+    /// The head of the staged large network counts: its weights live with
+    /// the backbone, which is why feature propagation never pays a model
+    /// switch between anchors and B-frames.
     pub fn uses_large_model(&self) -> bool {
-        matches!(self, ComputeKind::NnL { .. } | ComputeKind::FlowWarp { .. })
+        matches!(
+            self,
+            ComputeKind::NnL { .. } | ComputeKind::FlowWarp { .. } | ComputeKind::FeatHead { .. }
+        )
     }
 }
 

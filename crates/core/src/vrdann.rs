@@ -94,6 +94,9 @@ pub struct SegmentationRun {
     /// bounded-memory accounting hook; `seq.len()` for the full-decode
     /// baselines, O(GOP) for the streaming engine).
     pub peak_live_frames: usize,
+    /// Peak number of cached backbone feature maps held alive at once
+    /// (0 unless the run propagates in feature space).
+    pub peak_live_features: usize,
 }
 
 impl From<EngineRun<SegMask>> for SegmentationRun {
@@ -103,6 +106,7 @@ impl From<EngineRun<SegMask>> for SegmentationRun {
             trace: run.trace,
             concealment: run.concealment,
             peak_live_frames: run.peak_live_frames,
+            peak_live_features: run.peak_live_features,
         }
     }
 }
@@ -294,6 +298,38 @@ impl VrDann {
         let source = StrictFrameSource::new(&encoded.bitstream)?;
         let info = source.info();
         let task = SegTask::new(
+            seq,
+            LargeNet::new(self.cfg.segment_profile),
+            self.cfg.seed,
+            &info,
+        );
+        let run = PipelineEngine::new(&self.cfg, &self.nns, task, StrictPolicy::default())
+            .run(source, &[])?;
+        Ok(run.into())
+    }
+
+    /// Runs the feature-space propagation baseline (Jain & Gonzalez) on an
+    /// encoded sequence, through the same streaming engine as
+    /// [`VrDann::run_segmentation`]: the staged NN-L runs in full on I/P
+    /// anchors and caches its penultimate feature maps in the O(GOP)
+    /// window; each B-frame warps those features with its bitstream block
+    /// MVs and runs only the network head
+    /// ([`crate::trace::ComputeKind::FeatHead`], billed at
+    /// [`vrd_nn::NNL_HEAD_FRACTION`] of a full inference). The run's trace
+    /// carries [`crate::trace::SchemeKind::FeatProp`] for the fig13-style
+    /// comparisons.
+    ///
+    /// # Errors
+    /// Fails on malformed bitstreams or payloads referencing anchors
+    /// outside the feature window.
+    pub fn run_feature_propagation(
+        &self,
+        seq: &Sequence,
+        encoded: &EncodedVideo,
+    ) -> Result<SegmentationRun> {
+        let source = StrictFrameSource::new(&encoded.bitstream)?;
+        let info = source.info();
+        let task = crate::featprop::FeatPropTask::new(
             seq,
             LargeNet::new(self.cfg.segment_profile),
             self.cfg.seed,

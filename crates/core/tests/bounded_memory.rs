@@ -51,6 +51,53 @@ fn engine_memory_stays_within_gop_window_on_long_sequences() {
 }
 
 #[test]
+fn featprop_feature_window_stays_bounded() {
+    let cfg = SuiteConfig::tiny();
+    let train = davis_train_suite(&cfg, 2);
+    let model = VrDann::train(
+        &train,
+        TrainTask::Segmentation,
+        VrDannConfig {
+            nns_hidden: 4,
+            ..VrDannConfig::default()
+        },
+    )
+    .unwrap();
+
+    let long_cfg = SuiteConfig {
+        frames: 200,
+        ..SuiteConfig::tiny()
+    };
+    let seq = davis_sequence("cows", &long_cfg).unwrap();
+    let encoded = model.encode(&seq).unwrap();
+    let run = model.run_feature_propagation(&seq, &encoded).unwrap();
+    assert_eq!(run.masks.len(), seq.len());
+
+    // Cached backbone feature maps are evicted with the reference-mask
+    // window, so their high-water mark obeys the same 2xGOP bound the
+    // pixel frames do — a 200-frame video never holds 200 feature maps.
+    let gop = model.config().codec.gop_len;
+    assert!(
+        run.peak_live_features > 0,
+        "feature propagation cached no features"
+    );
+    assert!(
+        run.peak_live_features <= 2 * gop,
+        "feature window held {} maps, above the 2xGOP bound of {}",
+        run.peak_live_features,
+        2 * gop
+    );
+    assert!(run.peak_live_features < seq.len());
+    // And the pixel-frame window discipline is unchanged.
+    assert!(
+        run.peak_live_frames <= 2 * gop,
+        "streaming engine held {} live frames, above the 2xGOP bound of {}",
+        run.peak_live_frames,
+        2 * gop
+    );
+}
+
+#[test]
 fn concealing_engine_memory_stays_bounded_under_anchor_loss() {
     let cfg = SuiteConfig::tiny();
     let train = davis_train_suite(&cfg, 2);

@@ -18,6 +18,8 @@
 //! accuracy in the experiments is then a genuine measurement of
 //! reconstruction + refinement running on realistic reference masks.
 
+use crate::featwarp::{FeatureMap, FEATURE_CHANNELS, FEATURE_STRIDE};
+use crate::tensor::Tensor;
 use vrd_video::texture::{hash2, value_noise};
 use vrd_video::{Detection, Rect, SegMask};
 
@@ -26,6 +28,15 @@ use vrd_video::{Detection, Rect, SegMask};
 /// Derived from the paper's §VI-B: "the raw TOPS of a frame is 0.5 TOPS"
 /// at 854×480 → 0.5e12 / (854·480) ≈ 1.22e6 ops/pixel.
 pub const NNL_OPS_PER_PIXEL: f64 = 1.22e6;
+
+/// Fraction of an NN-L inference spent in the head (the layers after the
+/// staged cut point — see [`LargeNet::forward_backbone`]).
+///
+/// Jain & Gonzalez cut ResNet-101-DeepLab after `res4`, leaving roughly a
+/// quarter of the network's FLOPs (the `res5` block + ASPP head) to run
+/// per propagated frame. Feature propagation therefore bills
+/// `NNL_HEAD_FRACTION × ops` on B-frames versus the full cost on anchors.
+pub const NNL_HEAD_FRACTION: f64 = 0.25;
 
 /// Operations per pixel of one FlowNet optical-flow inference (DFF's
 /// per-non-key-frame cost). FlowNet-S costs the same order of magnitude as
@@ -129,10 +140,103 @@ impl LargeNet {
         (self.profile.ops_per_pixel * (w * h) as f64) as u64
     }
 
+    /// Operations of the head alone (the layers after the staged cut) —
+    /// what feature propagation pays per B-frame.
+    pub fn head_ops(&self, w: usize, h: usize) -> u64 {
+        (self.profile.ops_per_pixel * NNL_HEAD_FRACTION * (w * h) as f64) as u64
+    }
+
+    /// Operations of the backbone up to the staged cut point.
+    pub fn backbone_ops(&self, w: usize, h: usize) -> u64 {
+        self.ops(w, h) - self.head_ops(w, h)
+    }
+
     /// Segments a frame: the ground truth resampled through a smooth random
     /// displacement field plus boundary speckle. Deterministic in
     /// `(gt, seed)`.
     pub fn segment(&self, gt: &SegMask, seed: u64) -> SegMask {
+        let (w, h) = (gt.width(), gt.height());
+        SegMask::from_vec(w, h, self.raster(gt, seed))
+    }
+
+    /// Full staged inference: [`Self::forward_backbone`] composed with
+    /// [`Self::forward_head`]. Pinned bit-identical to [`Self::segment`]
+    /// (the staged-forward regression test) — the staging is a pure
+    /// refactor of the same oracle.
+    pub fn forward(&self, gt: &SegMask, seed: u64) -> SegMask {
+        self.forward_head(&self.forward_backbone(gt, seed))
+    }
+
+    /// Runs the backbone up to the staged cut point and returns the
+    /// penultimate feature tensor.
+    ///
+    /// The cut sits where a real encoder–decoder segmentation network is
+    /// cheapest to snapshot: a stride-[`FEATURE_STRIDE`] grid whose cell
+    /// carries the block-mean foreground evidence (channel 0) plus one
+    /// residual channel per in-block pixel offset. The head reassembles a
+    /// per-pixel score as `mean + residual`, which reproduces the fused
+    /// oracle bit-exactly on unwarped features while degrading softly
+    /// (bilinear blends of means and residuals) on warped ones.
+    pub fn forward_backbone(&self, gt: &SegMask, seed: u64) -> FeatureMap {
+        let (w, h) = (gt.width(), gt.height());
+        let raster = self.raster(gt, seed);
+        let s = FEATURE_STRIDE;
+        let (fw, fh) = (w.div_ceil(s), h.div_ceil(s));
+        let mut t = Tensor::zeros(FEATURE_CHANNELS, fh, fw);
+        for fy in 0..fh {
+            for fx in 0..fw {
+                let (x0, y0) = (fx * s, fy * s);
+                let (x1, y1) = ((x0 + s).min(w), (y0 + s).min(h));
+                let mut sum = 0u32;
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        sum += u32::from(raster[y * w + x]);
+                    }
+                }
+                let mean = sum as f32 / ((x1 - x0) * (y1 - y0)) as f32;
+                t.set(0, fy, fx, mean);
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        let c = 1 + (y - y0) * s + (x - x0);
+                        t.set(c, fy, fx, f32::from(raster[y * w + x]) - mean);
+                    }
+                }
+            }
+        }
+        FeatureMap::from_tensor(w, h, s, t)
+    }
+
+    /// Runs the head on a (possibly warped) feature map: per-pixel score
+    /// `mean + residual`, thresholded at 0.5 into a mask.
+    ///
+    /// # Panics
+    /// Panics if the map's channel count does not match the staged layout
+    /// (`1 + stride²`).
+    pub fn forward_head(&self, feat: &FeatureMap) -> SegMask {
+        let s = feat.stride();
+        assert_eq!(
+            feat.channels(),
+            1 + s * s,
+            "feature map does not match the staged head layout"
+        );
+        let (w, h) = (feat.frame_w(), feat.frame_h());
+        let t = feat.tensor();
+        SegMask::from_bits(
+            w,
+            h,
+            (0..w * h).map(|i| {
+                let (x, y) = (i % w, i / w);
+                let (fx, fy) = (x / s, y / s);
+                let c = 1 + (y % s) * s + (x % s);
+                t.get(0, fy, fx) + t.get(c, fy, fx) > 0.5
+            }),
+        )
+    }
+
+    /// The shared oracle raster both [`Self::segment`] and
+    /// [`Self::forward_backbone`] consume: ground truth resampled through
+    /// the displacement field plus boundary speckle, one byte per pixel.
+    fn raster(&self, gt: &SegMask, seed: u64) -> Vec<u8> {
         let (w, h) = (gt.width(), gt.height());
         let p = &self.profile;
         // The noise passes are inherently per-pixel, so they run over a byte
@@ -187,7 +291,7 @@ impl LargeNet {
                 }
             }
         }
-        SegMask::from_vec(w, h, out)
+        out
     }
 
     /// Detects objects: ground-truth boxes jittered by the profile's
@@ -293,6 +397,54 @@ mod tests {
         let net = LargeNet::new(LargeNetProfile::favos());
         assert_eq!(net.segment(&gt, 7), net.segment(&gt, 7));
         assert_ne!(net.segment(&gt, 7), net.segment(&gt, 8));
+    }
+
+    #[test]
+    fn staged_forward_matches_segment_bit_exactly() {
+        // The Stages API is a pure refactor: head ∘ backbone must equal the
+        // fused oracle bit for bit, across profiles, seeds and ragged
+        // (non-stride-multiple) frame sizes.
+        let gt = square_mask(97, 61, Rect::new(20, 10, 70, 50));
+        for profile in [
+            LargeNetProfile::favos(),
+            LargeNetProfile::osvos(),
+            LargeNetProfile::selsa(),
+        ] {
+            let net = LargeNet::new(profile);
+            for seed in [0, 7, 1234] {
+                assert_eq!(
+                    net.forward(&gt, seed),
+                    net.segment(&gt, seed),
+                    "staged forward diverged for {} seed {seed}",
+                    profile.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backbone_features_have_staged_layout() {
+        let gt = square_mask(64, 48, Rect::new(8, 8, 40, 40));
+        let net = LargeNet::new(LargeNetProfile::favos());
+        let feat = net.forward_backbone(&gt, 3);
+        assert_eq!(feat.stride(), crate::featwarp::FEATURE_STRIDE);
+        assert_eq!(feat.channels(), crate::featwarp::FEATURE_CHANNELS);
+        assert_eq!((feat.frame_w(), feat.frame_h()), (64, 48));
+        // Channel 0 is a block mean: bounded to [0, 1].
+        for &v in feat.tensor().channel(0) {
+            assert!((0.0..=1.0).contains(&v), "mean out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn head_ops_are_a_quarter_of_full_inference() {
+        let net = LargeNet::new(LargeNetProfile::favos());
+        let (w, h) = (854, 480);
+        let full = net.ops(w, h);
+        let head = net.head_ops(w, h);
+        assert_eq!(head, (full as f64 * NNL_HEAD_FRACTION) as u64);
+        assert_eq!(net.backbone_ops(w, h) + head, full);
+        assert!(head < full / 3);
     }
 
     #[test]

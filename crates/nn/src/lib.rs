@@ -26,6 +26,7 @@
 //! ```
 
 pub mod conv;
+pub mod featwarp;
 pub mod largenet;
 pub mod layers;
 pub mod loss;
@@ -36,7 +37,10 @@ pub mod tensor;
 pub mod trainer;
 
 pub use conv::Conv2d;
-pub use largenet::{LargeNet, LargeNetProfile, FLOWNET_OPS_PER_PIXEL, NNL_OPS_PER_PIXEL};
+pub use featwarp::{FeatureMap, WarpSource, FEATURE_CHANNELS, FEATURE_STRIDE};
+pub use largenet::{
+    LargeNet, LargeNetProfile, FLOWNET_OPS_PER_PIXEL, NNL_HEAD_FRACTION, NNL_OPS_PER_PIXEL,
+};
 pub use layers::{concat, sigmoid, split, MaxPool2, Relu, Upsample2};
 pub use loss::{bce_with_logits, mse};
 pub use nns::{NnS, SANDWICH_CHANNELS};

@@ -1,0 +1,135 @@
+//! Property tests pinning the optimised feature-warp kernel to the naive
+//! reference (`vrd_nn::featwarp::reference`) bit-exactly across random
+//! frame geometries, feature strides, block placements (including
+//! unaligned origins and blocks straddling the frame edge) and motion
+//! vectors (including wildly out-of-range displacements that exercise the
+//! edge clamp), with one and two references.
+
+use proptest::prelude::*;
+use vrd_nn::featwarp::{reference, warp_block, FeatureMap, WarpSource};
+use vrd_nn::largenet::NNL_HEAD_FRACTION;
+use vrd_nn::{LargeNet, LargeNetProfile, FEATURE_CHANNELS, FEATURE_STRIDE};
+use vrd_video::{Rect, SegMask};
+
+/// Deterministic pseudo-random feature values (finite, mixed sign).
+fn fill_map(m: &mut FeatureMap, seed: u64) {
+    for (i, v) in m.tensor_mut().as_mut_slice().iter_mut().enumerate() {
+        let x = (i as f32 + 1.0) * ((seed % 89 + 1) as f32);
+        *v = (x * 0.618_034).sin() * 3.0;
+    }
+}
+
+/// Random geometry: (frame_w, frame_h, stride, channels).
+///
+/// Strides include non-powers-of-two (so the pixel→feature scaling is a
+/// rounding f32 division) and frame sizes include non-stride multiples
+/// (ragged last cells). Widths run past 64 so feature rows straddle the
+/// word boundaries the packed masks care about downstream.
+fn arb_geom() -> impl Strategy<Value = (usize, usize, usize, usize)> {
+    (8usize..140, 8usize..72, 0usize..5, 1usize..6)
+        .prop_map(|(w, h, si, ch)| (w, h, [2usize, 3, 4, 5, 8][si], ch))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn single_reference_matches(
+        geom in arb_geom(),
+        seed in 0u64..1_000_000,
+        dst in (0usize..140, 0usize..72),
+        block in (0usize..3).prop_map(|i| [8usize, 16, 24][i]),
+        mv in (-2000i32..2000, -2000i32..2000),
+    ) {
+        let (w, h, stride, ch) = geom;
+        let mut src = FeatureMap::zeros(w, h, stride, ch);
+        fill_map(&mut src, seed);
+        let mut fast = FeatureMap::zeros(w, h, stride, ch);
+        let mut naive = FeatureMap::zeros(w, h, stride, ch);
+        let s = WarpSource { feat: &src, dx: mv.0, dy: mv.1 };
+        warp_block(&mut fast, dst.0, dst.1, block, s, None);
+        reference::warp_block(&mut naive, dst.0, dst.1, block, s, None);
+        prop_assert_eq!(fast.tensor().as_slice(), naive.tensor().as_slice());
+    }
+
+    #[test]
+    fn two_references_match(
+        geom in arb_geom(),
+        seed in 0u64..1_000_000,
+        dst in (0usize..140, 0usize..72),
+        mv0 in (-400i32..400, -400i32..400),
+        mv1 in (-400i32..400, -400i32..400),
+    ) {
+        let (w, h, stride, ch) = geom;
+        let mut a = FeatureMap::zeros(w, h, stride, ch);
+        let mut b = FeatureMap::zeros(w, h, stride, ch);
+        fill_map(&mut a, seed);
+        fill_map(&mut b, seed ^ 0x5a5a);
+        let mut fast = FeatureMap::zeros(w, h, stride, ch);
+        let mut naive = FeatureMap::zeros(w, h, stride, ch);
+        let first = WarpSource { feat: &a, dx: mv0.0, dy: mv0.1 };
+        let second = WarpSource { feat: &b, dx: mv1.0, dy: mv1.1 };
+        warp_block(&mut fast, dst.0, dst.1, 16, first, Some(second));
+        reference::warp_block(&mut naive, dst.0, dst.1, 16, first, Some(second));
+        prop_assert_eq!(fast.tensor().as_slice(), naive.tensor().as_slice());
+    }
+
+    #[test]
+    fn whole_frame_tiling_matches(
+        seed in 0u64..1_000_000,
+        mvs_seed in 0u64..1_000_000,
+    ) {
+        // Tile a whole (word-straddling, 130-px-wide) frame block by block
+        // with per-block MVs, as FeatPropTask does, and compare the full
+        // resulting maps.
+        let (w, h, block) = (130usize, 52usize, 16usize);
+        let mut src = FeatureMap::zeros(w, h, FEATURE_STRIDE, FEATURE_CHANNELS);
+        fill_map(&mut src, seed);
+        let mut fast = FeatureMap::zeros(w, h, FEATURE_STRIDE, FEATURE_CHANNELS);
+        let mut naive = FeatureMap::zeros(w, h, FEATURE_STRIDE, FEATURE_CHANNELS);
+        let mut rng = mvs_seed;
+        for by in (0..h).step_by(block) {
+            for bx in (0..w).step_by(block) {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let dx = ((rng >> 33) % 61) as i32 - 30;
+                let dy = ((rng >> 13) % 61) as i32 - 30;
+                let s = WarpSource { feat: &src, dx, dy };
+                warp_block(&mut fast, bx, by, block, s, None);
+                reference::warp_block(&mut naive, bx, by, block, s, None);
+            }
+        }
+        prop_assert_eq!(fast.tensor().as_slice(), naive.tensor().as_slice());
+    }
+
+    #[test]
+    fn staged_forward_equals_fused_segment(
+        dims in (24usize..120, 24usize..72),
+        seed in 0u64..1_000_000,
+    ) {
+        // The staged-forward regression, property-tested: the Stages API
+        // must reproduce the fused oracle bit for bit on arbitrary frames.
+        let (w, h) = dims;
+        let mut gt = SegMask::new(w, h);
+        gt.fill_rect(Rect::new(
+            (w / 6) as i32,
+            (h / 6) as i32,
+            (w - w / 4) as i32,
+            (h - h / 4) as i32,
+        ));
+        let net = LargeNet::new(LargeNetProfile::favos());
+        prop_assert_eq!(net.forward(&gt, seed), net.segment(&gt, seed));
+    }
+}
+
+#[test]
+fn head_fraction_is_sane() {
+    // The billing split the sim relies on: the head is strictly between
+    // "free" and "might as well run the whole network", and backbone +
+    // head account for exactly one full pass.
+    let net = LargeNet::new(LargeNetProfile::favos());
+    let (w, h) = (854, 480);
+    let (full, head) = (net.ops(w, h), net.head_ops(w, h));
+    assert!(head > full / 20 && head < full / 2, "head {head} of {full}");
+    assert_eq!(net.backbone_ops(w, h) + head, full);
+    assert_eq!(head, (NNL_HEAD_FRACTION * full as f64) as u64);
+}

@@ -21,6 +21,7 @@ use crate::timeline::{Lane, SpanKind, Timeline};
 use crate::traffic::frame_traffic;
 use std::collections::{BTreeMap, VecDeque};
 use vr_dann::{ComputeKind, SchemeTrace, TraceFrame};
+use vrd_codec::MvRecord;
 
 /// Options of the parallel architecture (the ablation knobs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +72,9 @@ fn model_of(kind: &ComputeKind) -> Model {
         ComputeKind::FlowWarp { .. } => Model::Flow,
         ComputeKind::NnSRefine { .. } => Model::Small,
         ComputeKind::BoxShift => Model::None,
+        // The staged head lives with the backbone weights: resident large
+        // model, no switch between anchors and propagated B-frames.
+        ComputeKind::FeatHead { .. } => Model::Large,
     }
 }
 
@@ -80,6 +84,7 @@ fn span_of(kind: &ComputeKind) -> SpanKind {
         ComputeKind::FlowWarp { .. } => SpanKind::Flow,
         ComputeKind::NnSRefine { .. } => SpanKind::NnS,
         ComputeKind::BoxShift => SpanKind::NnS, // zero ops: never recorded
+        ComputeKind::FeatHead { .. } => SpanKind::Head,
     }
 }
 
@@ -113,13 +118,14 @@ impl<'a> Machine<'a> {
     }
 
     fn ensure_model(&mut self, m: Model) {
-        if m == Model::None || m == self.model {
+        if m == self.model {
             return;
         }
         let ns = match m {
+            // Zero-op frames leave the resident model in place.
+            Model::None => return,
             Model::Large | Model::Flow => self.cfg.switch_to_large_ns(),
             Model::Small => self.cfg.switch_to_small_ns(),
-            Model::None => unreachable!(),
         };
         if self.record {
             self.timeline.record(
@@ -237,7 +243,11 @@ pub struct StreamSim<'a> {
     anchor_done: BTreeMap<u32, f64>,
     agent_free: f64,
     consumed: VecDeque<f64>,
-    b_q: Vec<(f64, TraceFrame)>,
+    // Parked B-frames, already destructured to what the drain needs:
+    // (decode-ready time, display, NN-S ops, MV records). Storing the
+    // parts — not the TraceFrame — makes "b_Q only holds B-frames" a
+    // type-level fact instead of a runtime assertion.
+    b_q: Vec<(f64, u32, u64, Vec<MvRecord>)>,
 }
 
 impl<'a> StreamSim<'a> {
@@ -331,8 +341,8 @@ impl<'a> StreamSim<'a> {
                     .run_ops(f.kind.ops(), ready, span_of(&f.kind), Some(f.display));
             }
             ExecMode::VrDannParallel(opts) => match &f.kind {
-                ComputeKind::NnSRefine { .. } => {
-                    self.b_q.push((ready, f.clone()));
+                ComputeKind::NnSRefine { ops, mvs } => {
+                    self.b_q.push((ready, f.display, *ops, mvs.clone()));
                     self.max_b_q = self.max_b_q.max(self.b_q.len());
                     if self.b_q.len() >= cfg.agent.b_q_entries || !opts.lagged_switching {
                         self.drain_b_q(opts);
@@ -355,10 +365,7 @@ impl<'a> StreamSim<'a> {
     fn drain_b_q(&mut self, opts: ParallelOptions) {
         let cfg = self.machine.cfg;
         let tmp_b = opts.tmp_b_buffers.unwrap_or(cfg.agent.tmp_b_buffers).max(1);
-        for (ready, f) in std::mem::take(&mut self.b_q) {
-            let ComputeKind::NnSRefine { ops, mvs } = &f.kind else {
-                unreachable!("b_Q only holds B-frames");
-            };
+        for (ready, display, ops, mvs) in std::mem::take(&mut self.b_q) {
             let refs_done = mvs
                 .iter()
                 .flat_map(|m| std::iter::once(m.ref0.frame).chain(m.ref1.map(|r| r.frame)))
@@ -371,7 +378,7 @@ impl<'a> StreamSim<'a> {
             };
             let start = ready.max(refs_done).max(self.agent_free).max(gate);
             let outcome = agent::reconstruct(
-                mvs,
+                &mvs,
                 self.width,
                 self.height,
                 self.mb_size,
@@ -389,7 +396,7 @@ impl<'a> StreamSim<'a> {
                     SpanKind::Recon,
                     start,
                     outcome.finish_ns,
-                    Some(f.display),
+                    Some(display),
                 );
             }
 
@@ -397,7 +404,7 @@ impl<'a> StreamSim<'a> {
             let stall = (outcome.finish_ns - self.machine.t_npu).max(0.0);
             self.machine.recon_stall_ns += stall;
             self.machine
-                .run_ops(*ops, outcome.finish_ns, SpanKind::NnS, Some(f.display));
+                .run_ops(ops, outcome.finish_ns, SpanKind::NnS, Some(display));
             self.consumed.push_back(self.machine.t_npu);
         }
     }

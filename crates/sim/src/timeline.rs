@@ -42,6 +42,9 @@ pub enum SpanKind {
     NnL,
     /// NN-S refinement inference.
     NnS,
+    /// Head-only inference on warped backbone features (feature-space
+    /// propagation B-frames).
+    Head,
     /// FlowNet inference + warp.
     Flow,
     /// Model switch bubble.
@@ -58,6 +61,7 @@ impl SpanKind {
             SpanKind::DecodeMv => 'm',
             SpanKind::NnL => 'L',
             SpanKind::NnS => 'S',
+            SpanKind::Head => 'H',
             SpanKind::Flow => 'F',
             SpanKind::Switch => 'x',
             SpanKind::Recon => 'r',
@@ -124,7 +128,8 @@ impl Timeline {
 
     /// Renders a four-lane ASCII Gantt chart, `width` characters wide.
     /// Glyphs: `D` full decode, `m` MV-only parse, `L` NN-L, `S` NN-S,
-    /// `F` FlowNet, `x` model switch, `r` reconstruction, `.` idle.
+    /// `H` head-only (feature propagation), `F` FlowNet, `x` model
+    /// switch, `r` reconstruction, `.` idle.
     ///
     /// # Panics
     /// Panics if `width` is zero.
@@ -157,7 +162,7 @@ impl Timeline {
             }
         }
         out.push_str(&format!(
-            "total {:.2} ms   [D full decode, m MV parse, L NN-L, S NN-S, F flow, x switch, r recon, . idle]\n",
+            "total {:.2} ms   [D full decode, m MV parse, L NN-L, S NN-S, H head, F flow, x switch, r recon, . idle]\n",
             total / 1e6
         ));
         out

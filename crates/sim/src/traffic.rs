@@ -9,6 +9,7 @@
 use crate::config::CostConfig;
 use crate::report::TrafficBreakdown;
 use vr_dann::{ComputeKind, TraceFrame};
+use vrd_nn::{FEATURE_CHANNELS, FEATURE_STRIDE, NNL_HEAD_FRACTION};
 
 /// Statically known traffic of one frame (everything except the agent
 /// unit's measured reconstruction fetches).
@@ -53,6 +54,21 @@ pub fn frame_traffic(
         }
         ComputeKind::BoxShift => {
             // A handful of rectangle coordinates — negligible.
+        }
+        ComputeKind::FeatHead { mvs, .. } => {
+            // Feature propagation: the head's share of the large-model
+            // weights, the MV records driving the warp, and the feature
+            // maps themselves — read up to two cached anchor maps, write
+            // the warped one (f32 cells at the backbone's stride), then
+            // the head's activation spill and the 1-bit result.
+            let feat_bytes = (px as f64 / (FEATURE_STRIDE * FEATURE_STRIDE) as f64
+                * FEATURE_CHANNELS as f64
+                * 4.0) as u64;
+            t.weights += (NNL_HEAD_FRACTION * cost.nnl_weight_bytes_per_pixel * px as f64) as u64;
+            t.mv += (mvs.len() * cost.mv_record_bytes) as u64;
+            t.activations += 3 * feat_bytes
+                + (NNL_HEAD_FRACTION * cost.nnl_activation_bytes_per_pixel * px as f64) as u64;
+            t.seg += px / 8;
         }
     }
     t
@@ -108,6 +124,47 @@ mod tests {
         );
         // No raw pixels for B-frames: that is the headline saving.
         assert_eq!(b.weights, 1024);
+    }
+
+    #[test]
+    fn feat_head_sits_between_nns_and_nnl() {
+        let cost = CostConfig::default();
+        let (w, h) = (854, 480);
+        let nnl = frame_traffic(&frame(ComputeKind::NnL { ops: 1 }, true), w, h, &cost);
+        let nns = frame_traffic(
+            &frame(
+                ComputeKind::NnSRefine {
+                    ops: 1,
+                    mvs: vec![],
+                },
+                false,
+            ),
+            w,
+            h,
+            &cost,
+        );
+        let head = frame_traffic(
+            &frame(
+                ComputeKind::FeatHead {
+                    ops: 1,
+                    mvs: vec![],
+                },
+                false,
+            ),
+            w,
+            h,
+            &cost,
+        );
+        // The head moves a quarter of the weights and real feature maps —
+        // far more than NN-S, far less than a full NN-L pass.
+        assert!(head.total() > 5 * nns.total());
+        assert!(head.total() < nnl.total() / 2);
+        // No raw pixels: propagation never decodes B-frame pixels.
+        let px = (w * h) as u64;
+        assert_eq!(
+            head.weights,
+            (NNL_HEAD_FRACTION * cost.nnl_weight_bytes_per_pixel * px as f64) as u64
+        );
     }
 
     #[test]
