@@ -26,6 +26,7 @@
 //! | [`resilience`] | extra: accuracy vs injected bitstream loss |
 //! | [`serve_bench`] | extra: multi-session serving, FIFO vs batching |
 //! | [`chaos_bench`] | extra: fault-injected serving, recovery vs shed-only |
+//! | [`fleet_bench`] | extra: fleet scaling, sharded NPUs + autoscaled spike |
 //!
 //! Binaries (`cargo run --release --bin fig10`, …) print the tables;
 //! `--quick` switches to the reduced scale.
@@ -45,6 +46,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
+pub mod fleet_bench;
 pub mod nns_width;
 pub mod resilience;
 pub mod sensitivity;

@@ -95,6 +95,71 @@ where
         .collect()
 }
 
+/// Order-preserving parallel map with **striped** work assignment: worker
+/// `w` of `T` processes items `w, w+T, w+2T, …`.
+///
+/// [`parallel_map_with`] hands each worker a contiguous chunk, which is
+/// ideal for uniform items but serialises the tail when costs are skewed
+/// (e.g. fleet shard replay, where one hot shard can hold most of the
+/// frames). Striping interleaves cheap and expensive items across workers
+/// at the same deterministic output order: each worker writes results into
+/// pre-assigned slots, so the output never depends on the thread count.
+pub fn parallel_map_striped<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(items.len());
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let f = &f;
+    let mut per_worker: Vec<Vec<(usize, R)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                s.spawn(move || {
+                    items
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(threads)
+                        .map(|(i, item)| (i, f(item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("striped worker never panics"))
+            .collect()
+    });
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for pairs in &mut per_worker {
+        for (i, r) in pairs.drain(..) {
+            results[i] = Some(r);
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot is filled by its worker"))
+        .collect()
+}
+
+/// Thread-pool sizing for a batch of `jobs` independent work items: the
+/// explicit `requested` count when given, otherwise [`max_threads`], and
+/// never more workers than jobs. Returns at least 1 so callers can divide
+/// by it.
+pub fn pool_threads(requested: Option<usize>, jobs: usize) -> usize {
+    requested
+        .unwrap_or_else(max_threads)
+        .max(1)
+        .min(jobs.max(1))
+}
+
 /// Consumes independent work items across all available cores.
 ///
 /// Unlike [`parallel_map`] the items are moved into the workers, which lets
@@ -243,6 +308,29 @@ mod tests {
         for threads in [1, 2, 3, 8, 200] {
             assert_eq!(parallel_map_with(&items, threads, |&x| x * x), expect);
         }
+    }
+
+    #[test]
+    fn parallel_map_striped_is_thread_count_invariant() {
+        let items: Vec<u64> = (0..101).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            assert_eq!(
+                parallel_map_striped(&items, threads, |&x| x * 3 + 1),
+                expect
+            );
+        }
+        let empty: Vec<u64> = vec![];
+        assert!(parallel_map_striped(&empty, 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn pool_threads_clamps_to_jobs() {
+        assert_eq!(pool_threads(Some(8), 3), 3);
+        assert_eq!(pool_threads(Some(2), 100), 2);
+        assert_eq!(pool_threads(Some(0), 5), 1);
+        assert_eq!(pool_threads(Some(4), 0), 1);
+        assert!(pool_threads(None, 1000) >= 1);
     }
 
     #[test]

@@ -1,0 +1,1032 @@
+//! Fleet-scale serving: sharded virtual NPUs, affinity placement,
+//! autoscaling admission.
+//!
+//! One virtual NPU tops out around eight concurrent sessions (the
+//! `serve_bench` sweep); the ROADMAP's north star is "heavy traffic from
+//! millions of users". This module scales the serving layer out instead of
+//! up: a **fleet** of virtual NPU shards, each running the same
+//! deterministic event loop ([`crate::sched`]) behind its own
+//! [`AdmissionController`], fed by a traffic trace from
+//! [`crate::loadgen`].
+//!
+//! The simulation is a two-phase design:
+//!
+//! 1. **Placement walk** — arrivals are processed in time order. Each
+//!    offered session is billed analytically ([`SessionDemand`], restamped
+//!    for the arrival's pacing and compute mode) and placed on the active
+//!    shard with the best *model-affinity* score: shards accumulate a mean
+//!    NN-L compute fraction over their resident sessions, and a session
+//!    prefers the shard whose mix looks most like its own — NN-L-heavy
+//!    (short-GOP, detection-anchor) streams cluster apart from
+//!    NN-S-dominated ones, which preserves the lagged-queue batching win
+//!    that cross-session scheduling exists to harvest. Load and shard
+//!    index break ties, so placement is a pure function of the trace.
+//!    Departures (drained streams and mid-stream churn) release their
+//!    demand back to the owning shard. An optional **rebalance** rule
+//!    steals the most recently placed session from the hottest shard for
+//!    the coolest when utilisation skew crosses a threshold; an optional
+//!    **autoscaler** adds shards ahead of projected demand (and reactively
+//!    when every shard rejects), and drains the emptiest shard after a
+//!    cooldown when the fleet is over-provisioned.
+//! 2. **Replay** — every shard's final session set is instantiated from
+//!    its stream template ([`crate::session::SessionTemplate`], a prefix
+//!    for churned sessions) and replayed through the shared-NPU event loop
+//!    in parallel (striped across workers — shard costs are skewed by
+//!    construction, so contiguous chunking would serialise the hot tail).
+//!    A shard created at `t` starts serving at
+//!    `t + `[`vrd_sim::SimConfig::shard_spinup_ns`] — autoscaling pays its
+//!    provisioning latency on the simulated clock, not for free.
+//!
+//! Migrated sessions replay entirely on their final shard (migration is a
+//! placement-time correction, not a mid-schedule hand-off), and departure
+//! instants are accounted at nominal stream pacing; both keep the
+//! placement walk analytic while the replay stays exact. Everything is
+//! deterministic: the same trace, library and config produce a
+//! byte-identical [`FleetReport`] at any worker-thread count.
+
+use crate::admission::{AdmissionController, RejectReason, SessionDemand, SloConfig};
+use crate::error::{Result, ServeError};
+use crate::loadgen::TrafficTrace;
+use crate::metrics::LatencyStats;
+use crate::sched::{schedule_sampled, SchedConfig, SchedPolicy, ScheduleOutcome};
+use crate::session::{DrivenSession, SessionSpec, SessionTemplate};
+use vr_dann::ComputeMode;
+use vrd_sim::SimConfig;
+
+/// One stream the fleet can serve: a driven template plus the admission
+/// demand it was estimated with. Arrivals resolve to entries by
+/// `stream % library.len()`; pacing and compute mode are restamped per
+/// arrival.
+#[derive(Debug, Clone)]
+pub struct StreamEntry {
+    /// The stream's engine emissions, pacing unstamped.
+    pub template: SessionTemplate,
+    /// Analytic demand prototype (`frame_interval_ns` is overwritten by
+    /// each arrival's pacing).
+    pub demand: SessionDemand,
+}
+
+/// Autoscaler policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscaleConfig {
+    /// Per-shard utilisation the proactive sizer provisions for: shards
+    /// are added so `fleet utilisation / active shards` stays near this.
+    pub target_utilization: f64,
+    /// Drain a shard when the fleet could serve its load with one fewer
+    /// shard below this mean utilisation.
+    pub scale_down_level: f64,
+    /// Minimum simulated time between scale-down events (scale-*up* is
+    /// never throttled — a spike must be absorbed immediately).
+    pub cooldown_ns: f64,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        Self {
+            target_utilization: 0.6,
+            scale_down_level: 0.35,
+            cooldown_ns: 2e7,
+        }
+    }
+}
+
+/// Work-stealing rebalance knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceConfig {
+    /// Steal when `max − min` active-shard utilisation exceeds this.
+    pub skew_threshold: f64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        Self {
+            skew_threshold: 0.25,
+        }
+    }
+}
+
+/// Fleet configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Shards provisioned at `t = 0` (also the autoscaler's floor).
+    pub min_shards: usize,
+    /// The autoscaler's ceiling. With `autoscale: None` the fleet runs
+    /// exactly `min_shards` shards for the whole window.
+    pub max_shards: usize,
+    /// Scheduling discipline every shard replays under.
+    pub policy: SchedPolicy,
+    /// Per-shard event-loop knobs (`npu_available_ns` is overwritten with
+    /// each shard's creation + spin-up instant).
+    pub sched: SchedConfig,
+    /// Per-shard admission SLO.
+    pub slo: SloConfig,
+    /// Hardware cost model.
+    pub sim: SimConfig,
+    /// Autoscaling policy (`None` = fixed fleet).
+    pub autoscale: Option<AutoscaleConfig>,
+    /// Skew-triggered work stealing (`None` = placements are final).
+    pub rebalance: Option<RebalanceConfig>,
+    /// Worker threads for the replay phase (`None` = runtime default).
+    /// Thread count never changes results, only wall time.
+    pub threads: Option<usize>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            min_shards: 1,
+            max_shards: 8,
+            policy: SchedPolicy::Batch,
+            sched: SchedConfig::default(),
+            slo: SloConfig::default(),
+            sim: SimConfig::default(),
+            autoscale: Some(AutoscaleConfig::default()),
+            rebalance: Some(RebalanceConfig::default()),
+            threads: None,
+        }
+    }
+}
+
+/// Where one offered session ended up. Every offer gets exactly one fate —
+/// the conservation law the proptest suite pins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OfferFate {
+    /// Admitted to (and replayed on) this shard.
+    Admitted {
+        /// Final owning shard index.
+        shard: usize,
+    },
+    /// Every shard's admission controller turned it away.
+    Rejected {
+        /// The best-placed shard's reason.
+        reason: RejectReason,
+    },
+    /// Churned out before contributing a single work item.
+    ChurnedOut,
+}
+
+/// One shard's outcome over the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Instant the shard was provisioned.
+    pub created_ns: f64,
+    /// Instant it finished draining (`None` = alive at window end).
+    pub retired_ns: Option<f64>,
+    /// Sessions that finally resided here.
+    pub sessions: usize,
+    /// Sessions stolen from hotter shards.
+    pub migrations_in: usize,
+    /// Peak admitted utilisation the shard's controller reached.
+    pub peak_utilization: f64,
+    /// Energy over the shard's active window (compute + static draw).
+    pub energy_j: f64,
+    /// The shard's replayed schedule.
+    pub outcome: ScheduleOutcome,
+}
+
+/// The fleet-wide outcome of one traffic window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Per-offer fates, offer order.
+    pub fates: Vec<OfferFate>,
+    /// Sessions offered.
+    pub offered: usize,
+    /// Sessions admitted to a shard.
+    pub admitted: usize,
+    /// Sessions rejected by every shard.
+    pub rejected: usize,
+    /// Sessions that churned out before service.
+    pub churned_out: usize,
+    /// Peak simultaneously-resident sessions across the fleet.
+    pub peak_concurrent: usize,
+    /// Sessions moved by the rebalancer.
+    pub migrations: usize,
+    /// Shards added after `t = 0`.
+    pub scale_ups: usize,
+    /// Shards drained by the autoscaler.
+    pub scale_downs: usize,
+    /// Peak simultaneously-active shards.
+    pub peak_shards: usize,
+    /// Per-shard outcomes, creation order.
+    pub shards: Vec<ShardReport>,
+    /// Frames served across the fleet.
+    pub frames_served: usize,
+    /// Frames shed across the fleet.
+    pub frames_shed: usize,
+    /// NN-L ↔ NN-S switches paid across the fleet.
+    pub switches: usize,
+    /// NPU busy time summed over shards.
+    pub busy_ns: f64,
+    /// Completion time of the last served frame on any shard.
+    pub makespan_ns: f64,
+    /// Served frames per second of makespan.
+    pub throughput_fps: f64,
+    /// Fleet-wide frame latency, computed over the *merged* per-shard raw
+    /// samples (percentiles of per-shard percentiles would be wrong).
+    pub latency: LatencyStats,
+    /// Energy summed over shards.
+    pub energy_j: f64,
+}
+
+impl FleetReport {
+    /// Fraction of NPU-bound frames that were shed instead of served.
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.frames_served + self.frames_shed;
+        if total == 0 {
+            0.0
+        } else {
+            self.frames_shed as f64 / total as f64
+        }
+    }
+}
+
+/// Internal placement-walk state of one shard.
+struct ShardState {
+    created_ns: f64,
+    draining_since: Option<f64>,
+    retired_ns: Option<f64>,
+    controller: AdmissionController,
+    /// Resident offer ids, placement order (the rebalancer steals the tail).
+    resident: Vec<usize>,
+    /// Sum of resident sessions' NN-L compute fractions (affinity mean).
+    affinity_sum: f64,
+    peak_utilization: f64,
+    migrations_in: usize,
+}
+
+impl ShardState {
+    fn new(created_ns: f64, slo: SloConfig, batch_cap: usize, sim: SimConfig) -> Self {
+        Self {
+            created_ns,
+            draining_since: None,
+            retired_ns: None,
+            controller: AdmissionController::new(slo, batch_cap, sim),
+            resident: Vec::new(),
+            affinity_sum: 0.0,
+            peak_utilization: 0.0,
+            migrations_in: 0,
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        self.draining_since.is_none()
+    }
+
+    /// Mean NN-L compute fraction of the resident sessions (0.5 when
+    /// empty — a fresh shard is equally attractive to both mixes).
+    fn affinity_mean(&self) -> f64 {
+        if self.resident.is_empty() {
+            0.5
+        } else {
+            self.affinity_sum / self.resident.len() as f64
+        }
+    }
+}
+
+/// Weight of the affinity term against utilisation in the placement
+/// score. Affinity distances span [0, 1] and per-session utilisation
+/// steps are ~0.1, so a weight of 2 keeps like-with-like placement
+/// decisive until a shard is badly overloaded relative to its peers.
+const AFFINITY_WEIGHT: f64 = 2.0;
+
+/// Fraction of a session's NPU time spent in NN-L — the placement
+/// affinity axis.
+fn nnl_fraction(d: &SessionDemand) -> f64 {
+    let l = d.anchors as f64 * d.nnl_ns;
+    let s = d.b_frames as f64 * d.nns_ns;
+    if l + s > 0.0 {
+        l / (l + s)
+    } else {
+        0.5
+    }
+}
+
+/// Per-offer placement bookkeeping.
+struct Placement {
+    shard: usize,
+    demand: SessionDemand,
+    affinity: f64,
+    /// Template items the session contributes (full length unless churned).
+    budget_items: usize,
+    compute: ComputeMode,
+    interval_ns: f64,
+}
+
+/// Serves one traffic window on a shard fleet. See the module docs for the
+/// two-phase design.
+///
+/// # Errors
+/// [`ServeError::Scheduler`] when the stream library is empty or a shard
+/// replay breaks an event-loop invariant.
+pub fn run_fleet(
+    trace: &TrafficTrace,
+    library: &[StreamEntry],
+    cfg: &FleetConfig,
+) -> Result<FleetReport> {
+    if library.is_empty() {
+        return Err(ServeError::Scheduler {
+            time_ns: 0.0,
+            detail: "fleet offered a traffic trace with an empty stream library".into(),
+        });
+    }
+    let min_shards = cfg.min_shards.max(1);
+    let max_shards = cfg.max_shards.max(min_shards);
+    let mut shards: Vec<ShardState> = (0..min_shards)
+        .map(|_| ShardState::new(0.0, cfg.slo, cfg.sched.batch_cap, cfg.sim))
+        .collect();
+    let mut fates: Vec<OfferFate> = Vec::with_capacity(trace.arrivals.len());
+    let mut placements: Vec<Option<Placement>> = Vec::with_capacity(trace.arrivals.len());
+    // (end_ns, offer) of resident sessions, drained as the clock passes.
+    let mut departures: Vec<(f64, usize)> = Vec::new();
+    let mut migrations = 0usize;
+    let mut scale_ups = 0usize;
+    let mut scale_downs = 0usize;
+    let mut peak_concurrent = 0usize;
+    let mut peak_shards = min_shards;
+    let mut last_scale_down_ns = f64::NEG_INFINITY;
+
+    for arr in &trace.arrivals {
+        let t = arr.arrive_ns;
+
+        // 1. Sessions whose streams ended (or churned out) before `t`
+        // release their demand — in end-time order, ids breaking ties, so
+        // the controller state is a pure function of the trace.
+        departures.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        while let Some(&(end, offer)) = departures.first() {
+            if end > t {
+                break;
+            }
+            departures.remove(0);
+            let p = placements[offer]
+                .as_ref()
+                .expect("departing offer was placed");
+            let shard = &mut shards[p.shard];
+            shard.controller.release(&p.demand);
+            shard.affinity_sum -= p.affinity;
+            let pos = shard
+                .resident
+                .iter()
+                .position(|&o| o == offer)
+                .expect("departing offer is resident on its shard");
+            shard.resident.remove(pos);
+            if shard.draining_since.is_some() && shard.resident.is_empty() {
+                shard.retired_ns = Some(end);
+            }
+        }
+
+        // 2. Resolve the arrival against the library and bill it.
+        let entry = &library[arr.stream % library.len()];
+        let interval_ns = if arr.interval_ns > 0.0 {
+            arr.interval_ns
+        } else {
+            entry.demand.frame_interval_ns
+        };
+        let mut demand = entry.demand;
+        demand.frame_interval_ns = interval_ns;
+        if arr.shape.compute == ComputeMode::Int8 && demand.compute != ComputeMode::Int8 {
+            // An int8 session over an f32-estimated stream: NN-S speeds up
+            // by the quantized service-rate ratio.
+            demand.nns_ns *= cfg.sim.npu_ops_per_ns() / cfg.sim.npu_int8_ops_per_ns();
+            demand.compute = ComputeMode::Int8;
+        }
+        let compute = demand.compute;
+
+        // Mid-stream churn: only work whose decode unit fully arrives
+        // (one pacing interval) before departure is ever offered; a
+        // session that leaves within its first interval churns out with
+        // an empty prefix and never reaches admission.
+        let nominal_end = t + entry.template.frames.max(1) as f64 * interval_ns;
+        let (end_ns, budget_items) = match arr.depart_ns {
+            Some(d) => {
+                let dur = (d - t).max(0.0);
+                let n = entry
+                    .template
+                    .items
+                    .iter()
+                    .filter(|it| (it.arrive_idx as f64 + 1.0) * interval_ns <= dur)
+                    .count();
+                (d.min(nominal_end), n)
+            }
+            None => (nominal_end, entry.template.items.len()),
+        };
+        if budget_items == 0 {
+            fates.push(OfferFate::ChurnedOut);
+            placements.push(None);
+            continue;
+        }
+
+        let new_util =
+            demand.compute_utilization() + demand.switch_utilization(cfg.sched.batch_cap, &cfg.sim);
+
+        // 3. Autoscale: proactively size the active set for the projected
+        // load, and drain the emptiest shard when over-provisioned.
+        if let Some(auto) = &cfg.autoscale {
+            let active = shards.iter().filter(|s| s.is_active()).count();
+            let fleet_util: f64 = shards
+                .iter()
+                .filter(|s| s.is_active())
+                .map(|s| s.controller.utilization())
+                .sum();
+            let needed =
+                ((fleet_util + new_util) / auto.target_utilization.max(1e-6)).ceil() as usize;
+            let mut active_now = active;
+            while active_now < needed.min(max_shards) {
+                shards.push(ShardState::new(t, cfg.slo, cfg.sched.batch_cap, cfg.sim));
+                scale_ups += 1;
+                active_now += 1;
+            }
+            if active_now > min_shards
+                && t - last_scale_down_ns >= auto.cooldown_ns
+                && fleet_util / active_now as f64 <= auto.scale_down_level
+                && fleet_util / (active_now - 1) as f64 <= auto.target_utilization
+            {
+                // Drain the emptiest active shard; highest index breaks
+                // ties so the longest-lived shards persist.
+                let victim = shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.is_active())
+                    .min_by(|(i, a), (j, b)| {
+                        a.controller
+                            .utilization()
+                            .total_cmp(&b.controller.utilization())
+                            .then(j.cmp(i))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("active_now > min_shards ≥ 1 shards are active");
+                shards[victim].draining_since = Some(t);
+                if shards[victim].resident.is_empty() {
+                    shards[victim].retired_ns = Some(t);
+                }
+                scale_downs += 1;
+                last_scale_down_ns = t;
+            }
+        }
+        peak_shards = peak_shards.max(shards.iter().filter(|s| s.retired_ns.is_none()).count());
+
+        // 4. Affinity placement: active shards ordered by how closely
+        // their resident NN-L mix matches the session's, load and index
+        // breaking ties.
+        let frac = nnl_fraction(&demand);
+        let mut order: Vec<usize> = (0..shards.len())
+            .filter(|&i| shards[i].is_active())
+            .collect();
+        order.sort_by(|&a, &b| {
+            let sa = (shards[a].affinity_mean() - frac).abs() * AFFINITY_WEIGHT
+                + shards[a].controller.utilization();
+            let sb = (shards[b].affinity_mean() - frac).abs() * AFFINITY_WEIGHT
+                + shards[b].controller.utilization();
+            sa.total_cmp(&sb).then(a.cmp(&b))
+        });
+        let mut placed: Option<usize> = None;
+        let mut first_reject: Option<RejectReason> = None;
+        for &i in &order {
+            match shards[i].controller.try_admit(&demand) {
+                Ok(_) => {
+                    placed = Some(i);
+                    break;
+                }
+                Err(r) => {
+                    first_reject.get_or_insert(r);
+                }
+            }
+        }
+        // Reactive scale-up: every running shard said no, but the fleet
+        // has headroom to provision one more.
+        if placed.is_none()
+            && cfg.autoscale.is_some()
+            && shards.iter().filter(|s| s.is_active()).count() < max_shards
+        {
+            let mut fresh = ShardState::new(t, cfg.slo, cfg.sched.batch_cap, cfg.sim);
+            if let Ok(_p) = fresh.controller.try_admit(&demand) {
+                shards.push(fresh);
+                scale_ups += 1;
+                placed = Some(shards.len() - 1);
+                peak_shards =
+                    peak_shards.max(shards.iter().filter(|s| s.retired_ns.is_none()).count());
+            }
+        }
+        let Some(shard_idx) = placed else {
+            fates.push(OfferFate::Rejected {
+                reason: first_reject.unwrap_or(RejectReason::Utilization { projected: 1.0 }),
+            });
+            placements.push(None);
+            continue;
+        };
+
+        let shard = &mut shards[shard_idx];
+        shard.resident.push(fates.len());
+        shard.affinity_sum += frac;
+        shard.peak_utilization = shard.peak_utilization.max(shard.controller.utilization());
+        departures.push((end_ns, fates.len()));
+        fates.push(OfferFate::Admitted { shard: shard_idx });
+        placements.push(Some(Placement {
+            shard: shard_idx,
+            demand,
+            affinity: frac,
+            budget_items,
+            compute,
+            interval_ns,
+        }));
+        peak_concurrent =
+            peak_concurrent.max(shards.iter().map(|s| s.resident.len()).sum::<usize>());
+
+        // 5. Skew-triggered work stealing: move the hottest shard's most
+        // recent placement to the coolest shard when the utilisation gap
+        // crosses the threshold.
+        if let Some(reb) = &cfg.rebalance {
+            let active: Vec<usize> = (0..shards.len())
+                .filter(|&i| shards[i].is_active())
+                .collect();
+            if active.len() >= 2 {
+                let hot = *active
+                    .iter()
+                    .max_by(|&&a, &&b| {
+                        shards[a]
+                            .controller
+                            .utilization()
+                            .total_cmp(&shards[b].controller.utilization())
+                            .then(b.cmp(&a))
+                    })
+                    .expect("≥ 2 active shards");
+                let cool = *active
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        shards[a]
+                            .controller
+                            .utilization()
+                            .total_cmp(&shards[b].controller.utilization())
+                            .then(a.cmp(&b))
+                    })
+                    .expect("≥ 2 active shards");
+                let skew =
+                    shards[hot].controller.utilization() - shards[cool].controller.utilization();
+                if hot != cool && skew > reb.skew_threshold {
+                    if let Some(&victim) = shards[hot].resident.last() {
+                        let vp = placements[victim]
+                            .as_ref()
+                            .expect("resident offer was placed");
+                        let (vd, va) = (vp.demand, vp.affinity);
+                        if shards[cool].controller.try_admit(&vd).is_ok() {
+                            shards[hot].resident.pop();
+                            shards[hot].controller.release(&vd);
+                            shards[hot].affinity_sum -= va;
+                            shards[cool].resident.push(victim);
+                            shards[cool].affinity_sum += va;
+                            shards[cool].peak_utilization = shards[cool]
+                                .peak_utilization
+                                .max(shards[cool].controller.utilization());
+                            shards[cool].migrations_in += 1;
+                            placements[victim].as_mut().expect("placed").shard = cool;
+                            if let OfferFate::Admitted { shard } = &mut fates[victim] {
+                                *shard = cool;
+                            }
+                            migrations += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // 6. Replay: group final placements per shard (offer order preserves
+    // determinism), instantiate each session from its template, and run
+    // every shard's event loop in parallel.
+    let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); shards.len()];
+    for (offer, p) in placements.iter().enumerate() {
+        if let Some(p) = p {
+            per_shard[p.shard].push(offer);
+        }
+    }
+    let spinup_ns = cfg.sim.shard_spinup_ns();
+    let jobs: Vec<(usize, Vec<DrivenSession>)> = per_shard
+        .iter()
+        .enumerate()
+        .map(|(si, offers)| {
+            let driven = offers
+                .iter()
+                .enumerate()
+                .map(|(dense, &offer)| {
+                    let p = placements[offer].as_ref().expect("grouped offer placed");
+                    let arr = &trace.arrivals[offer];
+                    let entry = &library[arr.stream % library.len()];
+                    let spec = SessionSpec {
+                        start_offset_ns: arr.arrive_ns,
+                        frame_interval_ns: p.interval_ns,
+                    };
+                    let mut d = entry
+                        .template
+                        .instantiate_prefix(dense, &spec, p.budget_items);
+                    d.compute = p.compute;
+                    d
+                })
+                .collect();
+            (si, driven)
+        })
+        .collect();
+    let threads = vrd_runtime::pool_threads(cfg.threads, jobs.len());
+    let replays: Vec<Result<(ScheduleOutcome, Vec<f64>)>> =
+        vrd_runtime::parallel_map_striped(&jobs, threads, |(si, driven)| {
+            let sched = SchedConfig {
+                npu_available_ns: shards[*si].created_ns + spinup_ns,
+                ..cfg.sched
+            };
+            schedule_sampled(driven, cfg.policy, &sched, &cfg.sim)
+        });
+
+    let mut shard_reports = Vec::with_capacity(shards.len());
+    let mut all_samples: Vec<f64> = Vec::new();
+    let mut frames_served = 0usize;
+    let mut frames_shed = 0usize;
+    let mut switches = 0usize;
+    let mut busy_ns = 0.0f64;
+    let mut makespan_ns = 0.0f64;
+    let mut energy_total = 0.0f64;
+    for (state, replay) in shards.iter().zip(replays) {
+        let (outcome, samples) = replay?;
+        all_samples.extend_from_slice(&samples);
+        frames_served += outcome.frames_served;
+        frames_shed += outcome.frames_shed;
+        switches += outcome.switches;
+        busy_ns += outcome.busy_ns;
+        makespan_ns = makespan_ns.max(outcome.makespan_ns);
+        // The device is alive from creation until its last completion (an
+        // idle shard still pays spin-up plus static draw).
+        let alive_until = outcome
+            .makespan_ns
+            .max(state.created_ns + spinup_ns)
+            .max(state.retired_ns.unwrap_or(0.0));
+        let energy_j = cfg
+            .sim
+            .shard_energy_j(outcome.busy_ns, alive_until - state.created_ns);
+        energy_total += energy_j;
+        shard_reports.push(ShardReport {
+            created_ns: state.created_ns,
+            retired_ns: state.retired_ns,
+            sessions: outcome.per_session.len(),
+            migrations_in: state.migrations_in,
+            peak_utilization: state.peak_utilization,
+            energy_j,
+            outcome,
+        });
+    }
+
+    let admitted = fates
+        .iter()
+        .filter(|f| matches!(f, OfferFate::Admitted { .. }))
+        .count();
+    let rejected = fates
+        .iter()
+        .filter(|f| matches!(f, OfferFate::Rejected { .. }))
+        .count();
+    let churned_out = fates
+        .iter()
+        .filter(|f| matches!(f, OfferFate::ChurnedOut))
+        .count();
+    let latency = LatencyStats::from_samples(&all_samples);
+    let throughput_fps = if makespan_ns > 0.0 {
+        frames_served as f64 / (makespan_ns * 1e-9)
+    } else {
+        0.0
+    };
+    Ok(FleetReport {
+        offered: fates.len(),
+        fates,
+        admitted,
+        rejected,
+        churned_out,
+        peak_concurrent,
+        migrations,
+        scale_ups,
+        scale_downs,
+        peak_shards,
+        shards: shard_reports,
+        frames_served,
+        frames_shed,
+        switches,
+        busy_ns,
+        makespan_ns,
+        throughput_fps,
+        latency,
+        energy_j: energy_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::{generate, Envelope, LoadGenConfig};
+    use crate::session::TemplateItem;
+    use vrd_codec::FrameType;
+
+    /// A synthetic template: `anchors` NN-L items interleaved with `bs`
+    /// NN-S items per anchor, one item per decode unit — no NN compute, so
+    /// fleet mechanics are testable in microseconds.
+    fn synth_entry(
+        anchors: usize,
+        bs: usize,
+        interval_ns: f64,
+        nnl_ops: u64,
+        nns_ops: u64,
+        sim: &SimConfig,
+    ) -> StreamEntry {
+        let mut items = Vec::new();
+        for a in 0..anchors {
+            items.push(TemplateItem {
+                display: (a * (bs + 1)) as u32,
+                ftype: FrameType::I,
+                ops: nnl_ops,
+                uses_large_model: true,
+                arrive_idx: items.len(),
+                decode_ns: 1_000.0,
+            });
+            for b in 0..bs {
+                items.push(TemplateItem {
+                    display: (a * (bs + 1) + b + 1) as u32,
+                    ftype: FrameType::B,
+                    ops: nns_ops,
+                    uses_large_model: false,
+                    arrive_idx: items.len(),
+                    decode_ns: 500.0,
+                });
+            }
+        }
+        let frames = items.len();
+        let total_ops: u64 = items.iter().map(|i| i.ops).sum();
+        let switches = items
+            .windows(2)
+            .filter(|w| w[0].uses_large_model != w[1].uses_large_model)
+            .count();
+        let ops_per_ns = sim.npu_ops_per_ns();
+        let demand = SessionDemand {
+            nnl_ns: nnl_ops as f64 / ops_per_ns,
+            nns_ns: nns_ops as f64 / ops_per_ns,
+            compute: ComputeMode::F32Reference,
+            anchors,
+            b_frames: anchors * bs,
+            frame_interval_ns: interval_ns,
+        };
+        StreamEntry {
+            template: SessionTemplate {
+                name: format!("synth-{anchors}x{bs}"),
+                compute: ComputeMode::F32Reference,
+                items,
+                frames,
+                peak_live_frames: 2,
+                total_ops,
+                switches_in_order: switches,
+                isolated_ns: total_ops as f64 / ops_per_ns,
+            },
+            demand,
+        }
+    }
+
+    fn base_trace(sessions: usize, churn: f64) -> TrafficTrace {
+        generate(&LoadGenConfig {
+            sessions,
+            streams: 2,
+            stream_frames: 8,
+            base_interval_ns: 1e6,
+            mean_interarrival_ns: 2e5,
+            horizon_ns: 5e7,
+            envelope: Envelope::Flat,
+            churn_rate: churn,
+            heterogeneous: true,
+            ..LoadGenConfig::default()
+        })
+    }
+
+    fn base_cfg(sim: SimConfig) -> FleetConfig {
+        FleetConfig {
+            min_shards: 2,
+            max_shards: 8,
+            sim,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_conserves_offers_and_aggregates_shards() {
+        let sim = SimConfig::default();
+        let library = vec![
+            synth_entry(4, 6, 1e6, 4_000_000, 40_000, &sim),
+            synth_entry(8, 1, 1e6, 4_000_000, 40_000, &sim), // NN-L-heavy mix
+        ];
+        let trace = base_trace(48, 0.3);
+        let report = run_fleet(&trace, &library, &base_cfg(sim)).unwrap();
+
+        assert_eq!(report.offered, 48);
+        assert_eq!(report.fates.len(), 48);
+        assert_eq!(
+            report.admitted + report.rejected + report.churned_out,
+            report.offered
+        );
+        assert!(report.admitted > 0);
+        // Fleet totals are exactly the sum of shard totals.
+        let sessions: usize = report.shards.iter().map(|s| s.sessions).sum();
+        assert_eq!(sessions, report.admitted);
+        let served: usize = report.shards.iter().map(|s| s.outcome.frames_served).sum();
+        assert_eq!(served, report.frames_served);
+        assert_eq!(report.latency.count, report.frames_served);
+        assert!(report.frames_served > 0);
+        assert!(report.energy_j > 0.0);
+        assert!(report.throughput_fps > 0.0);
+        // Every admitted fate points at a real shard that counted it.
+        for fate in &report.fates {
+            if let OfferFate::Admitted { shard } = fate {
+                assert!(*shard < report.shards.len());
+            }
+        }
+        // Deterministic: a second run is structurally identical.
+        let again = run_fleet(&trace, &library, &base_cfg(sim)).unwrap();
+        assert_eq!(report, again);
+        // And thread-count invariant.
+        let mut one = base_cfg(sim);
+        one.threads = Some(1);
+        let serial = run_fleet(&trace, &library, &one).unwrap();
+        assert_eq!(report, serial);
+    }
+
+    #[test]
+    fn affinity_placement_separates_model_mixes() {
+        let sim = SimConfig::default();
+        // Two sharply different mixes, no autoscale/rebalance noise.
+        let library = vec![
+            synth_entry(2, 14, 1e6, 1_000_000, 400_000, &sim),
+            synth_entry(12, 0, 1e6, 1_000_000, 400_000, &sim),
+        ];
+        let trace = base_trace(24, 0.0);
+        let cfg = FleetConfig {
+            min_shards: 2,
+            max_shards: 2,
+            autoscale: None,
+            rebalance: None,
+            sim,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&trace, &library, &cfg).unwrap();
+        // Group admitted offers per (shard, stream): each shard should be
+        // dominated by one stream class.
+        let mut counts = [[0usize; 2]; 2];
+        for (offer, fate) in report.fates.iter().enumerate() {
+            if let OfferFate::Admitted { shard } = fate {
+                counts[*shard][trace.arrivals[offer].stream % 2] += 1;
+            }
+        }
+        for shard in 0..2 {
+            let total = counts[shard][0] + counts[shard][1];
+            if total >= 4 {
+                let major = counts[shard][0].max(counts[shard][1]);
+                assert!(
+                    major * 4 >= total * 3,
+                    "shard {shard} mixes streams {counts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn autoscaler_grows_the_fleet_under_a_spike() {
+        let sim = SimConfig::default();
+        let library = vec![synth_entry(4, 6, 1e6, 4_000_000, 40_000, &sim)];
+        let spike = generate(&LoadGenConfig {
+            sessions: 64,
+            streams: 1,
+            stream_frames: 8,
+            base_interval_ns: 1e6,
+            mean_interarrival_ns: 1e6,
+            horizon_ns: 6e7,
+            envelope: Envelope::Spike {
+                factor: 4.0,
+                start_frac: 0.3,
+                end_frac: 0.6,
+            },
+            churn_rate: 0.0,
+            heterogeneous: false,
+            ..LoadGenConfig::default()
+        });
+        let cfg = FleetConfig {
+            min_shards: 1,
+            max_shards: 12,
+            rebalance: None,
+            sim,
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&spike, &library, &cfg).unwrap();
+        assert!(report.scale_ups > 0, "spike never triggered a scale-up");
+        assert!(report.peak_shards > 1);
+        assert_eq!(report.rejected, 0, "autoscaled fleet rejected sessions");
+        // The fixed single shard, by contrast, must turn sessions away.
+        let fixed = FleetConfig {
+            min_shards: 1,
+            max_shards: 1,
+            autoscale: None,
+            rebalance: None,
+            sim,
+            ..FleetConfig::default()
+        };
+        let starved = run_fleet(&spike, &library, &fixed).unwrap();
+        assert!(starved.rejected > 0);
+        // Spin-up is billed: no shard serves before it is up.
+        for s in &report.shards {
+            if s.outcome.frames_served > 0 {
+                assert!(s.outcome.makespan_ns >= s.created_ns + sim.shard_spinup_ns());
+            }
+        }
+    }
+
+    #[test]
+    fn rebalance_steals_from_the_hottest_shard() {
+        let sim = SimConfig::default();
+        let library = vec![synth_entry(6, 4, 8e5, 4_000_000, 40_000, &sim)];
+        let trace = generate(&LoadGenConfig {
+            sessions: 32,
+            streams: 1,
+            stream_frames: 10,
+            base_interval_ns: 8e5,
+            mean_interarrival_ns: 1e5,
+            horizon_ns: 2e7,
+            envelope: Envelope::Bursty {
+                period_frac: 0.5,
+                duty: 0.3,
+                quiet_level: 0.05,
+            },
+            churn_rate: 0.0,
+            heterogeneous: true,
+            ..LoadGenConfig::default()
+        });
+        let cfg = FleetConfig {
+            min_shards: 3,
+            max_shards: 3,
+            autoscale: None,
+            rebalance: Some(RebalanceConfig {
+                skew_threshold: 0.1,
+            }),
+            sim,
+            ..FleetConfig::default()
+        };
+        let balanced = run_fleet(&trace, &library, &cfg).unwrap();
+        let frozen = run_fleet(
+            &trace,
+            &library,
+            &FleetConfig {
+                rebalance: None,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert!(balanced.migrations > 0, "skewed load never rebalanced");
+        assert_eq!(balanced.admitted + balanced.rejected, frozen.offered);
+        // Stealing narrows peak-utilisation skew vs the frozen placement.
+        let skew = |r: &FleetReport| {
+            let peaks: Vec<f64> = r.shards.iter().map(|s| s.peak_utilization).collect();
+            peaks.iter().cloned().fold(0.0f64, f64::max)
+                - peaks.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        assert!(
+            skew(&balanced) <= skew(&frozen) + 1e-9,
+            "rebalance widened skew: {} vs {}",
+            skew(&balanced),
+            skew(&frozen)
+        );
+        // Migration bookkeeping is conserved.
+        let migr_in: usize = balanced.shards.iter().map(|s| s.migrations_in).sum();
+        assert_eq!(migr_in, balanced.migrations);
+    }
+
+    #[test]
+    fn churned_sessions_release_capacity_and_truncate_work() {
+        let sim = SimConfig::default();
+        let library = vec![synth_entry(4, 6, 1e6, 4_000_000, 40_000, &sim)];
+        let trace = base_trace(40, 0.8);
+        let cfg = FleetConfig {
+            min_shards: 1,
+            max_shards: 1,
+            autoscale: None,
+            rebalance: None,
+            sim,
+            ..FleetConfig::default()
+        };
+        let churny = run_fleet(&trace, &library, &cfg).unwrap();
+        assert!(
+            churny.churned_out > 0,
+            "0.8 churn produced no zero-budget offers"
+        );
+        // Churned-out offers never reach a shard.
+        assert_eq!(
+            churny.admitted + churny.rejected + churny.churned_out,
+            churny.offered
+        );
+        // Admitted-but-departing sessions contribute strictly fewer frames
+        // than the same trace without churn.
+        let mut calm_trace = trace.clone();
+        for a in &mut calm_trace.arrivals {
+            a.depart_ns = None;
+        }
+        let calm = run_fleet(&calm_trace, &library, &cfg).unwrap();
+        assert!(churny.frames_served < calm.frames_served);
+        // Released capacity admits at least as many sessions as the
+        // no-churn run (the single shard refills as leavers free room).
+        assert!(churny.admitted + churny.churned_out >= calm.admitted);
+    }
+}

@@ -30,7 +30,14 @@
 //!   scheduler-clock context on every variant;
 //! * [`server`] — the façade tying it together: admit, drive every session
 //!   on `vrd-runtime`'s thread pool, schedule under both policies, and
-//!   report per-session and global outcomes.
+//!   report per-session and global outcomes;
+//! * [`loadgen`] — deterministic trace-driven load generation: seeded
+//!   Poisson arrivals thinned against bursty/diurnal/spike envelopes,
+//!   heterogeneous session shapes, and mid-stream churn;
+//! * [`fleet`] — fleet-scale serving: 64+ concurrent sessions placed with
+//!   model-affinity across N virtual NPU shards, with skew-triggered work
+//!   stealing and an autoscaler that provisions/drains shards (billing
+//!   spin-up latency) to hold the SLO under traffic spikes.
 //!
 //! On top of the plain replay, [`sched::schedule_chaos`] replays the same
 //! admitted work against an [`faults::NpuFaultProfile`]: work-item
@@ -47,6 +54,8 @@
 pub mod admission;
 pub mod error;
 pub mod faults;
+pub mod fleet;
+pub mod loadgen;
 pub mod metrics;
 pub mod sched;
 pub mod server;
@@ -57,14 +66,22 @@ pub use admission::{
 };
 pub use error::{Result, ServeError};
 pub use faults::{CrashWindow, NpuFaultKind, NpuFaultProfile};
+pub use fleet::{
+    run_fleet, AutoscaleConfig, FleetConfig, FleetReport, OfferFate, RebalanceConfig, ShardReport,
+    StreamEntry,
+};
+pub use loadgen::{
+    generate, legacy_sweep, Envelope, GopClass, LoadGenConfig, ResClass, SessionArrival,
+    SessionShape, TaskKind, TrafficTrace,
+};
 pub use metrics::LatencyStats;
 pub use sched::{
-    schedule, schedule_chaos, ChaosConfig, ChaosOutcome, DegradationStats, DegradeLevel,
-    LadderConfig, RecoveryConfig, SchedConfig, SchedPolicy, ScheduleOutcome, SessionChaosStats,
-    SessionSchedStats,
+    schedule, schedule_chaos, schedule_sampled, ChaosConfig, ChaosOutcome, DegradationStats,
+    DegradeLevel, LadderConfig, RecoveryConfig, SchedConfig, SchedPolicy, ScheduleOutcome,
+    SessionChaosStats, SessionSchedStats,
 };
 pub use server::{admit_and_drive, serve, ServeConfig, ServeReport, SessionReport};
 pub use session::{
-    drive_session, drive_session_checkpointed, DrivenSession, SessionCheckpoint, SessionSpec,
-    SessionState, WorkItem,
+    drive_session, drive_session_checkpointed, drive_template, DrivenSession, SessionCheckpoint,
+    SessionSpec, SessionState, SessionTemplate, TemplateItem, WorkItem,
 };

@@ -100,6 +100,13 @@ pub struct SchedConfig {
     /// Under a chaos replay with a ladder, the miss is delivered as a
     /// copy-forward frame instead of dropped.
     pub shed_after_ns: Option<f64>,
+    /// Instant the NPU comes online (0 = always on). The fleet layer sets
+    /// this to a shard's creation instant plus its spin-up cost
+    /// ([`vrd_sim::SimConfig::shard_spinup_ns`]), so work handed to a
+    /// freshly provisioned shard queues until the virtual device is up —
+    /// autoscaling pays its provisioning latency on the same clock
+    /// everything else runs on.
+    pub npu_available_ns: f64,
 }
 
 impl Default for SchedConfig {
@@ -108,6 +115,7 @@ impl Default for SchedConfig {
             queue_capacity: 8,
             batch_cap: 24,
             shed_after_ns: None,
+            npu_available_ns: 0.0,
         }
     }
 }
@@ -538,7 +546,20 @@ pub fn schedule(
     cfg: &SchedConfig,
     sim: &SimConfig,
 ) -> Result<ScheduleOutcome> {
-    let out = run_loop(sessions, policy, cfg, sim, None)?;
+    Ok(schedule_sampled(sessions, policy, cfg, sim)?.0)
+}
+
+/// [`schedule`] that also returns the raw per-frame latency samples, in
+/// delivery order. The fleet layer merges the samples of every shard to
+/// compute genuine fleet-wide percentiles — percentiles of percentiles
+/// would be wrong whenever shards carry different loads.
+pub fn schedule_sampled(
+    sessions: &[DrivenSession],
+    policy: SchedPolicy,
+    cfg: &SchedConfig,
+    sim: &SimConfig,
+) -> Result<(ScheduleOutcome, Vec<f64>)> {
+    let (out, samples) = run_loop(sessions, policy, cfg, sim, None)?;
     let per_session = out
         .per_session
         .iter()
@@ -549,20 +570,23 @@ pub fn schedule(
             latency: s.latency,
         })
         .collect();
-    Ok(ScheduleOutcome {
-        policy: out.policy,
-        frames_served: out.frames_delivered(),
-        frames_shed: out.frames_shed,
-        switches: out.switches,
-        switch_ns: out.switch_ns,
-        busy_ns: out.busy_ns,
-        makespan_ns: out.makespan_ns,
-        max_queue_depth: out.max_queue_depth,
-        mean_queue_depth: out.mean_queue_depth,
-        decoder_stalls: out.decoder_stalls,
-        latency: out.latency,
-        per_session,
-    })
+    Ok((
+        ScheduleOutcome {
+            policy: out.policy,
+            frames_served: out.frames_delivered(),
+            frames_shed: out.frames_shed,
+            switches: out.switches,
+            switch_ns: out.switch_ns,
+            busy_ns: out.busy_ns,
+            makespan_ns: out.makespan_ns,
+            max_queue_depth: out.max_queue_depth,
+            mean_queue_depth: out.mean_queue_depth,
+            decoder_stalls: out.decoder_stalls,
+            latency: out.latency,
+            per_session,
+        },
+        samples,
+    ))
 }
 
 /// Replays the merged sessions against a deterministic fault plan. The
@@ -574,17 +598,18 @@ pub fn schedule_chaos(
     sim: &SimConfig,
     chaos: &ChaosConfig,
 ) -> Result<ChaosOutcome> {
-    run_loop(sessions, policy, cfg, sim, Some(chaos))
+    Ok(run_loop(sessions, policy, cfg, sim, Some(chaos))?.0)
 }
 
 /// The unified event loop behind [`schedule`] and [`schedule_chaos`].
+/// Also returns the raw delivered-frame latency samples, delivery order.
 fn run_loop(
     sessions: &[DrivenSession],
     policy: SchedPolicy,
     cfg: &SchedConfig,
     sim: &SimConfig,
     chaos: Option<&ChaosConfig>,
-) -> Result<ChaosOutcome> {
+) -> Result<(ChaosOutcome, Vec<f64>)> {
     let cap = cfg.queue_capacity.max(1);
     let mut queues: Vec<SessionQueue> = sessions
         .iter()
@@ -638,7 +663,8 @@ fn run_loop(
 
     let ops_per_ns = sim.npu_ops_per_ns();
     let int8_ops_per_ns = sim.npu_int8_ops_per_ns();
-    let mut t_npu = 0.0f64;
+    // Work handed over before the device is online waits for it.
+    let mut t_npu = cfg.npu_available_ns.max(0.0);
     let mut resident_large: Option<bool> = None;
     let mut run_len = 0usize;
     let mut switches = 0usize;
@@ -952,7 +978,7 @@ fn run_loop(
         });
     }
 
-    Ok(ChaosOutcome {
+    let outcome = ChaosOutcome {
         policy,
         frames_offered: total_items,
         frames_full: per_session.iter().map(|p| p.frames_full).sum(),
@@ -988,7 +1014,8 @@ fn run_loop(
         decoder_stalls,
         latency: LatencyStats::from_samples(&latencies),
         per_session,
-    })
+    };
+    Ok((outcome, latencies))
 }
 
 #[cfg(test)]
@@ -1120,6 +1147,32 @@ mod tests {
         let a = schedule(&sessions, SchedPolicy::Batch, &cfg, &sim()).unwrap();
         let b = schedule(&sessions, SchedPolicy::Batch, &cfg, &sim()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn npu_availability_offset_delays_service_and_is_sampled() {
+        let sessions = vec![synth_session(0, 3, 3, 2e6)];
+        let on_time = SchedConfig::default();
+        let late = SchedConfig {
+            npu_available_ns: 5e7,
+            ..SchedConfig::default()
+        };
+        let (a, a_samples) =
+            schedule_sampled(&sessions, SchedPolicy::Fifo, &on_time, &sim()).unwrap();
+        let (b, b_samples) = schedule_sampled(&sessions, SchedPolicy::Fifo, &late, &sim()).unwrap();
+        assert_eq!(a.frames_served, b.frames_served);
+        // Spin-up delays every completion: first frame can't finish before
+        // the device exists, so the whole distribution shifts right.
+        assert!(b.latency.p50_ns > a.latency.p50_ns);
+        assert!(b.makespan_ns >= 5e7);
+        assert_eq!(b.busy_ns, a.busy_ns, "spin-up is idle time, not compute");
+        // The raw samples back the summary exactly.
+        assert_eq!(a_samples.len(), a.frames_served);
+        assert_eq!(LatencyStats::from_samples(&a_samples), a.latency);
+        assert_eq!(LatencyStats::from_samples(&b_samples), b.latency);
+        // A zero offset is byte-identical to the default config.
+        let (c, _) = schedule_sampled(&sessions, SchedPolicy::Fifo, &on_time, &sim()).unwrap();
+        assert_eq!(a, c);
     }
 
     #[test]

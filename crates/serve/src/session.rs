@@ -109,6 +109,193 @@ pub struct DrivenSession {
     pub isolated_ns: f64,
 }
 
+/// One engine emission of a [`SessionTemplate`]: everything a work item
+/// carries except the pacing stamps, which are applied per instantiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateItem {
+    /// Display index of the frame.
+    pub display: u32,
+    /// Codec frame type.
+    pub ftype: FrameType,
+    /// NPU operations of the inference.
+    pub ops: u64,
+    /// Whether the item needs the large model resident.
+    pub uses_large_model: bool,
+    /// Index of the decoded unit whose arrival triggered this emission —
+    /// the `k` in `arrival = offset + k·interval`.
+    pub arrive_idx: usize,
+    /// Decoder service time of the triggering unit (full reconstruction
+    /// for anchors and rerouted frames, MV-only extraction otherwise).
+    pub decode_ns: f64,
+}
+
+/// One stream driven through the engine *once*, pacing left symbolic: the
+/// real NN-L/NN-S compute and the decoder service times are captured, and
+/// [`SessionTemplate::instantiate`] restamps them for any
+/// [`SessionSpec`] in O(items) — no decode, no inference. This is what
+/// lets the fleet layer serve 64+ concurrent sessions drawn from a small
+/// library of distinct streams without paying the compute per session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionTemplate {
+    /// Sequence name (for reports).
+    pub name: String,
+    /// Compute mode the template's model runs NN-S in.
+    pub compute: ComputeMode,
+    /// Engine emissions in decode order, pacing unstamped.
+    pub items: Vec<TemplateItem>,
+    /// Frames the engine produced output for.
+    pub frames: usize,
+    /// Peak reconstructed pixel frames the source held alive.
+    pub peak_live_frames: usize,
+    /// Total NPU operations over the stream.
+    pub total_ops: u64,
+    /// NN-L ↔ NN-S switches a dedicated in-order NPU would pay.
+    pub switches_in_order: usize,
+    /// This stream alone on dedicated hardware, in nanoseconds.
+    pub isolated_ns: f64,
+}
+
+impl SessionTemplate {
+    /// Stamps the full template for one session spec. Byte-identical to
+    /// driving the stream live under the same spec (pinned by
+    /// `template_instantiation_matches_live_drive`).
+    pub fn instantiate(&self, session: usize, spec: &SessionSpec) -> DrivenSession {
+        self.instantiate_prefix(session, spec, self.items.len())
+    }
+
+    /// Stamps at most the first `max_items` emissions — the churn path: a
+    /// session that leaves mid-stream offers only a prefix of its work.
+    /// For a strict prefix `switches_in_order` is recomputed over the kept
+    /// items and `isolated_ns` is prorated by the kept share of the NPU
+    /// operations (an estimate; the full-length instantiation reports the
+    /// exact simulated figure).
+    pub fn instantiate_prefix(
+        &self,
+        session: usize,
+        spec: &SessionSpec,
+        max_items: usize,
+    ) -> DrivenSession {
+        let take = max_items.min(self.items.len());
+        let mut items = Vec::with_capacity(take);
+        let mut t_decode = spec.start_offset_ns;
+        for t in &self.items[..take] {
+            let arrival = spec.start_offset_ns + t.arrive_idx as f64 * spec.frame_interval_ns;
+            t_decode = t_decode.max(arrival) + t.decode_ns;
+            items.push(WorkItem {
+                session,
+                idx: items.len(),
+                display: t.display,
+                ftype: t.ftype,
+                ops: t.ops,
+                uses_large_model: t.uses_large_model,
+                arrival_ns: arrival,
+                ready_ns: t_decode,
+            });
+        }
+        let full = take == self.items.len();
+        let total_ops: u64 = items.iter().map(|i| i.ops).sum();
+        let ops_frac = if self.total_ops > 0 {
+            total_ops as f64 / self.total_ops as f64
+        } else {
+            1.0
+        };
+        DrivenSession {
+            name: self.name.clone(),
+            session,
+            compute: self.compute,
+            frames: if full { self.frames } else { take },
+            peak_live_frames: self.peak_live_frames,
+            total_ops,
+            switches_in_order: if full {
+                self.switches_in_order
+            } else {
+                items
+                    .windows(2)
+                    .filter(|w| w[0].uses_large_model != w[1].uses_large_model)
+                    .count()
+            },
+            isolated_ns: if full {
+                self.isolated_ns
+            } else {
+                self.isolated_ns * ops_frac
+            },
+            items,
+        }
+    }
+}
+
+/// Drives one stream through the engine and captures it as a reusable
+/// [`SessionTemplate`]: the real compute runs exactly once, every
+/// [`SessionSpec`] instantiation afterwards is pure arithmetic.
+///
+/// # Errors
+/// Propagates bitstream decode errors and engine reconstruction failures.
+pub fn drive_template(
+    model: &VrDann,
+    seq: &Sequence,
+    encoded: &EncodedVideo,
+    sim: &SimConfig,
+) -> Result<SessionTemplate> {
+    let mut source = StrictFrameSource::new(&encoded.bitstream)?;
+    let info = source.info();
+    let task = SegTask::new(
+        seq,
+        LargeNet::new(model.config().segment_profile),
+        model.config().seed,
+        &info,
+    );
+    let mut engine =
+        PipelineEngine::new(model.config(), model.nns(), task, StrictPolicy::default());
+    engine.prime(&info, &[]);
+
+    let px = (info.width * info.height) as f64;
+    let mut items: Vec<TemplateItem> = Vec::with_capacity(info.n_frames);
+    let mut k = 0usize;
+    while let Some(unit) = source.next_unit() {
+        let unit = unit?;
+        let arrive_idx = k;
+        k += 1;
+        let Some(work) = engine.step(unit)? else {
+            continue;
+        };
+        let cpp = if work.full_decode {
+            sim.decoder.cycles_per_pixel_full
+        } else {
+            sim.decoder.cycles_per_pixel_mv
+        };
+        items.push(TemplateItem {
+            display: work.display,
+            ftype: work.ftype,
+            ops: work.ops,
+            uses_large_model: work.uses_large_model,
+            arrive_idx,
+            decode_ns: px * cpp / sim.decoder.freq_hz * 1e9,
+        });
+    }
+    let totals = source.totals();
+    let peak = source.peak_live_frames();
+    let run = engine.finish(totals, peak)?;
+    let isolated = simulate_stream(
+        run.trace.frames.iter(),
+        run.trace.scheme,
+        run.trace.width,
+        run.trace.height,
+        run.trace.mb_size,
+        ExecMode::VrDannParallel(ParallelOptions::default()),
+        sim,
+    );
+    Ok(SessionTemplate {
+        name: seq.name.clone(),
+        compute: model.config().compute,
+        frames: run.outputs.len(),
+        peak_live_frames: run.peak_live_frames,
+        total_ops: run.trace.total_ops(),
+        switches_in_order: run.trace.model_switches_in_order(),
+        isolated_ns: isolated.total_ns,
+        items,
+    })
+}
+
 /// Drives one session to exhaustion: decode → engine step → stamped work
 /// item, then closes the engine and simulates the isolated-hardware
 /// baseline. The produced masks are identical to a standalone
@@ -125,7 +312,7 @@ pub fn drive_session(
     spec: &SessionSpec,
     sim: &SimConfig,
 ) -> Result<DrivenSession> {
-    drive_core(model, session, seq, encoded, spec, sim, None)
+    Ok(drive_template(model, seq, encoded, sim)?.instantiate(session, spec))
 }
 
 /// [`drive_session`] that also snapshots a [`SessionCheckpoint`] after
@@ -144,10 +331,16 @@ pub fn drive_session_checkpointed(
     sim: &SimConfig,
 ) -> Result<(DrivenSession, Vec<SessionCheckpoint>)> {
     let mut ckpts = Vec::new();
-    let driven = drive_core(model, session, seq, encoded, spec, sim, Some(&mut ckpts))?;
+    let driven = drive_core(model, session, seq, encoded, spec, sim, &mut ckpts)?;
     Ok((driven, ckpts))
 }
 
+/// The live checkpointing walk: unlike the template path it must stamp the
+/// decoder lane *while* the engine runs, because every anchor checkpoint
+/// snapshots the lane clock alongside the engine state. Its stamping
+/// arithmetic is the same op-for-op as
+/// [`SessionTemplate::instantiate_prefix`], pinned byte-identical by
+/// `checkpointed_drive_is_identical_and_snapshots_every_anchor`.
 fn drive_core(
     model: &VrDann,
     session: usize,
@@ -155,7 +348,7 @@ fn drive_core(
     encoded: &EncodedVideo,
     spec: &SessionSpec,
     sim: &SimConfig,
-    mut checkpoints: Option<&mut Vec<SessionCheckpoint>>,
+    checkpoints: &mut Vec<SessionCheckpoint>,
 ) -> Result<DrivenSession> {
     let mut source = StrictFrameSource::new(&encoded.bitstream)?;
     let info = source.info();
@@ -198,14 +391,12 @@ fn drive_core(
             ready_ns: t_decode,
         });
         if work.uses_large_model {
-            if let Some(sink) = checkpoints.as_deref_mut() {
-                sink.push(SessionCheckpoint {
-                    items_emitted: items.len(),
-                    units_consumed: k,
-                    decode_clock_ns: t_decode,
-                    engine: engine.checkpoint()?,
-                });
-            }
+            checkpoints.push(SessionCheckpoint {
+                items_emitted: items.len(),
+                units_consumed: k,
+                decode_clock_ns: t_decode,
+                engine: engine.checkpoint()?,
+            });
         }
     }
     let totals = source.totals();
@@ -409,6 +600,57 @@ mod tests {
             .finish(source.totals(), source.peak_live_frames())
             .unwrap();
         assert_eq!(run.outputs.len(), straight.frames);
+    }
+
+    #[test]
+    fn template_instantiation_matches_live_drive() {
+        // One template, many pacings: every instantiation must be
+        // byte-identical to the (checkpointed) live drive under the same
+        // spec — including the f64 decoder-lane stamps.
+        let (model, cfg) = tiny_model();
+        let seq = davis_sequence("cows", &cfg).unwrap();
+        let encoded = model.encode(&seq).unwrap();
+        let sim = SimConfig::default();
+        let tpl = drive_template(&model, &seq, &encoded, &sim).unwrap();
+        for (session, (offset, interval)) in [(0.0, 1e6), (250.0, 1.5e6), (7.3e6, 0.4e6)]
+            .iter()
+            .enumerate()
+        {
+            let spec = SessionSpec {
+                start_offset_ns: *offset,
+                frame_interval_ns: *interval,
+            };
+            let (live, _) =
+                drive_session_checkpointed(&model, session, &seq, &encoded, &spec, &sim).unwrap();
+            assert_eq!(tpl.instantiate(session, &spec), live);
+        }
+    }
+
+    #[test]
+    fn template_prefix_truncates_for_churn() {
+        let (model, cfg) = tiny_model();
+        let seq = davis_sequence("dog", &cfg).unwrap();
+        let encoded = model.encode(&seq).unwrap();
+        let sim = SimConfig::default();
+        let tpl = drive_template(&model, &seq, &encoded, &sim).unwrap();
+        let spec = SessionSpec {
+            start_offset_ns: 100.0,
+            frame_interval_ns: 2e6,
+        };
+        let full = tpl.instantiate(5, &spec);
+        let cut = tpl.instantiate_prefix(5, &spec, 4);
+        assert_eq!(cut.items.len(), 4);
+        assert_eq!(cut.items[..], full.items[..4]);
+        assert_eq!(cut.frames, 4);
+        assert!(cut.total_ops < full.total_ops);
+        assert!(cut.isolated_ns < full.isolated_ns);
+        // A zero-length prefix is an empty (churned-out) session.
+        let gone = tpl.instantiate_prefix(5, &spec, 0);
+        assert!(gone.items.is_empty());
+        assert_eq!(gone.total_ops, 0);
+        assert_eq!(gone.switches_in_order, 0);
+        // Over-asking clamps to the full stream.
+        assert_eq!(tpl.instantiate_prefix(5, &spec, usize::MAX), full);
     }
 
     #[test]

@@ -189,6 +189,33 @@ impl Default for CostConfig {
     }
 }
 
+/// Per-shard costs of a fleet of virtual NPUs. One shard is one virtual
+/// device (NPU + agent unit + decoder lanes); the fleet layer provisions
+/// and drains shards at runtime, and each shard is billed for its spin-up
+/// and its static power over the window it is alive — so autoscaling is
+/// never free on either the latency or the energy axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardConfig {
+    /// Time to bring a new shard online: power/clock ramp, kernel images,
+    /// and the first NN-L weight working set streamed from DRAM. Defaults
+    /// to roughly twice one NN-L buffer refill (~1.3 ms) — provisioning a
+    /// virtual device costs more than switching models on a live one.
+    pub spinup_ns: f64,
+    /// Static power of one live shard in milliwatts, charged over its
+    /// whole active window (the per-shard share of
+    /// [`CostConfig::soc_static_mw`]-style idle draw).
+    pub static_mw: f64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            spinup_ns: 1_400_000.0,
+            static_mw: 500.0,
+        }
+    }
+}
+
 /// Complete simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SimConfig {
@@ -202,6 +229,8 @@ pub struct SimConfig {
     pub dram: DramConfig,
     /// Energy/cost constants.
     pub cost: CostConfig,
+    /// Per-shard fleet costs.
+    pub shard: ShardConfig,
 }
 
 impl SimConfig {
@@ -231,6 +260,22 @@ impl SimConfig {
     /// (the f32 throughput scaled by [`NpuConfig::int8_speedup`]).
     pub fn npu_int8_ops_per_ns(&self) -> f64 {
         self.npu_ops_per_ns() * self.npu.int8_speedup
+    }
+
+    /// Time to bring one fleet shard online.
+    pub fn shard_spinup_ns(&self) -> f64 {
+        self.shard.spinup_ns
+    }
+
+    /// Energy one shard burnt, in joules: its compute (busy time at the
+    /// NPU's service rate times per-op energy) plus its static draw over
+    /// the window it was alive. `busy_ns` is NPU compute time, `active_ns`
+    /// the shard's whole provisioned window (spin-up included).
+    pub fn shard_energy_j(&self, busy_ns: f64, active_ns: f64) -> f64 {
+        let ops = busy_ns * self.npu_ops_per_ns();
+        let compute_j = ops * self.cost.npu_pj_per_op * 1e-12;
+        let static_j = self.shard.static_mw * 1e-3 * active_ns * 1e-9;
+        compute_j + static_j
     }
 }
 
@@ -264,6 +309,22 @@ mod tests {
         assert!(cfg.switch_to_large_ns() > 5.0 * cfg.switch_to_small_ns());
         // Large switch is dominated by the 8 MB buffer refill (~655 us).
         assert!((600_000.0..900_000.0).contains(&cfg.switch_to_large_ns()));
+    }
+
+    #[test]
+    fn shard_costs_are_billed() {
+        let cfg = SimConfig::default();
+        // Provisioning a virtual device costs more than a model switch on
+        // a live one — otherwise autoscaling would be a free lunch.
+        assert!(cfg.shard_spinup_ns() > cfg.switch_to_large_ns());
+        // 1 ms busy inside a 10 ms window: compute energy plus static draw.
+        let e = cfg.shard_energy_j(1e6, 1e7);
+        let compute = 1e6 * cfg.npu_ops_per_ns() * cfg.cost.npu_pj_per_op * 1e-12;
+        let static_j = 0.5 * 1e7 * 1e-9;
+        assert!((e - (compute + static_j)).abs() < 1e-12, "energy {e}");
+        // An idle shard still burns static power.
+        assert!(cfg.shard_energy_j(0.0, 1e7) > 0.0);
+        assert_eq!(cfg.shard_energy_j(0.0, 0.0), 0.0);
     }
 
     #[test]

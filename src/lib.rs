@@ -11,7 +11,8 @@
 //! * [`vr_dann`] — the paper's algorithm and all baselines
 //! * [`vrd_sim`] — the SoC simulator (NPU, decoder, DRAM, agent unit)
 //! * [`vrd_serve`] — multi-stream serving: sessions, shared-NPU scheduling,
-//!   admission control
+//!   admission control, and the fleet layer (trace-driven load over
+//!   sharded virtual NPUs with affinity placement and autoscaling)
 //! * [`vrd_bench`] — the experiment harness regenerating every figure
 //!
 //! The runnable examples live in this crate:
