@@ -9,6 +9,11 @@
 //! feature-propagation baseline) for tooling and CI trend tracking. The
 //! JSON is hand-rolled — the workspace carries no serialisation dependency.
 //!
+//! The NN-S deployment-resolution row is measured **once** per run on one
+//! shared fixture and emitted into both `BENCH_nn.json` (with `int8_ms` /
+//! `int8_speedup` alongside the f32 numbers) and `BENCH_quant.json`, so
+//! the two artifacts can never disagree about the current baseline.
+//!
 //! Usage:
 //! `cargo run --release --bin perf_snapshot [nn.json] [recon.json] [quant.json]
 //!     [featprop.json] [--min-recon-speedup X] [--min-quant-speedup X]
@@ -22,8 +27,8 @@
 //! naive per-cell reference.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
 use vr_dann::{build_sandwich, recon, reconstruct_b_frame, sandwich, ReconConfig};
+use vrd_bench::time_median;
 use vrd_codec::decoder::BFrameInfo;
 use vrd_codec::{MvRecord, RefMv};
 use vrd_metrics::segmentation::{reference as tally_reference, PixelCounts};
@@ -32,19 +37,6 @@ use vrd_nn::featwarp::{self, FeatureMap, WarpSource, FEATURE_CHANNELS, FEATURE_S
 use vrd_nn::layers::{maxpool2_into, relu_in_place, sigmoid_in_place, upsample2_into};
 use vrd_nn::{NnS, QuantConv2d, Requant, Tensor};
 use vrd_video::{mask, Seg2Plane, SegMask};
-
-/// Median wall-clock seconds of `reps` runs of `f`.
-fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    let mut times: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64()
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
-    times[times.len() / 2]
-}
 
 /// NN-S inference composed purely from the naive reference conv kernels —
 /// the pre-optimisation baseline the speedup is measured against.
@@ -70,17 +62,28 @@ struct Row {
     name: &'static str,
     optimized_ms: f64,
     naive_ms: f64,
+    /// The quantized path's time for the same work on the same fixture,
+    /// where one exists (only the NN-S HD row today).
+    int8_ms: Option<f64>,
 }
 
 fn render_json(rows: &[Row]) -> String {
     let mut json = String::from("{\n");
     for (i, r) in rows.iter().enumerate() {
+        let int8 = r.int8_ms.map_or(String::new(), |ms| {
+            format!(
+                ", \"int8_ms\": {:.4}, \"int8_speedup\": {:.2}",
+                ms,
+                r.optimized_ms / ms
+            )
+        });
         json.push_str(&format!(
-            "  \"{}\": {{\"optimized_ms\": {:.4}, \"naive_ms\": {:.4}, \"speedup\": {:.2}}}{}\n",
+            "  \"{}\": {{\"optimized_ms\": {:.4}, \"naive_ms\": {:.4}, \"speedup\": {:.2}{}}}{}\n",
             r.name,
             r.optimized_ms,
             r.naive_ms,
             r.naive_ms / r.optimized_ms,
+            int8,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -88,20 +91,19 @@ fn render_json(rows: &[Row]) -> String {
     json
 }
 
-fn write_or_die(path: &str, json: &str) {
-    if let Err(e) = std::fs::write(path, json) {
-        eprintln!("error: cannot write {path}: {e}");
-        std::process::exit(1);
-    }
-    print!("{json}");
-    eprintln!("wrote {path}");
+/// The NN-S deployment-resolution measurement, taken **once** per snapshot
+/// on one shared fixture and reused by both `BENCH_nn.json` (opt vs naive,
+/// plus the int8 figure) and `BENCH_quant.json` (f32 vs int8). Before this
+/// existed the two artifacts timed the same network on different fixtures
+/// in separate harnesses and their `nns_infer_854x480` baselines drifted.
+struct NnsHdMeasurement {
+    f32_ms: f64,
+    naive_ms: f64,
+    int8_ms: f64,
 }
 
-fn nn_rows() -> Vec<Row> {
-    let mut rows = Vec::new();
-
-    // --- NN-S refinement at deployment resolution (the headline number).
-    let nns = NnS::new(8, 42);
+fn measure_nns_hd() -> NnsHdMeasurement {
+    let mut nns = NnS::new(8, 42);
     let hd = Tensor::from_vec(
         3,
         480,
@@ -113,14 +115,41 @@ fn nn_rows() -> Vec<Row> {
     let fast = nns.infer(&hd);
     let slow = naive_infer(&nns, &hd);
     assert_eq!(fast.as_slice(), slow.as_slice(), "kernels diverged");
-    rows.push(Row {
-        name: "nns_infer_854x480",
-        optimized_ms: time_median(5, || {
+    nns.calibrate(&[&hd]);
+    let q = nns.quantize();
+    NnsHdMeasurement {
+        f32_ms: time_median(5, || {
             std::hint::black_box(nns.infer(&hd));
         }) * 1e3,
         naive_ms: time_median(3, || {
             std::hint::black_box(naive_infer(&nns, &hd));
         }) * 1e3,
+        int8_ms: time_median(9, || {
+            std::hint::black_box(q.infer(&hd));
+        }) * 1e3,
+    }
+}
+
+fn write_or_die(path: &str, json: &str) {
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("wrote {path}");
+}
+
+fn nn_rows(nns_hd: &NnsHdMeasurement) -> Vec<Row> {
+    let mut rows = Vec::new();
+
+    // --- NN-S refinement at deployment resolution (the headline number),
+    // taken from the shared measurement so the int8 figure in this row and
+    // the quant artifact's row are the same number.
+    rows.push(Row {
+        name: "nns_infer_854x480",
+        optimized_ms: nns_hd.f32_ms,
+        naive_ms: nns_hd.naive_ms,
+        int8_ms: Some(nns_hd.int8_ms),
     });
 
     // --- Single conv layer, training resolution.
@@ -139,6 +168,7 @@ fn nn_rows() -> Vec<Row> {
         naive_ms: time_median(31, || {
             std::hint::black_box(reference::forward(&conv, &x));
         }) * 1e3,
+        int8_ms: None,
     });
 
     // --- Conv backward, training resolution.
@@ -153,6 +183,7 @@ fn nn_rows() -> Vec<Row> {
         naive_ms: time_median(31, || {
             std::hint::black_box(reference::backward(&conv_t, &x, &gout));
         }) * 1e3,
+        int8_ms: None,
     });
 
     rows
@@ -180,36 +211,19 @@ fn render_quant_json(rows: &[QuantRow]) -> String {
     json
 }
 
-fn quant_rows() -> Vec<QuantRow> {
+fn quant_rows(nns_hd: &NnsHdMeasurement) -> Vec<QuantRow> {
     let mut rows = Vec::new();
 
     // --- NN-S inference at deployment resolution: the optimised f32 path
     // (the PR 1 kernels, the previous production path) vs the calibrated
     // int8 path. Both run the full network including quantize/sigmoid, so
-    // this is the end-to-end per-B-frame refinement cost.
-    let mut nns = NnS::new(8, 42);
-    let hd = Tensor::from_vec(
-        3,
-        480,
-        854,
-        (0..3 * 480 * 854)
-            .map(|v| match v % 7 {
-                0..=2 => 0.0,
-                3 | 4 => 0.5,
-                _ => 1.0,
-            })
-            .collect(),
-    );
-    nns.calibrate(&[&hd]);
-    let q = nns.quantize();
+    // this is the end-to-end per-B-frame refinement cost. The numbers come
+    // from the shared measurement, so this row and `BENCH_nn.json`'s
+    // `nns_infer_854x480` row are the same run on the same fixture.
     rows.push(QuantRow {
         name: "nns_infer_854x480",
-        f32_ms: time_median(5, || {
-            std::hint::black_box(nns.infer(&hd));
-        }) * 1e3,
-        int8_ms: time_median(9, || {
-            std::hint::black_box(q.infer(&hd));
-        }) * 1e3,
+        f32_ms: nns_hd.f32_ms,
+        int8_ms: nns_hd.int8_ms,
     });
 
     // --- One 8→8 3×3 conv layer at deployment resolution: the optimised
@@ -317,6 +331,7 @@ fn recon_rows() -> Vec<Row> {
                 recon::reference::reconstruct_b_frame(&info, &refs, W, H, 16, &cfg).unwrap(),
             );
         }) * 1e3,
+        int8_ms: None,
     });
 
     // --- Whole-frame bi-reference mean filter: AND/XOR vs per-pixel.
@@ -333,6 +348,7 @@ fn recon_rows() -> Vec<Row> {
         naive_ms: time_median(9, || {
             std::hint::black_box(mask::reference::mean_filter(&a, &b));
         }) * 1e3,
+        int8_ms: None,
     });
 
     // --- IoU tally: popcounts over packed words vs the byte-wise loop the
@@ -351,6 +367,7 @@ fn recon_rows() -> Vec<Row> {
         naive_ms: time_median(31, || {
             std::hint::black_box(tally_reference::tally_bytes(&pred_bytes, &gt_bytes));
         }) * 1e3,
+        int8_ms: None,
     });
 
     // --- Sandwich assembly: fused packed→f32 expansion vs per-pixel sets.
@@ -369,6 +386,7 @@ fn recon_rows() -> Vec<Row> {
         naive_ms: time_median(9, || {
             std::hint::black_box(sandwich::reference::build_sandwich(2, &packed, &refs).unwrap());
         }) * 1e3,
+        int8_ms: None,
     });
 
     rows
@@ -435,6 +453,7 @@ fn featprop_rows() -> Vec<Row> {
             warp_frame(&mut slow, false);
             std::hint::black_box(&slow);
         }) * 1e3,
+        int8_ms: None,
     }]
 }
 
@@ -477,12 +496,14 @@ fn main() {
     let quant_path = quant_path.unwrap_or_else(|| "BENCH_quant.json".into());
     let featprop_path = featprop_path.unwrap_or_else(|| "BENCH_featprop.json".into());
 
-    write_or_die(&nn_path, &render_json(&nn_rows()));
+    // One NN-S HD measurement shared by the nn and quant artifacts.
+    let nns_hd = measure_nns_hd();
+    write_or_die(&nn_path, &render_json(&nn_rows(&nns_hd)));
 
     let recon = recon_rows();
     write_or_die(&recon_path, &render_json(&recon));
 
-    let quant = quant_rows();
+    let quant = quant_rows(&nns_hd);
     write_or_die(&quant_path, &render_quant_json(&quant));
 
     let featprop = featprop_rows();

@@ -27,6 +27,7 @@
 //! | [`serve_bench`] | extra: multi-session serving, FIFO vs batching |
 //! | [`chaos_bench`] | extra: fault-injected serving, recovery vs shed-only |
 //! | [`fleet_bench`] | extra: fleet scaling, sharded NPUs + autoscaled spike |
+//! | [`e2e`] | extra: measured end-to-end fps, sequential vs pipelined |
 //!
 //! Binaries (`cargo run --release --bin fig10`, …) print the tables;
 //! `--quick` switches to the reduced scale.
@@ -34,6 +35,7 @@
 pub mod ablation;
 pub mod chaos_bench;
 pub mod context;
+pub mod e2e;
 pub mod featprop;
 pub mod fig03;
 pub mod fig07;
@@ -53,5 +55,7 @@ pub mod sensitivity;
 pub mod serve_bench;
 pub mod table;
 pub mod table02;
+pub mod timing;
 
 pub use context::{parallel_map, Context, Scale};
+pub use timing::time_median;

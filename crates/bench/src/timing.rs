@@ -1,0 +1,44 @@
+//! Shared wall-clock measurement helpers.
+//!
+//! Every bench binary that reports a measured time (`perf_snapshot`,
+//! `e2e_bench`) goes through this module, so artifacts like
+//! `BENCH_nn.json`, `BENCH_quant.json` and `BENCH_e2e.json` are produced
+//! by one measurement harness and their numbers are directly comparable.
+
+use std::time::Instant;
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+pub fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_reps_is_positive_and_finite() {
+        let mut n = 0u64;
+        let t = time_median(5, || {
+            n += 1;
+            std::hint::black_box(n);
+        });
+        assert!(t.is_finite() && t >= 0.0);
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn zero_reps_clamps_to_one_run() {
+        let mut ran = false;
+        let t = time_median(0, || ran = true);
+        assert!(ran && t >= 0.0);
+    }
+}

@@ -43,6 +43,7 @@ fn run_per_frame_nnl(
         concealment: ConcealmentStats::default(),
         peak_live_frames: seq.len(),
         peak_live_features: 0,
+        peak_inflight_units: 0,
     }
 }
 
@@ -107,6 +108,7 @@ pub fn run_dff(
         concealment: ConcealmentStats::default(),
         peak_live_frames: seq.len(),
         peak_live_features: 0,
+        peak_inflight_units: 0,
     }
 }
 
@@ -131,6 +133,7 @@ pub fn run_selsa(seq: &Sequence, encoded: &EncodedVideo, seed: u64) -> Detection
         trace,
         concealment: ConcealmentStats::default(),
         peak_live_frames: seq.len(),
+        peak_inflight_units: 0,
     }
 }
 
@@ -199,6 +202,7 @@ pub fn run_euphrates(
         trace,
         concealment: ConcealmentStats::default(),
         peak_live_frames: seq.len(),
+        peak_inflight_units: 0,
     }
 }
 

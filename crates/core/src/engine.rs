@@ -164,6 +164,10 @@ pub struct EngineRun<O> {
     /// Peak number of cached backbone feature maps the task held alive
     /// (0 unless the task propagates in feature space).
     pub peak_live_features: usize,
+    /// Peak number of decoded units buffered between the decode and
+    /// compute lanes (always 0 for the sequential driver; bounded by the
+    /// stage channel's capacity under [`PipelineEngine::run_pipelined`]).
+    pub peak_inflight_units: usize,
 }
 
 /// The task axis of the engine: what NN-L produces on anchors, what a
@@ -581,6 +585,117 @@ pub struct StepWork {
     pub full_decode: bool,
 }
 
+/// Decoded units the stage channel between the decode and compute lanes
+/// buffers by default — the software analogue of the paper's small on-chip
+/// `ip_Q`/`b_Q` frame queues between the decoder and the NPU.
+const DEFAULT_STAGE_CAPACITY: usize = 8;
+
+/// Tuning knobs of [`PipelineEngine::run_pipelined`]. `Default` resolves
+/// both: worker count from [`vrd_runtime::max_threads`] (which honours
+/// `VRD_THREADS`), channel capacity from [`DEFAULT_STAGE_CAPACITY`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineOptions {
+    /// Wave-front worker threads for B-frame reconstruction + refinement
+    /// (`None` → `max_threads()`). The decode lane always adds one more
+    /// thread on top.
+    pub threads: Option<usize>,
+    /// Bounded capacity of the decode→compute stage channel (`None` → 8).
+    pub channel_capacity: Option<usize>,
+}
+
+impl PipelineOptions {
+    /// The worker-thread count this configuration resolves to.
+    pub fn resolved_threads(&self) -> usize {
+        self.threads.unwrap_or_else(vrd_runtime::max_threads).max(1)
+    }
+
+    /// The stage-channel capacity this configuration resolves to.
+    pub fn resolved_capacity(&self) -> usize {
+        self.channel_capacity
+            .unwrap_or(DEFAULT_STAGE_CAPACITY)
+            .max(1)
+    }
+}
+
+/// One deferred B-frame mask computation: everything the pure
+/// reconstruct → sandwich → NN-S chain needs, captured at plan time. The
+/// payload is already sanitised (concealing) and the fault lottery already
+/// drawn (`refined`), so executing the job touches no engine state.
+#[derive(Debug)]
+struct ReconJob {
+    display: u32,
+    info: BFrameInfo,
+    refined: bool,
+}
+
+/// The compute lane's in-flight wave: B-frame jobs planned since the last
+/// reference-window mutation, executed together (fanned out across
+/// `threads` workers) when the next mutation — or the end of the stream —
+/// forces a barrier.
+///
+/// Do not interleave [`PipelineEngine::checkpoint`] /
+/// [`PipelineEngine::restore`] with a non-empty wave: the snapshot cannot
+/// see deferred jobs. The serving layer's checkpointed driver stays on the
+/// sequential [`PipelineEngine::step`] for exactly this reason.
+#[derive(Debug)]
+pub struct PipelineWave {
+    jobs: Vec<ReconJob>,
+    threads: usize,
+    flush_threshold: usize,
+}
+
+impl PipelineWave {
+    /// An empty wave fanning out over `threads` (≥ 1) workers.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        Self {
+            jobs: Vec::new(),
+            threads,
+            // Anchor arrivals bound a wave at one GOP's worth of B-frames;
+            // this threshold keeps the wave O(GOP) even on pathological
+            // streams that lose every anchor (no barrier would ever fire).
+            flush_threshold: (2 * MASK_WINDOW).max(2 * threads),
+        }
+    }
+
+    /// Deferred jobs currently in the wave.
+    pub fn pending(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+/// Executes one deferred B-frame job. Pure with respect to the engine:
+/// reads the reference window and model, produces the mask, mutates
+/// nothing — which is what makes the wave fan-out safe and bit-identical
+/// to sequential execution.
+#[allow(clippy::too_many_arguments)]
+fn exec_recon(
+    job: &ReconJob,
+    ref_segs: &BTreeMap<u32, SegMask>,
+    w: usize,
+    h: usize,
+    mb: usize,
+    recon_cfg: &crate::recon::ReconConfig,
+    sandwich: bool,
+    nns: &NnS,
+    nns_q: Option<&QuantNnS>,
+) -> Result<SegMask> {
+    let plane = reconstruct_b_frame(&job.info, ref_segs, w, h, mb, recon_cfg)?;
+    if job.refined {
+        let input = if sandwich {
+            build_sandwich(job.display, &plane, ref_segs)?
+        } else {
+            build_reconstruction_only(&plane)
+        };
+        Ok(match nns_q {
+            Some(q) => q.infer(&input).to_mask(0.5),
+            None => nns.infer(&input).to_mask(0.5),
+        })
+    } else {
+        Ok(plane_to_mask(&plane, recon_cfg))
+    }
+}
+
 /// The generic streaming engine: a task, a fault policy, and a shared model
 /// configuration, executed over any [`FrameSource`].
 ///
@@ -616,6 +731,9 @@ pub struct PipelineEngine<'a, T, P> {
     // Set once an anchor is lost; the next decodable B-frame goes
     // through NN-L to re-establish a trusted reference.
     pending_refetch: bool,
+    // High-water mark of the decode→compute stage channel (0 unless a
+    // pipelined driver reported one via `note_peak_inflight`).
+    peak_inflight_units: usize,
 }
 
 impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
@@ -637,7 +755,15 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
             anchor_window: VecDeque::new(),
             frames: Vec::new(),
             pending_refetch: false,
+            peak_inflight_units: 0,
         }
+    }
+
+    /// Records the stage channel's occupancy high-water mark so
+    /// [`PipelineEngine::finish`] can report it (pipelined drivers only;
+    /// keeps the larger of repeated reports).
+    pub fn note_peak_inflight(&mut self, peak: usize) {
+        self.peak_inflight_units = self.peak_inflight_units.max(peak);
     }
 
     /// Prepares the engine for a stream: caches the stream geometry and
@@ -743,6 +869,75 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
     /// Returns [`VrDannError::BadInput`] if called before
     /// [`PipelineEngine::prime`], and propagates reconstruction failures.
     pub fn step(&mut self, unit: DecodedUnit) -> Result<Option<StepWork>> {
+        self.step_impl(unit, None)
+    }
+
+    /// [`PipelineEngine::step`] with wave-front deferral: everything
+    /// stateful (routing, sanitisation, the fault lottery, trace emission)
+    /// still happens here, in decode order, but a B-frame's pure mask
+    /// computation is parked in `wave` instead of executed inline. The
+    /// engine flushes the wave itself before any reference-window mutation;
+    /// the caller only owes a final [`PipelineEngine::drain_wave`] once the
+    /// stream ends. The returned [`StepWork`] is identical to the
+    /// sequential driver's (it derives from the plan, not the masks).
+    ///
+    /// # Errors
+    /// As [`PipelineEngine::step`]; a forced wave flush can surface a
+    /// reconstruction failure from an earlier deferred unit.
+    pub fn step_pipelined(
+        &mut self,
+        unit: DecodedUnit,
+        wave: &mut PipelineWave,
+    ) -> Result<Option<StepWork>> {
+        self.step_impl(unit, Some(wave))
+    }
+
+    /// Executes every job still parked in `wave`, fanning out across its
+    /// worker threads. Must be called (repeatedly, if it errors) before
+    /// [`PipelineEngine::finish`] when driving with
+    /// [`PipelineEngine::step_pipelined`].
+    ///
+    /// # Errors
+    /// Propagates the decode-order-first reconstruction failure among the
+    /// deferred jobs.
+    pub fn drain_wave(&mut self, wave: &mut PipelineWave) -> Result<()> {
+        self.flush_wave(wave)
+    }
+
+    /// Executes and stores the wave's deferred jobs: reconstruct + refine
+    /// in parallel (order-preserving, pure reads of the reference window),
+    /// then store results sequentially in decode order.
+    fn flush_wave(&mut self, wave: &mut PipelineWave) -> Result<()> {
+        if wave.jobs.is_empty() {
+            return Ok(());
+        }
+        let jobs = std::mem::take(&mut wave.jobs);
+        let refs = &self.ref_segs;
+        let (w, h, mb) = (self.w, self.h, self.mb);
+        let recon_cfg = &self.cfg.recon;
+        let sandwich = self.cfg.sandwich;
+        let nns = self.nns;
+        let nns_q = self.nns_q.as_ref();
+        let masks: Vec<Result<SegMask>> = if wave.threads > 1 && jobs.len() > 1 {
+            vrd_runtime::parallel_map_with(&jobs, wave.threads, |job| {
+                exec_recon(job, refs, w, h, mb, recon_cfg, sandwich, nns, nns_q)
+            })
+        } else {
+            jobs.iter()
+                .map(|job| exec_recon(job, refs, w, h, mb, recon_cfg, sandwich, nns, nns_q))
+                .collect()
+        };
+        for (job, mask) in jobs.into_iter().zip(masks) {
+            self.task.store_refined(job.display, mask?);
+        }
+        Ok(())
+    }
+
+    fn step_impl(
+        &mut self,
+        unit: DecodedUnit,
+        mut wave: Option<&mut PipelineWave>,
+    ) -> Result<Option<StepWork>> {
         if !self.primed {
             return Err(VrDannError::BadInput(
                 "engine stepped before prime() established the stream".into(),
@@ -752,6 +947,12 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
         let (w, h) = (self.w, self.h);
         match unit.payload {
             UnitPayload::Anchor { display, .. } => {
+                // Barrier: a strict anchor mutates the reference window
+                // (insert + eviction), which every deferred job reads.
+                // Flushing on concealing anchors too keeps waves GOP-sized.
+                if let Some(wv) = wave.as_deref_mut() {
+                    self.flush_wave(wv)?;
+                }
                 if P::CONCEALING {
                     // Reference already established by prepopulation;
                     // only the substitution bookkeeping remains.
@@ -796,6 +997,10 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
                 // here to re-establish a trusted reference (§VI-A's
                 // fallback machinery, repurposed for recovery).
                 if P::CONCEALING && self.pending_refetch {
+                    // Barrier: the re-inference inserts a new reference.
+                    if let Some(wv) = wave.as_deref_mut() {
+                        self.flush_wave(wv)?;
+                    }
                     self.pending_refetch = false;
                     self.policy.stats().nnl_reinferences += 1;
                     let mask = self.task.infer_anchor(display, true);
@@ -818,6 +1023,10 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
                 if T::SUPPORTS_FALLBACK && (!P::CONCEALING || unit.outcome == DecodeOutcome::Ok) {
                     if let Some(threshold) = self.cfg.fallback_mv_threshold {
                         if p90_mv_magnitude(&info_b.mvs) > threshold as f64 {
+                            // Barrier: the fallback inserts a reference.
+                            if let Some(wv) = wave.as_deref_mut() {
+                                self.flush_wave(wv)?;
+                            }
                             let mask = self.task.infer_anchor(display, true);
                             self.ref_segs.insert(display, mask);
                             self.frames.push((
@@ -884,50 +1093,67 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
                 if P::CONCEALING && matches!(unit.outcome, DecodeOutcome::Concealed(_)) {
                     self.policy.stats().b_salvaged += 1;
                 }
-                let cleaned = if P::CONCEALING {
-                    Some(sanitize_b_info(&info_b, &self.ref_segs, w, h, self.mb))
-                } else {
-                    None
+                // Plan the reconstruction now — sanitisation and the fault
+                // lottery are stateful and must happen in decode order —
+                // but the mask computation itself is pure, so the wave
+                // driver may defer it past this unit.
+                let use_info = match P::CONCEALING {
+                    true => sanitize_b_info(&info_b, &self.ref_segs, w, h, self.mb),
+                    false => info_b,
                 };
-                let use_info = cleaned.as_ref().unwrap_or(&info_b);
-                let plane =
-                    reconstruct_b_frame(use_info, &self.ref_segs, w, h, self.mb, &self.cfg.recon)?;
                 let nns_faulted = self.policy.draw_nns_fault();
                 if nns_faulted {
                     self.policy.stats().nns_failures += 1;
                 }
                 let refined = self.cfg.refine && !nns_faulted;
-                let mask = if refined {
-                    let input = if self.cfg.sandwich {
-                        build_sandwich(display, &plane, &self.ref_segs)?
-                    } else {
-                        build_reconstruction_only(&plane)
-                    };
-                    match &self.nns_q {
-                        Some(q) => q.infer(&input).to_mask(0.5),
-                        None => self.nns.infer(&input).to_mask(0.5),
-                    }
-                } else {
-                    plane_to_mask(&plane, &self.cfg.recon)
+                let job = ReconJob {
+                    display,
+                    info: use_info,
+                    refined,
                 };
-                self.task.store_refined(display, mask);
-                let mvs = match cleaned {
-                    Some(c) => c.mvs,
-                    None => info_b.mvs,
-                };
-                self.frames.push((
-                    TraceFrame {
-                        display,
-                        ftype: FrameType::B,
-                        kind: ComputeKind::NnSRefine {
-                            ops: if refined { self.nns_ops } else { 0 },
-                            mvs,
+                let refine_ops = if refined { self.nns_ops } else { 0 };
+                let entry = |mvs| {
+                    (
+                        TraceFrame {
+                            display,
+                            ftype: FrameType::B,
+                            kind: ComputeKind::NnSRefine {
+                                ops: refine_ops,
+                                mvs,
+                            },
+                            full_decode: false,
+                            bitstream_bytes: 0,
                         },
-                        full_decode: false,
-                        bitstream_bytes: 0,
-                    },
-                    ByteClass::BAvg,
-                ));
+                        ByteClass::BAvg,
+                    )
+                };
+                match wave {
+                    Some(wv) => {
+                        // The trace frame and the deferred job both need
+                        // the (sanitised) MV payload; the job keeps the
+                        // original.
+                        self.frames.push(entry(job.info.mvs.clone()));
+                        wv.jobs.push(job);
+                        if wv.jobs.len() >= wv.flush_threshold {
+                            self.flush_wave(wv)?;
+                        }
+                    }
+                    None => {
+                        let mask = exec_recon(
+                            &job,
+                            &self.ref_segs,
+                            w,
+                            h,
+                            self.mb,
+                            &self.cfg.recon,
+                            self.cfg.sandwich,
+                            self.nns,
+                            self.nns_q.as_ref(),
+                        )?;
+                        self.task.store_refined(display, mask);
+                        self.frames.push(entry(job.info.mvs));
+                    }
+                }
             }
             UnitPayload::Skipped { display } => {
                 let Some(display) = display else {
@@ -1005,6 +1231,7 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
             concealment: self.policy.into_stats(),
             peak_live_frames,
             peak_live_features,
+            peak_inflight_units: self.peak_inflight_units,
         })
     }
 
@@ -1027,6 +1254,71 @@ impl<'a, T: TaskPolicy, P: FaultPolicy> PipelineEngine<'a, T, P> {
         let totals = source.totals();
         let peak = source.peak_live_frames();
         self.finish(totals, peak)
+    }
+
+    /// Drives the source to exhaustion on **two lanes**: a decode-lane
+    /// worker thread owns the source and pulls [`DecodedUnit`]s through a
+    /// bounded SPSC stage channel (the software `ip_Q`/`b_Q`), while this
+    /// thread plans units in decode order and fans each GOP's B-frame
+    /// reconstructions out wave-front-style across `opts.threads` workers.
+    ///
+    /// A drop-in sibling of [`PipelineEngine::run`]: same `prepopulate`
+    /// contract, works for every [`TaskPolicy`] × [`FaultPolicy`], and
+    /// produces bit-identical outputs, traces and concealment counters at
+    /// every thread count — all stateful decisions still execute
+    /// sequentially in decode order; only pure per-frame mask computation
+    /// runs concurrently. Memory stays bounded: the source keeps its own
+    /// O(GOP) window, at most `opts.channel_capacity` decoded units sit in
+    /// the channel, and a wave holds at most O(GOP) deferred jobs.
+    ///
+    /// Checkpoint/restore is not available mid-run here (see
+    /// [`PipelineWave`]); use the sequential stepping API for that.
+    ///
+    /// # Errors
+    /// As [`PipelineEngine::run`]. On a source decode error the decode
+    /// lane shuts down and the error is reported after the lanes join.
+    pub fn run_pipelined<S: FrameSource + Send>(
+        mut self,
+        source: S,
+        prepopulate: &[u32],
+        opts: &PipelineOptions,
+    ) -> Result<EngineRun<T::Output>> {
+        self.prime(&source.info(), prepopulate);
+        let threads = opts.resolved_threads();
+        let mut wave = PipelineWave::new(threads);
+        let (tx, rx) = vrd_runtime::stage_channel(opts.resolved_capacity());
+        let (stepped, totals, peak_frames) = std::thread::scope(|s| {
+            let decode_lane = s.spawn(move || {
+                let mut source = source;
+                while let Some(unit) = source.next_unit() {
+                    // A strict source fuses after an error; forward it and
+                    // stop. A dropped receiver (compute lane bailed) also
+                    // ends the lane.
+                    let fatal = unit.is_err();
+                    if tx.send(unit).is_err() || fatal {
+                        break;
+                    }
+                }
+                (source.totals(), source.peak_live_frames())
+            });
+            let mut stepped = Ok(());
+            while let Some(unit) = rx.recv() {
+                let advanced = unit
+                    .map_err(VrDannError::from)
+                    .and_then(|u| self.step_pipelined(u, &mut wave).map(|_| ()));
+                if let Err(e) = advanced {
+                    stepped = Err(e);
+                    break;
+                }
+            }
+            self.note_peak_inflight(rx.peak_len());
+            drop(rx);
+            let (totals, peak_frames) = decode_lane.join().expect("decode lane never panics");
+            (stepped, totals, peak_frames)
+        });
+        stepped?;
+        self.drain_wave(&mut wave)?;
+        self.finish(totals, peak_frames)
     }
 }
 

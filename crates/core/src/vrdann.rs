@@ -10,7 +10,9 @@
 //! window of reference masks.
 
 use crate::components::boxes_to_mask;
-use crate::engine::{ConcealingPolicy, DetTask, EngineRun, PipelineEngine, SegTask, StrictPolicy};
+use crate::engine::{
+    ConcealingPolicy, DetTask, EngineRun, PipelineEngine, PipelineOptions, SegTask, StrictPolicy,
+};
 use crate::error::{Result, VrDannError};
 use crate::recon::{reconstruct_b_frame, ReconConfig};
 use crate::sandwich::{build_reconstruction_only, build_sandwich};
@@ -97,6 +99,10 @@ pub struct SegmentationRun {
     /// Peak number of cached backbone feature maps held alive at once
     /// (0 unless the run propagates in feature space).
     pub peak_live_features: usize,
+    /// Peak number of decoded units buffered between the decode and
+    /// compute lanes (0 for sequential drivers; bounded by the stage
+    /// channel capacity under the pipelined executor).
+    pub peak_inflight_units: usize,
 }
 
 impl From<EngineRun<SegMask>> for SegmentationRun {
@@ -107,6 +113,7 @@ impl From<EngineRun<SegMask>> for SegmentationRun {
             concealment: run.concealment,
             peak_live_frames: run.peak_live_frames,
             peak_live_features: run.peak_live_features,
+            peak_inflight_units: run.peak_inflight_units,
         }
     }
 }
@@ -124,6 +131,9 @@ pub struct DetectionRun {
     /// bounded-memory accounting hook; `seq.len()` for the full-decode
     /// baselines, O(GOP) for the streaming engine).
     pub peak_live_frames: usize,
+    /// Peak number of decoded units buffered between the decode and
+    /// compute lanes (0 for sequential drivers).
+    pub peak_inflight_units: usize,
 }
 
 impl From<EngineRun<Vec<Detection>>> for DetectionRun {
@@ -133,6 +143,7 @@ impl From<EngineRun<Vec<Detection>>> for DetectionRun {
             trace: run.trace,
             concealment: run.concealment,
             peak_live_frames: run.peak_live_frames,
+            peak_inflight_units: run.peak_inflight_units,
         }
     }
 }
@@ -425,6 +436,137 @@ impl VrDann {
         );
         let run = PipelineEngine::new(&self.cfg, &self.nns, task, ConcealingPolicy::new(opts))
             .run(source, &prepopulate)?;
+        Ok(run.into())
+    }
+
+    /// [`VrDann::run_segmentation`] on the two-lane pipelined executor
+    /// ([`PipelineEngine::run_pipelined`]): the decoder runs on its own
+    /// thread and each GOP's B-frame reconstructions fan out across the
+    /// wave-front pool. Outputs, trace and concealment counters are
+    /// bit-identical to the sequential entry point at every thread count.
+    ///
+    /// # Errors
+    /// As [`VrDann::run_segmentation`].
+    pub fn run_segmentation_pipelined(
+        &self,
+        seq: &Sequence,
+        encoded: &EncodedVideo,
+        opts: &PipelineOptions,
+    ) -> Result<SegmentationRun> {
+        let source = StrictFrameSource::new(&encoded.bitstream)?;
+        let info = source.info();
+        let task = SegTask::new(
+            seq,
+            LargeNet::new(self.cfg.segment_profile),
+            self.cfg.seed,
+            &info,
+        );
+        let run = PipelineEngine::new(&self.cfg, &self.nns, task, StrictPolicy::default())
+            .run_pipelined(source, &[], opts)?;
+        Ok(run.into())
+    }
+
+    /// [`VrDann::run_detection`] on the pipelined executor; bit-identical
+    /// to the sequential entry point at every thread count.
+    ///
+    /// # Errors
+    /// As [`VrDann::run_detection`].
+    pub fn run_detection_pipelined(
+        &self,
+        seq: &Sequence,
+        encoded: &EncodedVideo,
+        opts: &PipelineOptions,
+    ) -> Result<DetectionRun> {
+        let source = StrictFrameSource::new(&encoded.bitstream)?;
+        let info = source.info();
+        let task = DetTask::new(
+            seq,
+            LargeNet::new(self.cfg.detect_profile),
+            self.cfg.seed,
+            &info,
+        );
+        let run = PipelineEngine::new(&self.cfg, &self.nns, task, StrictPolicy::default())
+            .run_pipelined(source, &[], opts)?;
+        Ok(run.into())
+    }
+
+    /// [`VrDann::run_feature_propagation`] on the pipelined executor. The
+    /// propagating task consumes B-frames at plan time (feature-space
+    /// warps are engine state), so the wave only ever carries the
+    /// mask-space ladder's work — still bit-identical at every thread
+    /// count.
+    ///
+    /// # Errors
+    /// As [`VrDann::run_feature_propagation`].
+    pub fn run_feature_propagation_pipelined(
+        &self,
+        seq: &Sequence,
+        encoded: &EncodedVideo,
+        opts: &PipelineOptions,
+    ) -> Result<SegmentationRun> {
+        let source = StrictFrameSource::new(&encoded.bitstream)?;
+        let info = source.info();
+        let task = crate::featprop::FeatPropTask::new(
+            seq,
+            LargeNet::new(self.cfg.segment_profile),
+            self.cfg.seed,
+            &info,
+        );
+        let run = PipelineEngine::new(&self.cfg, &self.nns, task, StrictPolicy::default())
+            .run_pipelined(source, &[], opts)?;
+        Ok(run.into())
+    }
+
+    /// [`VrDann::run_segmentation_resilient`] on the pipelined executor.
+    /// The degradation ladder (sanitisation, lottery draws, refetches)
+    /// executes sequentially in decode order exactly as in the sequential
+    /// driver, so concealment statistics are bit-identical too.
+    ///
+    /// # Errors
+    /// As [`VrDann::run_segmentation_resilient`].
+    pub fn run_segmentation_resilient_pipelined(
+        &self,
+        seq: &Sequence,
+        stream: &PacketStream,
+        opts: &ResilienceOptions,
+        pipe: &PipelineOptions,
+    ) -> Result<SegmentationRun> {
+        let source = ResilientFrameSource::new(stream)?;
+        let info = source.info();
+        let prepopulate = source.usable_anchor_displays().to_vec();
+        let task = SegTask::new(
+            seq,
+            LargeNet::new(self.cfg.segment_profile),
+            self.cfg.seed,
+            &info,
+        );
+        let run = PipelineEngine::new(&self.cfg, &self.nns, task, ConcealingPolicy::new(opts))
+            .run_pipelined(source, &prepopulate, pipe)?;
+        Ok(run.into())
+    }
+
+    /// [`VrDann::run_detection_resilient`] on the pipelined executor.
+    ///
+    /// # Errors
+    /// As [`VrDann::run_detection_resilient`].
+    pub fn run_detection_resilient_pipelined(
+        &self,
+        seq: &Sequence,
+        stream: &PacketStream,
+        opts: &ResilienceOptions,
+        pipe: &PipelineOptions,
+    ) -> Result<DetectionRun> {
+        let source = ResilientFrameSource::new(stream)?;
+        let info = source.info();
+        let prepopulate = source.usable_anchor_displays().to_vec();
+        let task = DetTask::new(
+            seq,
+            LargeNet::new(self.cfg.detect_profile),
+            self.cfg.seed,
+            &info,
+        );
+        let run = PipelineEngine::new(&self.cfg, &self.nns, task, ConcealingPolicy::new(opts))
+            .run_pipelined(source, &prepopulate, pipe)?;
         Ok(run.into())
     }
 

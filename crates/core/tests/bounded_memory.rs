@@ -4,7 +4,7 @@
 //! it has to stay within a small multiple of one GOP.
 
 use vr_dann::baselines::run_favos;
-use vr_dann::{ResilienceOptions, TrainTask, VrDann, VrDannConfig};
+use vr_dann::{PipelineOptions, ResilienceOptions, TrainTask, VrDann, VrDannConfig};
 use vrd_codec::{inject, packetize, FaultConfig, FaultKind};
 use vrd_video::davis::{davis_sequence, davis_train_suite, SuiteConfig};
 
@@ -150,4 +150,85 @@ fn concealing_engine_memory_stays_bounded_under_anchor_loss() {
         2 * gop
     );
     assert!(run.peak_live_frames < seq.len());
+}
+
+#[test]
+fn pipelined_engine_memory_stays_bounded_under_anchor_loss() {
+    let cfg = SuiteConfig::tiny();
+    let train = davis_train_suite(&cfg, 2);
+    let model = VrDann::train(
+        &train,
+        TrainTask::Segmentation,
+        VrDannConfig {
+            nns_hidden: 4,
+            ..VrDannConfig::default()
+        },
+    )
+    .unwrap();
+
+    let long_cfg = SuiteConfig {
+        frames: 200,
+        ..SuiteConfig::tiny()
+    };
+    let seq = davis_sequence("cows", &long_cfg).unwrap();
+    let encoded = model.encode(&seq).unwrap();
+
+    let stream = packetize(&encoded.bitstream).unwrap();
+    let faults = FaultConfig {
+        seed: 0xbad_a2c4,
+        rate: 0.3,
+        kinds: vec![FaultKind::DropFrame],
+        b_frames_only: false,
+        protect_first_i: true,
+    };
+    let (damaged, log) = inject(&stream, &faults);
+    assert!(!log.events.is_empty(), "no faults planted at 30% rate");
+
+    let gop = model.config().codec.gop_len;
+    for threads in [2, 8] {
+        let opts = PipelineOptions {
+            threads: Some(threads),
+            channel_capacity: None,
+        };
+        let run = model
+            .run_segmentation_resilient_pipelined(
+                &seq,
+                &damaged,
+                &ResilienceOptions::default(),
+                &opts,
+            )
+            .unwrap();
+        assert_eq!(run.masks.len(), seq.len());
+        assert!(run.concealment.anchors_lost > 0, "no anchors lost");
+
+        // The pipelined executor adds one new place decoded frames can
+        // live: the stage channel between the lanes. The source window
+        // plus everything in flight must still fit the 2xGOP bound — the
+        // decode lane is never allowed to run ahead without limit.
+        assert!(
+            run.peak_inflight_units > 0,
+            "decode lane never ran ahead; the pipeline did not overlap"
+        );
+        assert!(
+            run.peak_live_frames + run.peak_inflight_units <= 2 * gop,
+            "pipelined engine held {} live frames + {} in-flight units, \
+             above the 2xGOP bound of {}",
+            run.peak_live_frames,
+            run.peak_inflight_units,
+            2 * gop
+        );
+        assert!(run.peak_live_frames < seq.len());
+    }
+
+    // The strict pipelined driver obeys the same bound on a clean stream.
+    let clean = model
+        .run_segmentation_pipelined(&seq, &encoded, &PipelineOptions::default())
+        .unwrap();
+    assert!(
+        clean.peak_live_frames + clean.peak_inflight_units <= 2 * gop,
+        "strict pipelined run held {} + {} frames, above {}",
+        clean.peak_live_frames,
+        clean.peak_inflight_units,
+        2 * gop
+    );
 }

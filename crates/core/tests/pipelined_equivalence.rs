@@ -1,0 +1,284 @@
+//! Property tests pinning the two-lane pipelined executor
+//! (`run_*_pipelined`) bit-identical to the sequential engine: same masks,
+//! detections, traces, concealment counters and live-frame accounting over
+//! random GOP shapes × thread counts (1, 2, 4, 8) × strict/concealing
+//! policies. The wave-front fan-out and the decode-lane thread must be
+//! invisible in every output.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use vr_dann::{
+    DetectionRun, PipelineOptions, ResilienceOptions, SegmentationRun, TrainTask, VrDann,
+    VrDannConfig,
+};
+use vrd_codec::{inject, BFrameMode, CodecConfig, FaultConfig, FaultKind};
+use vrd_video::davis::{davis_sequence, davis_train_suite, SuiteConfig};
+use vrd_video::Sequence;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const SEQ_NAMES: [&str; 4] = ["cows", "dog", "goat", "parkour"];
+
+fn seg_model() -> &'static VrDann {
+    static MODEL: OnceLock<VrDann> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let cfg = SuiteConfig::tiny();
+        let train = davis_train_suite(&cfg, 2);
+        VrDann::train(
+            &train,
+            TrainTask::Segmentation,
+            VrDannConfig {
+                nns_hidden: 4,
+                ..VrDannConfig::default()
+            },
+        )
+        .unwrap()
+    })
+}
+
+/// The same trained NN-S redeployed under a different codec configuration
+/// (GOP shape randomisation without retraining per case).
+fn with_codec(model: &VrDann, codec: CodecConfig) -> VrDann {
+    let cfg = VrDannConfig {
+        codec,
+        ..*model.config()
+    };
+    VrDann::from_parts(cfg, &model.export_nns()).unwrap()
+}
+
+fn assert_seg_identical(seq_run: &SegmentationRun, pipe_run: &SegmentationRun, label: &str) {
+    assert_eq!(seq_run.masks, pipe_run.masks, "masks diverged: {label}");
+    assert_eq!(seq_run.trace, pipe_run.trace, "trace diverged: {label}");
+    assert_eq!(
+        seq_run.concealment, pipe_run.concealment,
+        "concealment diverged: {label}"
+    );
+    assert_eq!(
+        seq_run.peak_live_frames, pipe_run.peak_live_frames,
+        "live-frame accounting diverged: {label}"
+    );
+    assert_eq!(
+        seq_run.peak_live_features, pipe_run.peak_live_features,
+        "feature accounting diverged: {label}"
+    );
+}
+
+fn assert_det_identical(seq_run: &DetectionRun, pipe_run: &DetectionRun, label: &str) {
+    assert_eq!(
+        seq_run.detections, pipe_run.detections,
+        "detections diverged: {label}"
+    );
+    assert_eq!(seq_run.trace, pipe_run.trace, "trace diverged: {label}");
+    assert_eq!(
+        seq_run.concealment, pipe_run.concealment,
+        "concealment diverged: {label}"
+    );
+}
+
+fn random_codec(gop_sel: usize, bmode_sel: usize) -> CodecConfig {
+    let gop_len = [4, 8, 16][gop_sel % 3];
+    CodecConfig {
+        gop_len,
+        b_frames: match bmode_sel % 9 {
+            0 => BFrameMode::Auto,
+            // A fixed B run must be shorter than the GOP.
+            n => BFrameMode::Fixed(((n - 1) as u8).min(gop_len as u8 - 1)),
+        },
+        ..CodecConfig::default()
+    }
+}
+
+fn pick_sequence(seq_sel: usize, frames: usize) -> Sequence {
+    let cfg = SuiteConfig {
+        frames,
+        ..SuiteConfig::tiny()
+    };
+    davis_sequence(SEQ_NAMES[seq_sel % SEQ_NAMES.len()], &cfg).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn strict_pipelined_matches_sequential(
+        gop_sel in 0usize..3,
+        bmode_sel in 0usize..9,
+        seq_sel in 0usize..4,
+        frames in 24usize..56,
+        cap in 1usize..9,
+    ) {
+        let model = with_codec(seg_model(), random_codec(gop_sel, bmode_sel));
+        let seq = pick_sequence(seq_sel, frames);
+        let encoded = model.encode(&seq).unwrap();
+        let baseline = model.run_segmentation(&seq, &encoded).unwrap();
+        for threads in THREADS {
+            let opts = PipelineOptions {
+                threads: Some(threads),
+                channel_capacity: Some(cap),
+            };
+            let piped = model.run_segmentation_pipelined(&seq, &encoded, &opts).unwrap();
+            assert_seg_identical(
+                &baseline,
+                &piped,
+                &format!("strict seg, {threads} threads, cap {cap}"),
+            );
+            prop_assert_eq!(piped.peak_inflight_units <= cap, true);
+        }
+    }
+
+    #[test]
+    fn concealing_pipelined_matches_sequential(
+        gop_sel in 0usize..3,
+        bmode_sel in 0usize..9,
+        seq_sel in 0usize..4,
+        fault_seed in 0u64..1_000_000,
+        rate_pct in 5u64..35,
+        nns_fail_pct in 0u64..30,
+    ) {
+        let model = with_codec(seg_model(), random_codec(gop_sel, bmode_sel));
+        let seq = pick_sequence(seq_sel, 48);
+        let encoded = model.encode(&seq).unwrap();
+        let stream = vrd_codec::packetize(&encoded.bitstream).unwrap();
+        let faults = FaultConfig {
+            seed: fault_seed,
+            rate: rate_pct as f64 / 100.0,
+            kinds: vec![
+                FaultKind::DropFrame,
+                FaultKind::DropBMvs,
+                FaultKind::Truncate,
+            ],
+            b_frames_only: false,
+            protect_first_i: true,
+        };
+        let (damaged, _log) = inject(&stream, &faults);
+        let res = ResilienceOptions {
+            nns_failure_rate: nns_fail_pct as f64 / 100.0,
+            seed: fault_seed ^ 0x5eed,
+        };
+        let baseline = model.run_segmentation_resilient(&seq, &damaged, &res).unwrap();
+        for threads in THREADS {
+            let opts = PipelineOptions {
+                threads: Some(threads),
+                channel_capacity: None,
+            };
+            let piped = model
+                .run_segmentation_resilient_pipelined(&seq, &damaged, &res, &opts)
+                .unwrap();
+            assert_seg_identical(
+                &baseline,
+                &piped,
+                &format!("concealing seg, {threads} threads, rate {rate_pct}%"),
+            );
+        }
+    }
+}
+
+#[test]
+fn detection_pipelined_matches_sequential_strict_and_resilient() {
+    let cfg = SuiteConfig::tiny();
+    let train = davis_train_suite(&cfg, 2);
+    let model = VrDann::train(
+        &train,
+        TrainTask::Detection,
+        VrDannConfig {
+            nns_hidden: 4,
+            ..VrDannConfig::default()
+        },
+    )
+    .unwrap();
+    let seq = davis_sequence("camel", &cfg).unwrap();
+    let encoded = model.encode(&seq).unwrap();
+
+    let baseline = model.run_detection(&seq, &encoded).unwrap();
+    for threads in THREADS {
+        let opts = PipelineOptions {
+            threads: Some(threads),
+            channel_capacity: Some(4),
+        };
+        let piped = model
+            .run_detection_pipelined(&seq, &encoded, &opts)
+            .unwrap();
+        assert_det_identical(&baseline, &piped, &format!("strict det, {threads} threads"));
+    }
+
+    let stream = vrd_codec::packetize(&encoded.bitstream).unwrap();
+    let faults = FaultConfig {
+        seed: 0xdec0de,
+        rate: 0.25,
+        kinds: vec![FaultKind::DropFrame, FaultKind::DropBMvs],
+        b_frames_only: false,
+        protect_first_i: true,
+    };
+    let (damaged, _log) = inject(&stream, &faults);
+    let res = ResilienceOptions {
+        nns_failure_rate: 0.1,
+        seed: 0xfa17,
+    };
+    let baseline = model.run_detection_resilient(&seq, &damaged, &res).unwrap();
+    for threads in THREADS {
+        let opts = PipelineOptions {
+            threads: Some(threads),
+            channel_capacity: Some(4),
+        };
+        let piped = model
+            .run_detection_resilient_pipelined(&seq, &damaged, &res, &opts)
+            .unwrap();
+        assert_det_identical(
+            &baseline,
+            &piped,
+            &format!("resilient det, {threads} threads"),
+        );
+    }
+}
+
+#[test]
+fn featprop_pipelined_matches_sequential() {
+    let model = seg_model();
+    let seq = pick_sequence(0, 48);
+    let encoded = model.encode(&seq).unwrap();
+    let baseline = model.run_feature_propagation(&seq, &encoded).unwrap();
+    for threads in THREADS {
+        let opts = PipelineOptions {
+            threads: Some(threads),
+            channel_capacity: Some(4),
+        };
+        let piped = model
+            .run_feature_propagation_pipelined(&seq, &encoded, &opts)
+            .unwrap();
+        assert_seg_identical(&baseline, &piped, &format!("featprop, {threads} threads"));
+    }
+}
+
+#[test]
+fn adaptive_fallback_pipelined_matches_sequential() {
+    // The fallback reroutes fast B-frames through NN-L mid-GOP, mutating
+    // the reference window — the pipelined executor must flush its wave at
+    // exactly that point to keep earlier B-frames' sandwiches identical.
+    let base = seg_model();
+    let cfg = VrDannConfig {
+        fallback_mv_threshold: Some(1.5),
+        ..*base.config()
+    };
+    let model = VrDann::from_parts(cfg, &base.export_nns()).unwrap();
+    let seq = pick_sequence(3, 48); // parkour: fast motion
+    let encoded = model.encode(&seq).unwrap();
+    let baseline = model.run_segmentation(&seq, &encoded).unwrap();
+    assert!(
+        baseline
+            .trace
+            .frames
+            .iter()
+            .filter(|f| f.ftype == vrd_codec::FrameType::B)
+            .any(|f| f.kind.uses_large_model()),
+        "fallback rerouted nothing; the barrier under test never fired"
+    );
+    for threads in THREADS {
+        let opts = PipelineOptions {
+            threads: Some(threads),
+            channel_capacity: Some(2),
+        };
+        let piped = model
+            .run_segmentation_pipelined(&seq, &encoded, &opts)
+            .unwrap();
+        assert_seg_identical(&baseline, &piped, &format!("fallback, {threads} threads"));
+    }
+}

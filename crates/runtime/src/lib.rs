@@ -19,8 +19,47 @@
 //! plain variants use [`max_threads`], which honours the `VRD_THREADS`
 //! environment variable before falling back to the hardware parallelism.
 
+use std::cell::Cell;
 use std::sync::{Mutex, Once};
 use std::thread;
+
+pub mod stage;
+
+pub use stage::{stage_channel, StageReceiver, StageSender};
+
+thread_local! {
+    /// Per-thread cap on nested parallelism; `None` means uncapped.
+    static THREAD_BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The thread budget currently in force on this thread, if any.
+///
+/// Workers spawned by the `parallel_*` entry points run under a budget of
+/// roughly `max_threads() / workers`, so nested parallel sections (an NN
+/// kernel called from a parallel wave, say) fan out to about the machine
+/// width in total instead of `workers × cores`.
+pub fn thread_budget() -> Option<usize> {
+    THREAD_BUDGET.with(|b| b.get())
+}
+
+/// Runs `f` with this thread's budget capped at `budget` (≥ 1), restoring
+/// the previous budget afterwards. [`max_threads`] — and therefore every
+/// plain `parallel_*` entry point — honours the cap for the duration.
+pub fn with_thread_budget<R>(budget: usize, f: impl FnOnce() -> R) -> R {
+    THREAD_BUDGET.with(|b| {
+        let prev = b.replace(Some(budget.max(1)));
+        let out = f();
+        b.set(prev);
+        out
+    })
+}
+
+/// The per-worker budget for a section about to fan out over `workers`
+/// threads: the currently effective [`max_threads`] divided evenly, never
+/// below 1.
+fn child_budget(workers: usize) -> usize {
+    (max_threads() / workers.max(1)).max(1)
+}
 
 /// Parses a `VRD_THREADS` value: `Ok(n)` for a positive integer, `Err` with
 /// the rejected text otherwise (so callers can warn and fall back).
@@ -33,21 +72,34 @@ fn parse_thread_override(v: &str) -> Result<usize, &str> {
 
 /// The number of worker threads the plain `parallel_*` entry points use:
 /// the `VRD_THREADS` environment variable if set to a positive integer,
-/// otherwise [`std::thread::available_parallelism`]. An invalid value
-/// (zero, non-numeric) is reported once on stderr and then ignored.
+/// otherwise [`std::thread::available_parallelism`] — further capped by the
+/// enclosing [`thread_budget`], if one is in force on this thread. An
+/// invalid `VRD_THREADS` value (zero, non-numeric) is reported once on
+/// stderr and then ignored.
 pub fn max_threads() -> usize {
     static WARN_ONCE: Once = Once::new();
-    if let Ok(v) = std::env::var("VRD_THREADS") {
-        match parse_thread_override(&v) {
-            Ok(n) => return n,
-            Err(bad) => WARN_ONCE.call_once(|| {
-                eprintln!(
-                    "vrd-runtime: ignoring invalid VRD_THREADS={bad:?} \
-                     (expected a positive integer); using detected core count"
-                );
-            }),
-        }
+    let base = match std::env::var("VRD_THREADS") {
+        Ok(v) => match parse_thread_override(&v) {
+            Ok(n) => n,
+            Err(bad) => {
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "vrd-runtime: ignoring invalid VRD_THREADS={bad:?} \
+                         (expected a positive integer); using detected core count"
+                    );
+                });
+                detected_parallelism()
+            }
+        },
+        Err(_) => detected_parallelism(),
+    };
+    match thread_budget() {
+        Some(cap) => base.min(cap).max(1),
+        None => base,
     }
+}
+
+fn detected_parallelism() -> usize {
     thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -79,13 +131,16 @@ where
     }
     let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     let chunk = items.len().div_ceil(threads);
+    let budget = child_budget(threads);
     let f = &f;
     thread::scope(|s| {
         for (slot_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
             s.spawn(move || {
-                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
-                    *slot = Some(f(item));
-                }
+                with_thread_budget(budget, || {
+                    for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                        *slot = Some(f(item));
+                    }
+                })
             });
         }
     });
@@ -117,18 +172,21 @@ where
     if threads == 1 {
         return items.iter().map(f).collect();
     }
+    let budget = child_budget(threads);
     let f = &f;
     let mut per_worker: Vec<Vec<(usize, R)>> = thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 s.spawn(move || {
-                    items
-                        .iter()
-                        .enumerate()
-                        .skip(w)
-                        .step_by(threads)
-                        .map(|(i, item)| (i, f(item)))
-                        .collect::<Vec<_>>()
+                    with_thread_budget(budget, || {
+                        items
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(threads)
+                            .map(|(i, item)| (i, f(item)))
+                            .collect::<Vec<_>>()
+                    })
                 })
             })
             .collect();
@@ -190,15 +248,18 @@ where
         return;
     }
     let chunk = items.len().div_ceil(threads);
+    let budget = child_budget(threads);
     let f = &f;
     thread::scope(|s| {
         while !items.is_empty() {
             let take = chunk.min(items.len());
             let group: Vec<I> = items.drain(..take).collect();
             s.spawn(move || {
-                for item in group {
-                    f(item);
-                }
+                with_thread_budget(budget, || {
+                    for item in group {
+                        f(item);
+                    }
+                })
             });
         }
     });
@@ -370,6 +431,37 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_budget_caps_and_restores() {
+        assert_eq!(thread_budget(), None);
+        let inside = with_thread_budget(1, || {
+            assert_eq!(thread_budget(), Some(1));
+            // Nested scopes re-cap and restore the outer budget.
+            with_thread_budget(3, || assert_eq!(thread_budget(), Some(3)));
+            assert_eq!(thread_budget(), Some(1));
+            max_threads()
+        });
+        assert_eq!(inside, 1);
+        assert_eq!(thread_budget(), None);
+        // A zero budget is clamped to 1 rather than deadlocking callers.
+        with_thread_budget(0, || assert_eq!(max_threads(), 1));
+    }
+
+    #[test]
+    fn parallel_workers_inherit_a_divided_budget() {
+        // Two workers under an outer budget of 4 should each see a nested
+        // budget of at most 2, and results stay order-preserving.
+        let items: Vec<u32> = (0..8).collect();
+        let budgets = with_thread_budget(4, || {
+            parallel_map_with(&items, 2, |&x| {
+                let b = thread_budget().unwrap_or(usize::MAX);
+                assert!(b <= 2, "worker budget {b} exceeds fair share");
+                x
+            })
+        });
+        assert_eq!(budgets, items);
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Bounded single-producer single-consumer stage channels.
+//!
+//! The pipelined executor in `vr-dann` runs the decoder and the compute
+//! lane on separate threads, connected by a bounded queue — the software
+//! analogue of the paper's on-chip `ip_Q`/`b_Q` frame queues between the
+//! decoder and the NPU. [`stage_channel`] provides that queue:
+//!
+//! * **bounded** — `send` blocks once `capacity` items are in flight, so a
+//!   fast decoder cannot run ahead of the compute lane and accumulate
+//!   decoded frames without limit (the bounded-memory guarantee of the
+//!   streaming engine extends across the lane boundary);
+//! * **SPSC by construction** — neither endpoint is `Clone`, so exactly one
+//!   producer and one consumer exist;
+//! * **scope-friendly** — no `'static` bound on the payload, so the
+//!   endpoints can ferry borrowed data between `std::thread::scope` workers;
+//! * **drop-aware** — dropping the receiver makes further `send`s return
+//!   the item back (the producer shuts down); dropping the sender drains
+//!   the queue and then ends `recv` with `None`.
+//!
+//! The channel also records its **peak occupancy** so executors can report
+//! how many decoded units were ever buffered between the lanes.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Debug)]
+struct State<T> {
+    queue: VecDeque<T>,
+    tx_alive: bool,
+    rx_alive: bool,
+    peak_len: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+/// The producer endpoint of a [`stage_channel`].
+#[derive(Debug)]
+pub struct StageSender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The consumer endpoint of a [`stage_channel`].
+#[derive(Debug)]
+pub struct StageReceiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// A bounded SPSC channel holding at most `capacity` (≥ 1) items.
+pub fn stage_channel<T>(capacity: usize) -> (StageSender<T>, StageReceiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            tx_alive: true,
+            rx_alive: true,
+            peak_len: 0,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        capacity: capacity.max(1),
+    });
+    (
+        StageSender {
+            inner: Arc::clone(&inner),
+        },
+        StageReceiver { inner },
+    )
+}
+
+impl<T> StageSender<T> {
+    /// Enqueues `item`, blocking while the channel is full. Returns the
+    /// item back as `Err` if the receiver has been dropped.
+    pub fn send(&self, item: T) -> Result<(), T> {
+        let mut st = self
+            .inner
+            .state
+            .lock()
+            .expect("stage channel lock is never poisoned");
+        loop {
+            if !st.rx_alive {
+                return Err(item);
+            }
+            if st.queue.len() < self.inner.capacity {
+                break;
+            }
+            st = self
+                .inner
+                .not_full
+                .wait(st)
+                .expect("stage channel lock is never poisoned");
+        }
+        st.queue.push_back(item);
+        st.peak_len = st.peak_len.max(st.queue.len());
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Drop for StageSender<T> {
+    fn drop(&mut self) {
+        let mut st = self
+            .inner
+            .state
+            .lock()
+            .expect("stage channel lock is never poisoned");
+        st.tx_alive = false;
+        self.inner.not_empty.notify_all();
+    }
+}
+
+impl<T> StageReceiver<T> {
+    /// Dequeues the next item, blocking while the channel is empty.
+    /// Returns `None` once the sender is gone and the queue is drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self
+            .inner
+            .state
+            .lock()
+            .expect("stage channel lock is never poisoned");
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                self.inner.not_full.notify_one();
+                return Some(item);
+            }
+            if !st.tx_alive {
+                return None;
+            }
+            st = self
+                .inner
+                .not_empty
+                .wait(st)
+                .expect("stage channel lock is never poisoned");
+        }
+    }
+
+    /// The most items ever queued at once — the channel's high-water mark.
+    pub fn peak_len(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("stage channel lock is never poisoned")
+            .peak_len
+    }
+}
+
+impl<T> Drop for StageReceiver<T> {
+    fn drop(&mut self) {
+        let mut st = self
+            .inner
+            .state
+            .lock()
+            .expect("stage channel lock is never poisoned");
+        st.rx_alive = false;
+        self.inner.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn delivers_in_fifo_order_across_threads() {
+        let (tx, rx) = stage_channel(4);
+        thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100u32 {
+                    tx.send(i).expect("receiver alive");
+                }
+            });
+            for i in 0..100u32 {
+                assert_eq!(rx.recv(), Some(i));
+            }
+            assert_eq!(rx.recv(), None);
+            assert!(rx.peak_len() <= 4);
+        });
+    }
+
+    #[test]
+    fn send_blocks_at_capacity() {
+        let (tx, rx) = stage_channel(2);
+        thread::scope(|s| {
+            let h = s.spawn(move || {
+                for i in 0..5u32 {
+                    tx.send(i).expect("receiver alive");
+                }
+            });
+            // Give the producer time to fill the queue and block.
+            thread::sleep(Duration::from_millis(30));
+            assert_eq!(rx.peak_len(), 2, "producer ran past the bound");
+            assert!(!h.is_finished(), "send did not block at capacity");
+            for i in 0..5u32 {
+                assert_eq!(rx.recv(), Some(i));
+            }
+        });
+    }
+
+    #[test]
+    fn sender_drop_drains_then_closes() {
+        let (tx, rx) = stage_channel(8);
+        tx.send(1u8).unwrap();
+        tx.send(2u8).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn receiver_drop_returns_item_to_sender() {
+        let (tx, rx) = stage_channel(1);
+        drop(rx);
+        assert_eq!(tx.send(7u8), Err(7));
+    }
+
+    #[test]
+    fn receiver_drop_unblocks_a_full_sender() {
+        let (tx, rx) = stage_channel(1);
+        thread::scope(|s| {
+            let h = s.spawn(move || {
+                tx.send(1u8).expect("first send fits");
+                // Second send blocks until the receiver goes away, then
+                // hands the item back instead of hanging forever.
+                tx.send(2u8)
+            });
+            thread::sleep(Duration::from_millis(30));
+            drop(rx);
+            assert_eq!(h.join().unwrap(), Err(2));
+        });
+    }
+
+    #[test]
+    fn carries_borrowed_data_under_scoped_threads() {
+        let data = [10u32, 20, 30];
+        let items: Vec<&u32> = data.iter().collect();
+        let (tx, rx) = stage_channel(2);
+        thread::scope(|s| {
+            s.spawn(move || {
+                for item in items {
+                    tx.send(item).expect("receiver alive");
+                }
+            });
+            let got: Vec<u32> = std::iter::from_fn(|| rx.recv()).copied().collect();
+            assert_eq!(got, vec![10, 20, 30]);
+        });
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let (tx, rx) = stage_channel(0);
+        tx.send(5u8).unwrap();
+        assert_eq!(rx.recv(), Some(5));
+    }
+}

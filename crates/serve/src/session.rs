@@ -15,7 +15,9 @@
 //! hand-over instant the shared-NPU scheduler replays.
 
 use vr_dann::engine::{SegTask, StrictPolicy};
-use vr_dann::{ComputeMode, EngineCheckpoint, PipelineEngine, Result, VrDann};
+use vr_dann::{
+    ComputeMode, EngineCheckpoint, PipelineEngine, PipelineOptions, PipelineWave, Result, VrDann,
+};
 use vrd_codec::{EncodedVideo, FrameSource, FrameType, StrictFrameSource};
 use vrd_nn::LargeNet;
 use vrd_sim::{simulate_stream, ExecMode, ParallelOptions, SimConfig};
@@ -296,6 +298,113 @@ pub fn drive_template(
     })
 }
 
+/// [`drive_template`] on the engine's two-lane pipelined executor: a
+/// decode-lane thread owns the [`StrictFrameSource`] and feeds units
+/// through a bounded stage channel while this thread plans them and fans
+/// B-frame reconstruction out wave-front-style
+/// ([`PipelineEngine::step_pipelined`]).
+///
+/// The captured template is **byte-identical** to the sequential
+/// [`drive_template`] — every [`TemplateItem`] derives from the engine's
+/// plan-time [`StepWork`](vr_dann::StepWork), which executes sequentially
+/// in decode order on both paths, so the shared-NPU scheduler's accounting
+/// (ops, model residency, switch counts, decoder service times) never
+/// depends on how the session was driven. Pinned by
+/// `pipelined_drive_emits_identical_schedule`.
+///
+/// # Errors
+/// Propagates bitstream decode errors and engine reconstruction failures.
+pub fn drive_template_pipelined(
+    model: &VrDann,
+    seq: &Sequence,
+    encoded: &EncodedVideo,
+    sim: &SimConfig,
+    pipe: &PipelineOptions,
+) -> Result<SessionTemplate> {
+    let source = StrictFrameSource::new(&encoded.bitstream)?;
+    let info = source.info();
+    let task = SegTask::new(
+        seq,
+        LargeNet::new(model.config().segment_profile),
+        model.config().seed,
+        &info,
+    );
+    let mut engine =
+        PipelineEngine::new(model.config(), model.nns(), task, StrictPolicy::default());
+    engine.prime(&info, &[]);
+
+    let px = (info.width * info.height) as f64;
+    let mut wave = PipelineWave::new(pipe.resolved_threads());
+    let mut items: Vec<TemplateItem> = Vec::with_capacity(info.n_frames);
+    let (tx, rx) = vrd_runtime::stage_channel(pipe.resolved_capacity());
+    let (stepped, totals, peak) = std::thread::scope(|s| {
+        let decode_lane = s.spawn(move || {
+            let mut source = source;
+            let mut k = 0usize;
+            while let Some(unit) = source.next_unit() {
+                let fatal = unit.is_err();
+                if tx.send((k, unit)).is_err() || fatal {
+                    break;
+                }
+                k += 1;
+            }
+            (source.totals(), source.peak_live_frames())
+        });
+        let mut stepped = Ok(());
+        while let Some((arrive_idx, unit)) = rx.recv() {
+            let advanced = (|| -> Result<()> {
+                let Some(work) = engine.step_pipelined(unit?, &mut wave)? else {
+                    return Ok(());
+                };
+                let cpp = if work.full_decode {
+                    sim.decoder.cycles_per_pixel_full
+                } else {
+                    sim.decoder.cycles_per_pixel_mv
+                };
+                items.push(TemplateItem {
+                    display: work.display,
+                    ftype: work.ftype,
+                    ops: work.ops,
+                    uses_large_model: work.uses_large_model,
+                    arrive_idx,
+                    decode_ns: px * cpp / sim.decoder.freq_hz * 1e9,
+                });
+                Ok(())
+            })();
+            if let Err(e) = advanced {
+                stepped = Err(e);
+                break;
+            }
+        }
+        engine.note_peak_inflight(rx.peak_len());
+        drop(rx);
+        let (totals, peak) = decode_lane.join().expect("decode lane never panics");
+        (stepped, totals, peak)
+    });
+    stepped?;
+    engine.drain_wave(&mut wave)?;
+    let run = engine.finish(totals, peak)?;
+    let isolated = simulate_stream(
+        run.trace.frames.iter(),
+        run.trace.scheme,
+        run.trace.width,
+        run.trace.height,
+        run.trace.mb_size,
+        ExecMode::VrDannParallel(ParallelOptions::default()),
+        sim,
+    );
+    Ok(SessionTemplate {
+        name: seq.name.clone(),
+        compute: model.config().compute,
+        frames: run.outputs.len(),
+        peak_live_frames: run.peak_live_frames,
+        total_ops: run.trace.total_ops(),
+        switches_in_order: run.trace.model_switches_in_order(),
+        isolated_ns: isolated.total_ns,
+        items,
+    })
+}
+
 /// Drives one session to exhaustion: decode → engine step → stamped work
 /// item, then closes the engine and simulates the isolated-hardware
 /// baseline. The produced masks are identical to a standalone
@@ -313,6 +422,24 @@ pub fn drive_session(
     sim: &SimConfig,
 ) -> Result<DrivenSession> {
     Ok(drive_template(model, seq, encoded, sim)?.instantiate(session, spec))
+}
+
+/// [`drive_session`] on the pipelined executor. The stamped work items are
+/// byte-identical to the sequential drive (see
+/// [`drive_template_pipelined`]); only wall-clock time changes.
+///
+/// # Errors
+/// Propagates bitstream decode errors and engine reconstruction failures.
+pub fn drive_session_pipelined(
+    model: &VrDann,
+    session: usize,
+    seq: &Sequence,
+    encoded: &EncodedVideo,
+    spec: &SessionSpec,
+    sim: &SimConfig,
+    pipe: &PipelineOptions,
+) -> Result<DrivenSession> {
+    Ok(drive_template_pipelined(model, seq, encoded, sim, pipe)?.instantiate(session, spec))
 }
 
 /// [`drive_session`] that also snapshots a [`SessionCheckpoint`] after
@@ -495,6 +622,46 @@ mod tests {
         // The mode itself is carried for the chaos ladder and admission.
         assert_eq!(f32_run.compute, ComputeMode::F32Reference);
         assert_eq!(int8_run.compute, ComputeMode::Int8);
+    }
+
+    #[test]
+    fn pipelined_drive_emits_identical_schedule() {
+        // The scheduler accounting must be executor-invariant: a session
+        // driven on the two-lane pipelined path puts byte-identical work
+        // (ops, residency, decoder-lane stamps, switch counts) on the
+        // shared NPU at every thread count.
+        let (model, cfg) = tiny_model();
+        let seq = davis_sequence("cows", &cfg).unwrap();
+        let encoded = model.encode(&seq).unwrap();
+        let sim = SimConfig::default();
+        let tpl = drive_template(&model, &seq, &encoded, &sim).unwrap();
+        for threads in [1, 2, 4] {
+            let pipe = PipelineOptions {
+                threads: Some(threads),
+                channel_capacity: Some(4),
+            };
+            let piped = drive_template_pipelined(&model, &seq, &encoded, &sim, &pipe).unwrap();
+            assert_eq!(
+                piped, tpl,
+                "scheduler accounting diverged at {threads} threads"
+            );
+        }
+        let spec = SessionSpec {
+            start_offset_ns: 250.0,
+            frame_interval_ns: 1.5e6,
+        };
+        let live = drive_session(&model, 1, &seq, &encoded, &spec, &sim).unwrap();
+        let piped = drive_session_pipelined(
+            &model,
+            1,
+            &seq,
+            &encoded,
+            &spec,
+            &sim,
+            &PipelineOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(piped, live);
     }
 
     #[test]
